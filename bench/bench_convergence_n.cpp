@@ -1,0 +1,88 @@
+// E3 — Theorem 7 / Corollary 8, the paper's main result: the time to reach
+// a (δ,ε,ν)-equilibrium is O(d/(ε²δ)·log(Φ(x0)/Φ*)) — with ℓmax fixed,
+// *logarithmic in n* and independent of the strategy-space size.
+//
+// Sweep n over four orders of magnitude with the initial *relative*
+// imbalance held fixed (geometric skew), so log(Φ0/Φ*) is ~constant; the
+// theorem then predicts near-constant round counts. We report the measured
+// hitting time, its OLS slope in (log2 n, τ) coordinates, and — the
+// stronger statement proved in §4 — the *total* number of non-equilibrated
+// rounds over a long horizon. The aggregate engine's cost per round is
+// n-independent, which is what makes the n = 10^6 row cheap.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cid;
+
+int main() {
+  std::printf(
+      "E3 / Theorem 7 — hitting time of (delta,eps,nu)-equilibria vs n\n"
+      "(m=10 quadratic links, geometric-skew start, delta=eps=0.1, "
+      "lambda=1/4, 15 trials)\n\n");
+  const double delta = 0.1, eps = 0.1;
+  const ImitationProtocol protocol;
+
+  Table table({"n", "rounds to eq", "total non-eq rounds", "d", "nu",
+               "log2(Phi0/Phi*)"});
+  std::vector<double> ns, taus;
+  for (std::int64_t n : {std::int64_t{100}, std::int64_t{1000},
+                         std::int64_t{10000}, std::int64_t{100000},
+                         std::int64_t{1000000}}) {
+    const auto game = bench::monomial_links_game(10, 2.0, n);
+    const auto start = [&](Rng&) { return bench::geometric_skew_state(game); };
+
+    const auto ht = bench::time_to(game, protocol, start,
+                                   bench::stop_at_delta_eps(delta, eps), 15,
+                                   0xE3, 100000);
+
+    // Stronger statement: expected TOTAL rounds spent off-equilibrium over
+    // a long horizon (the proof bounds this, not just the first hit).
+    const TrialSet noneq = run_trials(5, 0x3E3, [&](Rng& rng) {
+      State x = bench::geometric_skew_state(game);
+      std::int64_t bad = 0;
+      RunOptions options;
+      options.max_rounds = 2000;
+      run_dynamics(game, x, protocol, rng, options,
+                   [&](const CongestionGame& g, const State& s,
+                       std::int64_t round) {
+                     if (round < 2000 &&
+                         !is_delta_eps_equilibrium(g, s, delta, eps)) {
+                       ++bad;
+                     }
+                     return false;
+                   });
+      return static_cast<double>(bad);
+    });
+
+    // log(Φ0/Φ*): Φ* approximated by running best response to Nash on a
+    // small surrogate is overkill; for identical-degree monomial links the
+    // balanced-ish state from long imitation is close — use the fractional
+    // lower bound Φ* >= Φ(balanced)·(1 − O(1/n)) via spread_evenly.
+    const double phi0 = game.potential(bench::geometric_skew_state(game));
+    const double phi_star = game.potential(State::spread_evenly(game));
+    const double log_ratio = std::log2(phi0 / phi_star);
+
+    table.row()
+        .cell(n)
+        .cell_pm(ht.mean_rounds, ht.sem, 1)
+        .cell_pm(noneq.summary.mean, noneq.sem, 1)
+        .cell(game.elasticity(), 1)
+        .cell(game.nu(), 2)
+        .cell(log_ratio, 3);
+    ns.push_back(std::log2(static_cast<double>(n)));
+    taus.push_back(ht.mean_rounds);
+  }
+  table.print("hitting time vs number of players");
+
+  const LinearFit fit = linear_fit(ns, taus);
+  std::printf(
+      "\nOLS fit  tau = %.2f + %.3f*log2(n)   (R^2 = %.3f)\n"
+      "Reading: the slope is tiny relative to the base time — convergence\n"
+      "is at most logarithmic in n (Theorem 7: with fixed relative\n"
+      "imbalance the bound is constant in n), while sequential dynamics\n"
+      "would need Omega(n) steps just to move every player once.\n",
+      fit.intercept, fit.slope, fit.r_squared);
+  return 0;
+}

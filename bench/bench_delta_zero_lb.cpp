@@ -1,0 +1,67 @@
+// E7 — the §4 closing lower bound: no sampling-based protocol can reach a
+// state where *all* agents are approximately satisfied (δ = 0) in fewer
+// than Ω(n) expected rounds.
+//
+// The paper's instance: n = 2m agents on m identical linear links, loads
+// x1 = 3, x2 = 1, xi = 2 elsewhere. The unique improving move is a player
+// on link 1 sampling the single player on link 2 — probability O(1/n) per
+// round — so the expected hitting time of the fully-balanced state grows
+// linearly in n, even though a (δ>0, ε, ν)-equilibrium is hit immediately.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cid;
+
+int main() {
+  std::printf(
+      "E7 / section 4 — Omega(n) lower bound for delta = 0\n"
+      "(m identical linear links, n = 2m, start 3,1,2,2,...,2; "
+      "40 trials)\n\n");
+  ImitationParams params;
+  params.nu_cutoff = false;  // the gain here is 1 = ν; drop the cutoff so
+                             // the unique improving move is admissible
+  const ImitationProtocol protocol(params);
+
+  Table table({"n", "rounds to balance (all satisfied)",
+               "rounds to (0.1,0.1,nu)-eq", "ratio to n"});
+  std::vector<double> ns, taus;
+  for (std::int32_t m : {4, 8, 16, 32, 64, 128, 256}) {
+    const std::int64_t n = 2 * m;
+    const auto game = make_uniform_links_game(m, make_linear(1.0), n);
+    const auto start = [&](Rng&) {
+      std::vector<std::int64_t> counts(static_cast<std::size_t>(m), 2);
+      counts[0] = 3;
+      counts[1] = 1;
+      return State(game, std::move(counts));
+    };
+    // δ = 0: every player within the band — here that means exact balance.
+    const auto ht_all = bench::time_to(
+        game, protocol, start,
+        [](const CongestionGame& g, const State& s, std::int64_t) {
+          return check_delta_eps_nu(g, s, 0.0, 0.25, 0.0).at_equilibrium;
+        },
+        40, 0xE7, 10000000);
+    // δ > 0 for contrast: immediate.
+    const auto ht_some = bench::time_to(
+        game, protocol, start, bench::stop_at_delta_eps(0.1, 0.1), 10,
+        0x7E7, 10000000);
+    table.row()
+        .cell(n)
+        .cell_pm(ht_all.mean_rounds, ht_all.sem, 1)
+        .cell(ht_some.mean_rounds, 1)
+        .cell(ht_all.mean_rounds / static_cast<double>(n), 3);
+    ns.push_back(static_cast<double>(n));
+    taus.push_back(std::max(ht_all.mean_rounds, 0.5));
+  }
+  table.print("delta=0 hitting time grows linearly in n");
+  const LinearFit fit = log_log_fit(ns, taus);
+  std::printf(
+      "\nfit: tau ~ n^%.2f (R^2=%.3f)\n"
+      "Reading: requiring ALL agents to be satisfied costs Omega(n) — the\n"
+      "last unsatisfied agent must find the one good target by uniform\n"
+      "sampling. This is why Definition 1 tolerates a delta-fraction, and\n"
+      "why Theorem 7 can be logarithmic in n while delta=0 cannot.\n",
+      fit.slope, fit.r_squared);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E13 — engine micro-benchmarks (google-benchmark): the aggregate engine's
+// per-round cost is O(|support|²) — independent of n — while the
+// per-player engine is O(n·|support|). The n-independence of the aggregate
+// engine is what makes Theorem 7's million-player sweeps cheap (E3).
+#include <benchmark/benchmark.h>
+
+#include "cid/cid.hpp"
+
+namespace {
+
+using namespace cid;
+
+void BM_AggregateRound(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto m = static_cast<std::int32_t>(state.range(1));
+  const auto game = make_uniform_links_game(m, make_linear(1.0), n);
+  Rng rng(1);
+  State x = State::uniform_random(game, rng);
+  const ImitationProtocol protocol;
+  for (auto _ : state) {
+    const RoundResult rr =
+        draw_round(game, x, protocol, rng, EngineMode::kAggregate);
+    benchmark::DoNotOptimize(rr.movers);
+  }
+  state.SetLabel("n=" + std::to_string(n) + " m=" + std::to_string(m));
+}
+BENCHMARK(BM_AggregateRound)
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({100000, 16})
+    ->Args({1000000, 16})
+    ->Args({100000, 4})
+    ->Args({100000, 64});
+
+void BM_PerPlayerRound(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto game = make_uniform_links_game(16, make_linear(1.0), n);
+  Rng rng(2);
+  State x = State::uniform_random(game, rng);
+  const ImitationProtocol protocol;
+  for (auto _ : state) {
+    const RoundResult rr =
+        draw_round(game, x, protocol, rng, EngineMode::kPerPlayer);
+    benchmark::DoNotOptimize(rr.movers);
+  }
+  state.SetLabel("n=" + std::to_string(n) + " m=16");
+}
+BENCHMARK(BM_PerPlayerRound)->Args({1000})->Args({10000})->Args({100000});
+
+void BM_BinomialSampler(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const double p = 1e-4 * static_cast<double>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.binomial(n, p));
+  }
+}
+BENCHMARK(BM_BinomialSampler)
+    ->Args({20, 3000})       // Bernoulli-sum regime
+    ->Args({100000, 1})      // inversion regime (mean 10)
+    ->Args({100000, 3000});  // BTRS regime (mean 30000)
+
+void BM_PotentialExact(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto game = make_uniform_links_game(16, make_monomial(1.0, 2.0), n);
+  Rng rng(4);
+  const State x = State::uniform_random(game, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game.potential(x));
+  }
+}
+BENCHMARK(BM_PotentialExact)->Args({1000})->Args({100000});
+
+void BM_EquilibriumCheck(benchmark::State& state) {
+  const auto m = static_cast<std::int32_t>(state.range(0));
+  const auto game = make_uniform_links_game(m, make_linear(1.0), 100000);
+  Rng rng(5);
+  const State x = State::uniform_random(game, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_delta_eps_nu(game, x, 0.1, 0.1, game.nu()).at_equilibrium);
+  }
+}
+BENCHMARK(BM_EquilibriumCheck)->Args({8})->Args({64});
+
+}  // namespace

@@ -1,0 +1,79 @@
+// E11 — Theorem 15: under the EXPLORATION PROTOCOL the dynamics converge
+// to an exact Nash equilibrium in expected time O(Φ(x0)·β·n·ℓmax /
+// (ℓmin·κ²)), where κ is the minimum possible improvement and β the
+// maximum latency slope.
+//
+// We measure rounds-to-Nash on small singleton games where κ is computable
+// (integer-coefficient linear links: κ >= min_e a_e over the reachable
+// range... we compute it by enumeration over all states at small n) and
+// report measured time against the theorem's bound. A second sweep grows n
+// to show the (pseudo)polynomial scaling in n — the §6 trade-off for
+// guaranteed Nash convergence.
+#include <cstdio>
+#include <limits>
+
+#include "common.hpp"
+#include "util/assert.hpp"
+
+using namespace cid;
+
+namespace {
+
+/// Minimum positive improvement over all states and deviations (the κ of
+/// Theorem 15), by exhaustive enumeration. Practical only for tiny games;
+/// m=2 keeps states 1-dimensional.
+double compute_kappa(const CongestionGame& game) {
+  double kappa = std::numeric_limits<double>::infinity();
+  const std::int64_t n = game.num_players();
+  CID_ENSURE(game.num_strategies() == 2, "kappa enumeration expects m=2");
+  for (std::int64_t k = 0; k <= n; ++k) {
+    const State x(game, {k, n - k});
+    for (StrategyId p = 0; p < 2; ++p) {
+      if (x.count(p) == 0) continue;
+      const StrategyId q = 1 - p;
+      const double gain = game.strategy_latency(x, p) -
+                          game.expost_latency(x, p, q);
+      if (gain > 1e-12) kappa = std::min(kappa, gain);
+    }
+  }
+  return kappa;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E11 / Theorem 15 — EXPLORATION PROTOCOL converges to exact Nash\n"
+      "(two linear links a={1,2}, all players start on the slow link, "
+      "20 trials)\n\n");
+  Table table({"n", "rounds to Nash", "kappa", "theory bound",
+               "measured/bound"});
+  for (std::int64_t n : {std::int64_t{8}, std::int64_t{16}, std::int64_t{32},
+                         std::int64_t{64}, std::int64_t{128}}) {
+    std::vector<LatencyPtr> fns{make_linear(2.0), make_linear(1.0)};
+    const auto game = make_singleton_game(std::move(fns), n);
+    const double kappa = compute_kappa(game);
+    const ExplorationProtocol protocol;
+    const auto ht = bench::time_to(
+        game, protocol, [&](Rng&) { return State::all_on(game, 0); },
+        bench::stop_at_nash(), 20, 0xE11, 50000000, 4);
+    const State x0 = State::all_on(game, 0);
+    const double bound = game.potential(x0) * game.beta_slope() *
+                         static_cast<double>(n) * game.max_latency_upper() /
+                         (game.min_nonempty_latency() * kappa * kappa);
+    table.row()
+        .cell(n)
+        .cell_pm(ht.mean_rounds, ht.sem, 1)
+        .cell(kappa, 2)
+        .cell(bound, 0)
+        .cell(ht.mean_rounds / bound, 6);
+  }
+  table.print("rounds to exact Nash under Protocol 2 vs Theorem 15 bound");
+  std::printf(
+      "\nReading: exploration always reaches exact Nash (it can discover\n"
+      "unused strategies), in time growing polynomially with n and well\n"
+      "inside the Theorem 15 bound — but orders of magnitude slower than\n"
+      "imitation reaches approximate equilibria (see E12): the paper's\n"
+      "argument for combining the two protocols.\n");
+  return 0;
+}

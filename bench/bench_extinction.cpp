@@ -1,0 +1,76 @@
+// E9 — Theorem 9: in singleton games with scaled latencies ℓⁿ(x) = ℓ(x/n)
+// and ℓ(0) = 0, the probability that the IMITATION PROTOCOL (started from
+// random initialization) empties any link within poly(n) rounds is
+// 2^(−Ω(n)).
+//
+// We run the protocol (ν dropped, as Theorem 9 licenses) for T = 50·n
+// rounds and estimate the extinction frequency over many trials, plus the
+// trajectory-minimum load as a fraction of n. The frequency must fall off
+// sharply in n; the min-load fraction must stabilize well above zero.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cid;
+
+int main() {
+  std::printf(
+      "E9 / Theorem 9 — no strategy extinction in scaled singleton games\n"
+      "(m=4 links a_e in {1,2,3,4} scaled by n, random init, T = 50n "
+      "rounds)\n\n");
+  ImitationParams params;
+  params.nu_cutoff = false;  // Theorem 9 drops ν
+  const ImitationProtocol protocol(params);
+
+  Table table({"n", "trials", "extinction freq", "min load fraction",
+               "final min load fraction"});
+  for (std::int64_t n : {std::int64_t{8}, std::int64_t{16}, std::int64_t{32},
+                         std::int64_t{64}, std::int64_t{128},
+                         std::int64_t{256}, std::int64_t{512}}) {
+    std::vector<LatencyPtr> fns;
+    for (int e = 0; e < 4; ++e) {
+      fns.push_back(make_scaled(make_linear(1.0 + e), n));
+    }
+    const auto game = make_singleton_game(std::move(fns), n);
+    const int trials = n <= 64 ? 400 : 100;
+    double min_frac_acc = 0.0, final_frac_acc = 0.0;
+    const double freq = event_frequency(trials, 0xE9, [&](Rng& rng) {
+      State x = State::uniform_random(game, rng);
+      bool extinct = false;
+      std::int64_t min_load = n;
+      for (StrategyId p = 0; p < 4; ++p) {
+        min_load = std::min(min_load, x.count(p));
+      }
+      extinct = min_load == 0;
+      const std::int64_t horizon = 50 * n;
+      for (std::int64_t round = 0; round < horizon && !extinct; ++round) {
+        step_round(game, x, protocol, rng, EngineMode::kAggregate);
+        for (StrategyId p = 0; p < 4; ++p) {
+          min_load = std::min(min_load, x.count(p));
+        }
+        extinct = min_load == 0;
+      }
+      min_frac_acc += static_cast<double>(min_load) / static_cast<double>(n);
+      std::int64_t final_min = n;
+      for (StrategyId p = 0; p < 4; ++p) {
+        final_min = std::min(final_min, x.count(p));
+      }
+      final_frac_acc +=
+          static_cast<double>(final_min) / static_cast<double>(n);
+      return extinct ? 1.0 : 0.0;
+    });
+    table.row()
+        .cell(n)
+        .cell(static_cast<std::int64_t>(trials))
+        .cell(freq, 4)
+        .cell(min_frac_acc / trials, 4)
+        .cell(final_frac_acc / trials, 4);
+  }
+  table.print("extinction frequency vs n");
+  std::printf(
+      "\nReading: the extinction frequency collapses as n grows (Theorem 9\n"
+      "predicts 2^(-Omega(n))) and the minimum load fraction stabilizes —\n"
+      "for large populations the protocol may safely drop the ν safeguard\n"
+      "and then converges toward exact Nash equilibria (paper §5/§6).\n");
+  return 0;
+}

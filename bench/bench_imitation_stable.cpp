@@ -1,0 +1,119 @@
+// E2 — Theorem 4: the IMITATION PROTOCOL converges to an imitation-stable
+// state in expected time O(d·n·ℓmax·Φ(x0)/ν²) — pseudopolynomial, and the
+// paper argues this is essentially tight because a single remaining
+// improvement of size ~ν can take pseudopolynomially long to fire.
+//
+// Part A measures rounds-to-stability on well-behaved games and reports the
+// measured/bound ratio (<< 1: the bound is loose for benign instances).
+// Part B builds the near-tight instance: two links where exactly one cohort
+// has one improving move whose migration probability shrinks as ~1/ℓmax;
+// the measured hitting time grows linearly in ℓmax while ν stays fixed —
+// the pseudopolynomial blow-up.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace cid;
+
+namespace {
+
+void part_a() {
+  Table table({"game", "n", "rounds to stable", "theory bound",
+               "measured/bound"});
+  struct Case {
+    std::string name;
+    CongestionGame game;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"8 linear links",
+                   make_uniform_links_game(8, make_linear(1.0), 512)});
+  cases.push_back({"6 quadratic links",
+                   bench::monomial_links_game(6, 2.0, 512)});
+  cases.push_back({"4 cubic links",
+                   bench::monomial_links_game(4, 3.0, 256)});
+  for (auto& c : cases) {
+    const ImitationProtocol protocol;
+    const auto start = [&](Rng&) {
+      return bench::geometric_skew_state(c.game);
+    };
+    const auto ht =
+        bench::time_to(c.game, protocol, start,
+                       bench::stop_at_imitation_stable(), 20, 0xE2,
+                       200000);
+    const State x0 = bench::geometric_skew_state(c.game);
+    const double bound = c.game.elasticity() *
+                         static_cast<double>(c.game.num_players()) *
+                         c.game.max_latency_upper() *
+                         c.game.potential(x0) /
+                         (c.game.nu() * c.game.nu());
+    table.row()
+        .cell(c.name)
+        .cell(c.game.num_players())
+        .cell_pm(ht.mean_rounds, ht.sem, 1)
+        .cell(bound, 3)
+        .cell(ht.mean_rounds / bound, 6);
+  }
+  table.print("Part A: rounds to imitation-stability vs Theorem 4 bound");
+}
+
+void part_b() {
+  // Two links: link 0 constant c; link 1 affine x + (c − 5), so ν = 1 and
+  // ℓmax ≈ c regardless of loads. Start with 1 player on link 1: the only
+  // improving move (0→1, gain 4 − x1 > ν while x1 < 3) has migration
+  // probability ∝ gain/c, so the hitting time of the stable state (x1 = 3)
+  // grows linearly in c = Θ(ℓmax) while ν stays fixed — pseudopolynomial
+  // in the latency magnitude, exactly the Theorem 4 story.
+  Table table({"lmax (~c)", "rounds to stable", "theory (sum of waits)",
+               "ratio"});
+  const double lambda = 0.25;
+  const std::int64_t n = 64;
+  for (double c : {32.0, 64.0, 128.0, 256.0, 512.0, 1024.0}) {
+    std::vector<LatencyPtr> fns{make_constant(c), make_affine(1.0, c - 5.0)};
+    const auto game = make_singleton_game(std::move(fns), n);
+    ImitationParams params;
+    params.lambda = lambda;
+    const ImitationProtocol protocol(params);
+    // Exact expected hitting time: sum of geometric waits through the
+    // intermediate states x1 = 1, 2 (each round, each of the n−x1 players
+    // on link 0 moves independently with probability p(x1); the expected
+    // wait for the first mover is 1/(1−(1−p)^(n−x1)) ≈ 1/((n−x1)·p)).
+    double theory = 0.0;
+    for (std::int64_t x1 = 1; x1 <= 2; ++x1) {
+      const State s(game, {n - x1, x1});
+      const double p = protocol.move_probability(game, s, 0, 1);
+      const double cohort = static_cast<double>(n - x1);
+      theory += 1.0 / (1.0 - std::pow(1.0 - p, cohort));
+    }
+    const auto ht = bench::time_to(
+        game, protocol,
+        [&](Rng&) {
+          return State(game, {n - 1, 1});
+        },
+        bench::stop_at_imitation_stable(), 30, 0x2E2, 10000000, 1);
+    table.row()
+        .cell(c, 0)
+        .cell_pm(ht.mean_rounds, ht.sem, 1)
+        .cell(theory, 1)
+        .cell(ht.mean_rounds / theory, 3);
+  }
+  table.print(
+      "Part B: pseudopolynomial lower-bound instance (time grows ~ lmax)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2 / Theorem 4 — convergence to imitation-stable states in\n"
+      "pseudopolynomial time, and the matching blow-up instance.\n\n");
+  part_a();
+  std::printf("\n");
+  part_b();
+  std::printf(
+      "\nReading: Part A's measured times sit far below the worst-case "
+      "bound;\nPart B's ratio column is ~constant, i.e. hitting time scales "
+      "linearly\nwith lmax at fixed nu — the pseudopolynomial behaviour the "
+      "paper proves\nis unavoidable.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared helpers for the experiment binaries (bench/).
+//
+// Each bench binary E1..E12 regenerates one of the paper's claims as a
+// table (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// paper-vs-measured). These helpers standardize instance construction and
+// hitting-time measurement so benches stay declarative.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cid/cid.hpp"
+
+namespace cid::bench {
+
+/// Deterministic skewed start with a scale-free shape: strategy e receives
+/// a mass proportional to 2^-e (remainder to the last). Using a fixed
+/// *relative* imbalance keeps Φ(x0)/Φ* roughly constant across n, which is
+/// what Theorem 7's log(Φ0/Φ*) term wants held fixed when sweeping n.
+inline State geometric_skew_state(const CongestionGame& game) {
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  std::vector<std::int64_t> counts(k, 0);
+  std::int64_t left = game.num_players();
+  for (std::size_t e = 0; e + 1 < k && left > 0; ++e) {
+    const std::int64_t take = (left + 1) / 2;
+    counts[e] = take;
+    left -= take;
+  }
+  counts[k - 1] += left;
+  // Give every strategy at least one player so imitation can reach it
+  // (moving mass from the largest pile).
+  for (std::size_t e = 0; e < k; ++e) {
+    if (counts[e] == 0) {
+      counts[0] -= 1;
+      counts[e] = 1;
+    }
+  }
+  return State(game, std::move(counts));
+}
+
+/// m links with monomial latencies a_e·x^d, a_e spread over [1, 2].
+inline CongestionGame monomial_links_game(std::int32_t m, double degree,
+                                          std::int64_t n) {
+  std::vector<LatencyPtr> fns;
+  for (std::int32_t e = 0; e < m; ++e) {
+    const double a = 1.0 + static_cast<double>(e) / static_cast<double>(m);
+    fns.push_back(make_monomial(a, degree));
+  }
+  return make_singleton_game(std::move(fns), n);
+}
+
+struct HittingTime {
+  double mean_rounds = 0.0;
+  double sem = 0.0;
+  double fraction_converged = 1.0;
+};
+
+/// Mean rounds until `stop` fires, over independent trials, starting from
+/// `make_start(rng)`. Non-converged trials count at the cap (reported via
+/// fraction_converged).
+template <typename MakeStart>
+HittingTime time_to(const CongestionGame& game, const Protocol& protocol,
+                    const MakeStart& make_start, const StopPredicate& stop,
+                    int trials, std::uint64_t seed, std::int64_t max_rounds,
+                    std::int64_t check_interval = 1) {
+  int converged = 0;
+  const TrialSet set = run_trials(trials, seed, [&](Rng& rng) {
+    State x = make_start(rng);
+    RunOptions options;
+    options.max_rounds = max_rounds;
+    options.check_interval = check_interval;
+    const RunResult rr = run_dynamics(game, x, protocol, rng, options, stop);
+    if (rr.converged) ++converged;
+    return static_cast<double>(rr.rounds);
+  });
+  return HittingTime{set.summary.mean, set.sem,
+                     static_cast<double>(converged) /
+                         static_cast<double>(trials)};
+}
+
+inline StopPredicate stop_at_delta_eps(double delta, double eps) {
+  return [delta, eps](const CongestionGame& g, const State& s,
+                      std::int64_t) {
+    return is_delta_eps_equilibrium(g, s, delta, eps);
+  };
+}
+
+inline StopPredicate stop_at_imitation_stable() {
+  return [](const CongestionGame& g, const State& s, std::int64_t) {
+    return is_imitation_stable(g, s, g.nu());
+  };
+}
+
+inline StopPredicate stop_at_nash() {
+  return [](const CongestionGame& g, const State& s, std::int64_t) {
+    return is_nash(g, s);
+  };
+}
+
+}  // namespace cid::bench

@@ -1,0 +1,35 @@
+#include "analysis/experiment.hpp"
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+TrialSet run_trials(int trials, std::uint64_t master_seed,
+                    const TrialFn& trial) {
+  CID_ENSURE(trials >= 1, "need at least one trial");
+  CID_ENSURE(static_cast<bool>(trial), "trial function must be callable");
+  Rng master(master_seed);
+  TrialSet out;
+  out.values.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    Rng child = master.split(static_cast<std::uint64_t>(t));
+    out.values.push_back(trial(child));
+  }
+  out.summary = summarize(out.values);
+  RunningStat rs;
+  for (double v : out.values) rs.add(v);
+  out.sem = rs.sem();
+  return out;
+}
+
+double event_frequency(int trials, std::uint64_t master_seed,
+                       const TrialFn& trial) {
+  const TrialSet set = run_trials(trials, master_seed, trial);
+  int hits = 0;
+  for (double v : set.values) {
+    if (v != 0.0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace cid

@@ -1,0 +1,37 @@
+// Repeated-trial experiment harness.
+//
+// Every bench runs each configuration over several independent seeds and
+// reports mean ± s.e.m. (bootstrap CIs available for skewed statistics like
+// hitting times). Seeding discipline: a master seed is split into one
+// independent child stream per trial, so trials are reproducible and
+// order-independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cid {
+
+/// One stochastic experiment: given a trial-private Rng, produce a scalar.
+using TrialFn = std::function<double(Rng&)>;
+
+struct TrialSet {
+  std::vector<double> values;
+  Summary summary;
+  double sem = 0.0;
+};
+
+/// Runs `trials` independent repetitions. Precondition: trials >= 1.
+TrialSet run_trials(int trials, std::uint64_t master_seed,
+                    const TrialFn& trial);
+
+/// Fraction of trials for which `trial` returns a truthy (non-zero) value —
+/// used for event-probability estimates (e.g. extinction frequency).
+double event_frequency(int trials, std::uint64_t master_seed,
+                       const TrialFn& trial);
+
+}  // namespace cid

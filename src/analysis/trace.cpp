@@ -1,0 +1,58 @@
+#include "analysis/trace.hpp"
+
+#include "game/singleton.hpp"
+#include "util/assert.hpp"
+
+namespace cid {
+
+TraceRecorder::TraceRecorder(const CongestionGame& game, const State& initial,
+                             std::int64_t sample_interval)
+    : tracker_(game, initial), sample_interval_(sample_interval) {
+  CID_ENSURE(sample_interval_ >= 1, "sample interval must be >= 1");
+}
+
+RoundObserver TraceRecorder::observer() {
+  return [this](const CongestionGame& game, const State& x,
+                std::span<const Migration> moves, std::int64_t round,
+                bool final) {
+    std::int64_t movers = 0;
+    for (const Migration& mv : moves) movers += mv.count;
+    if (round % sample_interval_ == 0 || final) {
+      record(game, x, round, movers);
+    }
+    // Keep the potential tracker exact across *every* round, recorded or
+    // not (it accumulates the gain of the moves about to be applied).
+    tracker_.apply(game, x, moves);
+  };
+}
+
+void TraceRecorder::record(const CongestionGame& game, const State& x,
+                           std::int64_t round, std::int64_t movers) {
+  RoundRecord rec;
+  rec.round = round;
+  rec.potential = tracker_.value();
+  rec.average_latency = game.average_latency(x);
+  rec.plus_average_latency = game.plus_average_latency(x);
+  rec.makespan = makespan(game, x);
+  rec.movers = movers;
+  rec.support_size = static_cast<std::int32_t>(x.support().size());
+  records_.push_back(rec);
+}
+
+Table TraceRecorder::to_table() const {
+  Table table({"round", "potential", "L_av", "L+_av", "makespan", "movers",
+               "support"});
+  for (const auto& rec : records_) {
+    table.row()
+        .cell(rec.round)
+        .cell(rec.potential)
+        .cell(rec.average_latency)
+        .cell(rec.plus_average_latency)
+        .cell(rec.makespan)
+        .cell(rec.movers)
+        .cell(static_cast<std::int64_t>(rec.support_size));
+  }
+  return table;
+}
+
+}  // namespace cid

@@ -1,0 +1,57 @@
+// Per-round trajectory recording.
+//
+// TraceRecorder plugs into run_dynamics as a RoundObserver and keeps a
+// downsampled time series of the quantities the paper reasons about:
+// potential (tracked incrementally — the O(n·m) exact recomputation happens
+// once at construction and once per resync), average latencies, movers,
+// support size, and makespan. Benches dump traces via to_table().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamics/engine.hpp"
+#include "game/potential.hpp"
+#include "util/table.hpp"
+
+namespace cid {
+
+struct RoundRecord {
+  std::int64_t round = 0;
+  double potential = 0.0;
+  double average_latency = 0.0;
+  double plus_average_latency = 0.0;
+  double makespan = 0.0;
+  std::int64_t movers = 0;
+  std::int32_t support_size = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Records every `sample_interval`-th round (and always round 0 and the
+  /// final observer call).
+  TraceRecorder(const CongestionGame& game, const State& initial,
+                std::int64_t sample_interval = 1);
+
+  /// Observer to pass to run_dynamics. The recorder must outlive the run.
+  RoundObserver observer();
+
+  const std::vector<RoundRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Potential after the last observed round (tracked incrementally).
+  double current_potential() const noexcept { return tracker_.value(); }
+
+  Table to_table() const;
+
+ private:
+  void record(const CongestionGame& game, const State& x, std::int64_t round,
+              std::int64_t movers);
+
+  PotentialTracker tracker_;
+  std::int64_t sample_interval_;
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace cid

@@ -1,0 +1,148 @@
+#include "dynamics/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+namespace {
+
+/// Move probabilities out of `from` toward every strategy in `support`
+/// (the entry for `from` itself is 0). The protocol contract guarantees the
+/// sum is <= 1; we assert it (with an fp tolerance) because a violation
+/// would silently corrupt the multinomial draw.
+std::vector<double> outgoing_probabilities(
+    const CongestionGame& game, const State& x, const Protocol& protocol,
+    StrategyId from, const std::vector<StrategyId>& targets) {
+  std::vector<double> probs(targets.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    if (targets[j] == from) continue;
+    const double p = protocol.move_probability(game, x, from, targets[j]);
+    CID_ENSURE(p >= 0.0 && p <= 1.0, "protocol returned invalid probability");
+    probs[j] = p;
+    total += p;
+  }
+  CID_ENSURE(total <= 1.0 + 1e-9,
+             "protocol move probabilities exceed 1 for one player");
+  return probs;
+}
+
+RoundResult draw_round_aggregate(const CongestionGame& game, const State& x,
+                                 const Protocol& protocol, Rng& rng,
+                                 const std::vector<StrategyId>& support,
+                                 const std::vector<StrategyId>& targets) {
+  RoundResult result;
+  for (StrategyId from : support) {
+    const auto probs =
+        outgoing_probabilities(game, x, protocol, from, targets);
+    const auto counts = rng.multinomial(x.count(from), probs);
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      if (counts[j] == 0) continue;
+      result.moves.push_back(Migration{from, targets[j], counts[j]});
+      result.movers += counts[j];
+    }
+  }
+  return result;
+}
+
+RoundResult draw_round_per_player(const CongestionGame& game, const State& x,
+                                  const Protocol& protocol, Rng& rng,
+                                  const std::vector<StrategyId>& support,
+                                  const std::vector<StrategyId>& targets) {
+  // Accumulate per-(from,to) counts; the per-player draws are i.i.d. given
+  // x, so aggregation loses nothing.
+  std::vector<std::vector<std::int64_t>> tally(
+      support.size(), std::vector<std::int64_t>(targets.size(), 0));
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    const StrategyId from = support[i];
+    const auto probs =
+        outgoing_probabilities(game, x, protocol, from, targets);
+    const std::int64_t cohort = x.count(from);
+    for (std::int64_t player = 0; player < cohort; ++player) {
+      double u = rng.uniform();
+      for (std::size_t j = 0; j < targets.size(); ++j) {
+        if (u < probs[j]) {
+          ++tally[i][j];
+          break;
+        }
+        u -= probs[j];
+      }
+      // Falling through every bucket = the player stays on `from`.
+    }
+  }
+  RoundResult result;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      if (tally[i][j] == 0) continue;
+      result.moves.push_back(Migration{support[i], targets[j], tally[i][j]});
+      result.movers += tally[i][j];
+    }
+  }
+  return result;
+}
+
+/// Destination candidates: everything for protocols that can explore,
+/// support only is NOT correct in general (exploration reaches empty
+/// strategies), so we always offer the full strategy set as targets.
+/// Protocols returning 0 for unused targets (imitation) make the extra
+/// entries free in the multinomial (p = 0).
+std::vector<StrategyId> all_strategies(const CongestionGame& game) {
+  std::vector<StrategyId> ids(static_cast<std::size_t>(game.num_strategies()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<StrategyId>(i);
+  }
+  return ids;
+}
+
+}  // namespace
+
+RoundResult draw_round(const CongestionGame& game, const State& x,
+                       const Protocol& protocol, Rng& rng, EngineMode mode) {
+  const auto support = x.support();
+  const auto targets = all_strategies(game);
+  switch (mode) {
+    case EngineMode::kAggregate:
+      return draw_round_aggregate(game, x, protocol, rng, support, targets);
+    case EngineMode::kPerPlayer:
+      return draw_round_per_player(game, x, protocol, rng, support, targets);
+  }
+  CID_ENSURE(false, "unreachable engine mode");
+  return {};
+}
+
+RoundResult step_round(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng, EngineMode mode) {
+  RoundResult result = draw_round(game, x, protocol, rng, mode);
+  x.apply(game, result.moves);
+  return result;
+}
+
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options, const StopPredicate& stop,
+                       const RoundObserver& observer) {
+  CID_ENSURE(options.max_rounds >= 0, "max_rounds must be >= 0");
+  CID_ENSURE(options.check_interval >= 1, "check_interval must be >= 1");
+  RunResult result;
+  for (std::int64_t round = 0; round < options.max_rounds; ++round) {
+    if (stop && round % options.check_interval == 0 &&
+        stop(game, x, round)) {
+      result.converged = true;
+      break;
+    }
+    RoundResult rr = draw_round(game, x, protocol, rng, options.mode);
+    if (observer) observer(game, x, rr.moves, round, false);
+    x.apply(game, rr.moves);
+    result.total_movers += rr.movers;
+    ++result.rounds;
+  }
+  if (!result.converged && stop && stop(game, x, result.rounds)) {
+    result.converged = true;
+  }
+  if (observer) observer(game, x, {}, result.rounds, true);
+  return result;
+}
+
+}  // namespace cid

@@ -1,0 +1,76 @@
+// Concurrent round-based dynamics engines (paper §2.3/§3).
+//
+// Two exact implementations of one round "all n players run the protocol in
+// parallel against the same observed state x":
+//
+//   * kPerPlayer — literal: every player draws its destination from the
+//     categorical {p_PQ}_Q. O(n·|support|) per round. Ground truth.
+//   * kAggregate — cohort-level: for each origin strategy P the vector of
+//     mover counts to all destinations is one multinomial draw
+//     Multinomial(x_P; {p_PQ}_Q). Identical joint law (players are i.i.d.
+//     given x), but O(|support|²) per round, independent of n. This engine
+//     is what makes the paper's "logarithmic in n" claim (Thm 7) cheap to
+//     test at n = 10^6.
+//
+// Migrations are collected against the pre-round state and applied
+// atomically — the definition of concurrency in this model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+#include "protocols/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+enum class EngineMode { kPerPlayer, kAggregate };
+
+struct RoundResult {
+  std::vector<Migration> moves;  // aggregated, zero-count entries omitted
+  std::int64_t movers = 0;
+};
+
+/// Draws one concurrent round (without applying it).
+RoundResult draw_round(const CongestionGame& game, const State& x,
+                       const Protocol& protocol, Rng& rng, EngineMode mode);
+
+/// Draws and applies one round; returns what moved.
+RoundResult step_round(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng, EngineMode mode);
+
+/// Observer invoked once per round *before* the moves are applied (so
+/// `x` is the pre-round state; the post-round state is the next call's
+/// `x`), and once more after the final round with an empty move list and
+/// `final = true`.
+using RoundObserver = std::function<void(
+    const CongestionGame&, const State& x, std::span<const Migration> moves,
+    std::int64_t round, bool final)>;
+
+/// Stop predicate, evaluated on the current state every `check_interval`
+/// rounds (round index is the number of completed rounds).
+using StopPredicate = std::function<bool(const CongestionGame&,
+                                         const State&, std::int64_t round)>;
+
+struct RunOptions {
+  std::int64_t max_rounds = 1'000'000;
+  std::int64_t check_interval = 1;
+  EngineMode mode = EngineMode::kAggregate;
+};
+
+struct RunResult {
+  std::int64_t rounds = 0;        // rounds actually executed
+  bool converged = false;         // stop predicate fired
+  std::int64_t total_movers = 0;  // migrations summed over the run
+};
+
+/// Runs until the predicate fires or max_rounds is exhausted.
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options, const StopPredicate& stop,
+                       const RoundObserver& observer = nullptr);
+
+}  // namespace cid

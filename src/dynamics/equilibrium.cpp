@@ -1,0 +1,89 @@
+#include "dynamics/equilibrium.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+bool is_imitation_stable(const CongestionGame& game, const State& x,
+                         double nu) {
+  CID_ENSURE(nu >= 0.0, "nu must be >= 0");
+  const auto support = x.support();
+  for (StrategyId p : support) {
+    const double lp = game.strategy_latency(x, p);
+    for (StrategyId q : support) {
+      if (q == p) continue;
+      if (lp > game.expost_latency(x, p, q) + nu) return false;
+    }
+  }
+  return true;
+}
+
+double imitation_gap(const CongestionGame& game, const State& x) {
+  const auto support = x.support();
+  double gap = 0.0;
+  for (StrategyId p : support) {
+    const double lp = game.strategy_latency(x, p);
+    for (StrategyId q : support) {
+      if (q == p) continue;
+      gap = std::max(gap, lp - game.expost_latency(x, p, q));
+    }
+  }
+  return gap;
+}
+
+ApproxEqReport check_delta_eps_nu(const CongestionGame& game, const State& x,
+                                  double delta, double eps, double nu) {
+  CID_ENSURE(delta >= 0.0 && delta <= 1.0, "delta must be in [0, 1]");
+  CID_ENSURE(eps >= 0.0, "eps must be >= 0");
+  CID_ENSURE(nu >= 0.0, "nu must be >= 0");
+  ApproxEqReport report;
+  report.average_latency = game.average_latency(x);
+  report.plus_average_latency = game.plus_average_latency(x);
+  const double upper = (1.0 + eps) * report.plus_average_latency + nu;
+  const double lower = (1.0 - eps) * report.average_latency - nu;
+  const auto n = static_cast<double>(game.num_players());
+  for (StrategyId p : x.support()) {
+    const double lp = game.strategy_latency(x, p);
+    const double mass = static_cast<double>(x.count(p)) / n;
+    if (lp > upper) {
+      report.expensive_mass += mass;
+    } else if (lp < lower) {
+      report.cheap_mass += mass;
+    }
+  }
+  report.unsatisfied_mass = report.expensive_mass + report.cheap_mass;
+  report.at_equilibrium = report.unsatisfied_mass <= delta + 1e-12;
+  return report;
+}
+
+bool is_delta_eps_equilibrium(const CongestionGame& game, const State& x,
+                              double delta, double eps) {
+  return check_delta_eps_nu(game, x, delta, eps, game.nu()).at_equilibrium;
+}
+
+bool is_nash(const CongestionGame& game, const State& x) {
+  for (StrategyId p : x.support()) {
+    const double lp = game.strategy_latency(x, p);
+    for (StrategyId q = 0; q < game.num_strategies(); ++q) {
+      if (q == p) continue;
+      if (lp > game.expost_latency(x, p, q) + 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+double nash_gap(const CongestionGame& game, const State& x) {
+  double gap = 0.0;
+  for (StrategyId p : x.support()) {
+    const double lp = game.strategy_latency(x, p);
+    for (StrategyId q = 0; q < game.num_strategies(); ++q) {
+      if (q == p) continue;
+      gap = std::max(gap, lp - game.expost_latency(x, p, q));
+    }
+  }
+  return gap;
+}
+
+}  // namespace cid

@@ -1,0 +1,56 @@
+// Solution concepts (paper §2.3 and §4, Definition 1).
+//
+//   * imitation-stable: no player can improve by more than ν by copying a
+//     strategy that is currently in use (support-restricted ν-Nash);
+//   * (δ,ε,ν)-equilibrium: at most a δ-fraction of players sit on paths
+//     whose latency deviates from the (ex-post) average by more than an
+//     ε-fraction plus ν;
+//   * exact Nash: no player improves by any unilateral deviation over the
+//     *full* strategy space.
+#pragma once
+
+#include <cstdint>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+
+namespace cid {
+
+/// No used pair (P, Q) admits ℓ_P(x) > ℓ_Q(x+1_Q−1_P) + ν — equivalently,
+/// every imitation move probability is zero, so x(t+1) = x(t) w.p. 1.
+/// Pass nu = game.nu() for the protocol's own notion; nu = 0 checks
+/// support-restricted exact stability.
+bool is_imitation_stable(const CongestionGame& game, const State& x,
+                         double nu);
+
+/// Largest support-restricted unilateral improvement:
+/// max_{P used, Q used} (ℓ_P(x) − ℓ_Q(x+1_Q−1_P)), 0 if none positive.
+double imitation_gap(const CongestionGame& game, const State& x);
+
+/// Definition 1 evaluation. expensive_mass / cheap_mass are the player
+/// fractions on P⁺_{ε,ν} / P⁻_{ε,ν}; at_equilibrium iff their sum <= δ.
+struct ApproxEqReport {
+  double average_latency = 0.0;       // L_av(x)
+  double plus_average_latency = 0.0;  // L⁺_av(x)
+  double expensive_mass = 0.0;        // Σ_{P∈P⁺} x_P / n
+  double cheap_mass = 0.0;            // Σ_{P∈P⁻} x_P / n
+  double unsatisfied_mass = 0.0;      // expensive + cheap
+  bool at_equilibrium = false;
+};
+
+ApproxEqReport check_delta_eps_nu(const CongestionGame& game, const State& x,
+                                  double delta, double eps, double nu);
+
+/// Convenience wrapper using the game's own ν.
+bool is_delta_eps_equilibrium(const CongestionGame& game, const State& x,
+                              double delta, double eps);
+
+/// Exact Nash: for every used P and *every* Q in the strategy space,
+/// ℓ_P(x) <= ℓ_Q(x+1_Q−1_P).
+bool is_nash(const CongestionGame& game, const State& x);
+
+/// Largest unilateral improvement over the full strategy space
+/// (0 at a Nash equilibrium). This is the ε of ε-Nash.
+double nash_gap(const CongestionGame& game, const State& x);
+
+}  // namespace cid

@@ -1,0 +1,154 @@
+#include "dynamics/sequential.hpp"
+
+#include <array>
+
+#include "dynamics/equilibrium.hpp"
+#include "util/assert.hpp"
+
+namespace cid {
+
+namespace {
+
+constexpr double kTie = 1e-12;
+
+/// Moves one player P→Q in place.
+void move_one(const CongestionGame& game, State& x, StrategyId from,
+              StrategyId to) {
+  const std::array<Migration, 1> mv{Migration{from, to, 1}};
+  x.apply(game, mv);
+}
+
+/// Picks the strategy of a player chosen uniformly at random (strategy P is
+/// chosen with probability x_P/n).
+StrategyId random_player_strategy(const CongestionGame& game, const State& x,
+                                  Rng& rng) {
+  std::int64_t pick =
+      static_cast<std::int64_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(game.num_players())));
+  for (StrategyId p = 0; p < game.num_strategies(); ++p) {
+    pick -= x.count(p);
+    if (pick < 0) return p;
+  }
+  CID_ENSURE(false, "player index beyond population");
+  return 0;
+}
+
+}  // namespace
+
+SequentialResult run_best_response(const CongestionGame& game, State& x,
+                                   std::int64_t max_steps) {
+  SequentialResult result;
+  for (; result.steps < max_steps; ++result.steps) {
+    // Find the improvable used strategy with the highest current latency,
+    // and its best deviation.
+    StrategyId best_from = -1;
+    StrategyId best_to = -1;
+    double best_from_latency = -1.0;
+    for (StrategyId p : x.support()) {
+      const double lp = game.strategy_latency(x, p);
+      StrategyId to = -1;
+      double to_latency = lp;
+      for (StrategyId q = 0; q < game.num_strategies(); ++q) {
+        if (q == p) continue;
+        const double lq = game.expost_latency(x, p, q);
+        if (lq < to_latency - kTie) {
+          to_latency = lq;
+          to = q;
+        }
+      }
+      if (to >= 0 && lp > best_from_latency) {
+        best_from = p;
+        best_to = to;
+        best_from_latency = lp;
+      }
+    }
+    if (best_from < 0) {
+      result.converged = true;
+      break;
+    }
+    move_one(game, x, best_from, best_to);
+    ++result.moves;
+  }
+  if (!result.converged) result.converged = is_nash(game, x);
+  return result;
+}
+
+SequentialResult run_better_response(const CongestionGame& game, State& x,
+                                     Rng& rng, std::int64_t max_steps) {
+  SequentialResult result;
+  for (; result.steps < max_steps; ++result.steps) {
+    if (is_nash(game, x)) {
+      result.converged = true;
+      break;
+    }
+    const StrategyId from = random_player_strategy(game, x, rng);
+    const double lp = game.strategy_latency(x, from);
+    std::vector<StrategyId> improving;
+    for (StrategyId q = 0; q < game.num_strategies(); ++q) {
+      if (q == from) continue;
+      if (game.expost_latency(x, from, q) < lp - kTie) improving.push_back(q);
+    }
+    if (improving.empty()) continue;
+    const auto pick = rng.uniform_int(improving.size());
+    move_one(game, x, from, improving[static_cast<std::size_t>(pick)]);
+    ++result.moves;
+  }
+  return result;
+}
+
+SequentialResult run_sequential_imitation(const CongestionGame& game,
+                                          State& x, Rng& rng,
+                                          std::int64_t max_steps) {
+  SequentialResult result;
+  for (; result.steps < max_steps; ++result.steps) {
+    if (is_imitation_stable(game, x, 0.0)) {
+      result.converged = true;
+      break;
+    }
+    const StrategyId from = random_player_strategy(game, x, rng);
+    // Sample another player; with only counts available, drawing a strategy
+    // proportional to the counts-with-self-removed is an exact simulation.
+    std::int64_t pick = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(game.num_players() - 1)));
+    StrategyId to = -1;
+    for (StrategyId q = 0; q < game.num_strategies(); ++q) {
+      const std::int64_t pool = x.count(q) - (q == from ? 1 : 0);
+      pick -= pool;
+      if (pick < 0) {
+        to = q;
+        break;
+      }
+    }
+    CID_ENSURE(to >= 0, "sampled player beyond population");
+    if (to == from) continue;
+    if (game.expost_latency(x, from, to) <
+        game.strategy_latency(x, from) - kTie) {
+      move_one(game, x, from, to);
+      ++result.moves;
+    }
+  }
+  return result;
+}
+
+SequentialResult run_random_local_search(const CongestionGame& game, State& x,
+                                         Rng& rng, std::int64_t max_steps) {
+  SequentialResult result;
+  for (; result.steps < max_steps; ++result.steps) {
+    if (is_nash(game, x)) {
+      result.converged = true;
+      break;
+    }
+    const StrategyId from = random_player_strategy(game, x, rng);
+    const auto to = static_cast<StrategyId>(
+        rng.uniform_int(static_cast<std::uint64_t>(game.num_strategies())));
+    if (to == from) continue;
+    if (game.expost_latency(x, from, to) <
+        game.strategy_latency(x, from) - kTie) {
+      move_one(game, x, from, to);
+      ++result.moves;
+    }
+  }
+  return result;
+}
+
+}  // namespace cid

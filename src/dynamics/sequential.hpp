@@ -1,0 +1,57 @@
+// Sequential (one-player-per-step) baselines.
+//
+// These are the comparators the paper positions itself against (§1.2) plus
+// the sequential imitation dynamics of §3.2:
+//
+//   * best response (Rosenthal): an improving player moves to its best
+//     strategy — converges to Nash, one move per step;
+//   * better response: an improving player moves to a uniformly chosen
+//     improving strategy;
+//   * sequential imitation (§3.2): a uniformly chosen player copies a
+//     uniformly chosen *other* player's strategy if that strictly improves
+//     its latency (no ν threshold, no migration-probability scaling);
+//   * random local search (Goldberg'04-style): a uniformly chosen player
+//     samples a uniformly random strategy and moves iff it improves.
+//
+// All of them strictly decrease Rosenthal's Φ per move, hence terminate.
+#pragma once
+
+#include <cstdint>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+struct SequentialResult {
+  std::int64_t steps = 0;   // iterations consumed (including non-moves)
+  std::int64_t moves = 0;   // actual strategy changes
+  bool converged = false;   // reached the relevant stability notion
+};
+
+/// Deterministic best-response: each step moves one player from the
+/// highest-latency improvable strategy to its best deviation. Converges to
+/// exact Nash.
+SequentialResult run_best_response(const CongestionGame& game, State& x,
+                                   std::int64_t max_steps);
+
+/// Random better-response: step = pick a uniform player, then a uniform
+/// strictly-improving deviation if one exists. Converges to exact Nash
+/// (counted as converged when no player has any improving move).
+SequentialResult run_better_response(const CongestionGame& game, State& x,
+                                     Rng& rng, std::int64_t max_steps);
+
+/// Sequential imitation (§3.2): pick a uniform player and a uniform *other*
+/// player; copy iff strictly improving. Converged when imitation-stable
+/// with ν = 0 (no support-restricted improvement remains).
+SequentialResult run_sequential_imitation(const CongestionGame& game,
+                                          State& x, Rng& rng,
+                                          std::int64_t max_steps);
+
+/// Goldberg-style random local search: pick a uniform player and a uniform
+/// strategy; move iff strictly improving. Converges to exact Nash.
+SequentialResult run_random_local_search(const CongestionGame& game, State& x,
+                                         Rng& rng, std::int64_t max_steps);
+
+}  // namespace cid

@@ -1,0 +1,56 @@
+#include "game/builders.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+CongestionGame make_singleton_game(std::vector<LatencyPtr> latencies,
+                                   std::int64_t num_players) {
+  std::vector<Strategy> strategies;
+  strategies.reserve(latencies.size());
+  for (std::size_t e = 0; e < latencies.size(); ++e) {
+    strategies.push_back(Strategy{static_cast<Resource>(e)});
+  }
+  return CongestionGame(std::move(latencies), std::move(strategies),
+                        num_players);
+}
+
+CongestionGame make_network_game(const StNetwork& net,
+                                 std::vector<LatencyPtr> edge_latencies,
+                                 std::int64_t num_players,
+                                 const PathEnumerationOptions& opts) {
+  CID_ENSURE(static_cast<std::int32_t>(edge_latencies.size()) ==
+                 net.graph.num_edges(),
+             "one latency function per edge required");
+  auto paths = enumerate_st_paths(net.graph, net.source, net.sink, opts);
+  CID_ENSURE(!paths.empty(), "network has no source-sink path");
+  std::vector<Strategy> strategies;
+  strategies.reserve(paths.size());
+  for (auto& path : paths) {
+    Strategy s(path.begin(), path.end());
+    std::sort(s.begin(), s.end());
+    strategies.push_back(std::move(s));
+  }
+  return CongestionGame(std::move(edge_latencies), std::move(strategies),
+                        num_players);
+}
+
+CongestionGame make_uniform_links_game(std::int32_t m, const LatencyPtr& fn,
+                                       std::int64_t num_players) {
+  CID_ENSURE(m >= 1, "need at least one link");
+  CID_ENSURE(fn != nullptr, "null latency function");
+  std::vector<LatencyPtr> latencies(static_cast<std::size_t>(m), fn);
+  return make_singleton_game(std::move(latencies), num_players);
+}
+
+CongestionGame make_overshoot_example(double c, double a, double d,
+                                      std::int64_t num_players) {
+  std::vector<LatencyPtr> latencies;
+  latencies.push_back(make_constant(c));
+  latencies.push_back(make_monomial(a, d));
+  return make_singleton_game(std::move(latencies), num_players);
+}
+
+}  // namespace cid

@@ -1,0 +1,35 @@
+// Convenience constructors for the game families used throughout the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/congestion_game.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+
+namespace cid {
+
+/// Singleton game (§2.1): strategy i = {resource i}.
+/// Preconditions: at least one latency, n >= 1.
+CongestionGame make_singleton_game(std::vector<LatencyPtr> latencies,
+                                   std::int64_t num_players);
+
+/// Symmetric network congestion game: resources are the network's edges,
+/// strategies are all simple source-sink paths.
+/// Precondition: edge_latencies.size() == graph edge count; the network has
+/// at least one s-t path.
+CongestionGame make_network_game(const StNetwork& net,
+                                 std::vector<LatencyPtr> edge_latencies,
+                                 std::int64_t num_players,
+                                 const PathEnumerationOptions& opts = {});
+
+/// m identical parallel links with a shared latency function.
+CongestionGame make_uniform_links_game(std::int32_t m, const LatencyPtr& fn,
+                                       std::int64_t num_players);
+
+/// The paper's §2.3 overshooting example: link 1 constant c, link 2 a·x^d.
+CongestionGame make_overshoot_example(double c, double a, double d,
+                                      std::int64_t num_players);
+
+}  // namespace cid

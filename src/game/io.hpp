@@ -1,0 +1,44 @@
+// Plain-text serialization of games and states.
+//
+// A downstream user of the library needs to pin down the exact instance an
+// experiment ran on; this module gives games and states a stable,
+// human-readable, diff-able on-disk form:
+//
+//   cid-game v1
+//   players 400
+//   resources 2
+//   latency constant 10
+//   latency polynomial 2 0 1 0.5
+//   strategies 2
+//   strategy 1 0
+//   strategy 1 1
+//   end
+//
+// Supported latency classes: constant, monomial, polynomial, exponential,
+// and scaled (wrapping any of the former). Parsing is strict: any
+// unrecognized or malformed line throws with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+
+namespace cid {
+
+/// Serializes a game; inverse of parse_game. Throws for latency classes
+/// outside the supported set (e.g. user-defined subclasses).
+std::string serialize_game(const CongestionGame& game);
+CongestionGame parse_game(const std::string& text);
+
+/// Serializes per-strategy counts; the game is needed at parse time to
+/// validate dimensions.
+std::string serialize_state(const State& x);
+State parse_state(const CongestionGame& game, const std::string& text);
+
+/// File convenience wrappers.
+void save_game(const CongestionGame& game, const std::string& path);
+CongestionGame load_game(const std::string& path);
+
+}  // namespace cid

@@ -1,0 +1,45 @@
+// Linear singleton-game analysis (paper §5 / §5.1, the Price of Imitation).
+//
+// For singleton games with ℓ_e(x) = a_e·x the paper compares the dynamics'
+// outcome against the *optimal fractional assignment*
+//     x̃_e = n / (A_Γ·a_e),   A_Γ = Σ_e 1/a_e,
+// under which every link has latency n/A_Γ (the fractional optimum of the
+// average-latency social cost). A resource is "useless" if x̃_e < 1; the
+// paper's Theorem 10 assumes none exist (they would never be used by an
+// optimal solution and can be dropped).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+
+namespace cid {
+
+struct LinearSingletonAnalysis {
+  std::vector<double> coefficients;   // a_e
+  double a_gamma = 0.0;               // A_Γ = Σ 1/a_e
+  std::vector<double> fractional_opt; // x̃_e
+  double fractional_cost = 0.0;       // n / A_Γ
+  std::vector<bool> useless;          // x̃_e < 1
+  bool any_useless = false;
+};
+
+/// Precondition: game.is_singleton() and every latency is a·x (degree-1
+/// monomial or polynomial {0, a}); throws otherwise.
+LinearSingletonAnalysis analyze_linear_singleton(const CongestionGame& game);
+
+/// Social cost = average latency Σ_P (x_P/n)·ℓ_P(x) (== L_av; the paper's
+/// §5.1 measure).
+double social_cost(const CongestionGame& game, const State& x);
+
+/// Makespan = max latency over non-empty strategies.
+double makespan(const CongestionGame& game, const State& x);
+
+/// True iff some resource that was used in `before` is empty in `after`
+/// (§5 "extinction" event; for singleton games, strategy loss == resource
+/// emptying).
+bool any_resource_extinct(const State& before, const State& after);
+
+}  // namespace cid

@@ -1,0 +1,134 @@
+#include "game/state.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+State::State(const CongestionGame& game, std::vector<std::int64_t> counts)
+    : counts_(std::move(counts)), num_players_(game.num_players()) {
+  CID_ENSURE(static_cast<std::int32_t>(counts_.size()) ==
+                 game.num_strategies(),
+             "counts size must match strategy count");
+  std::int64_t total = 0;
+  for (std::int64_t c : counts_) {
+    CID_ENSURE(c >= 0, "negative strategy count");
+    total += c;
+  }
+  CID_ENSURE(total == num_players_, "counts must sum to the player count");
+  congestion_.assign(static_cast<std::size_t>(game.num_resources()), 0);
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] == 0) continue;
+    for (Resource e : game.strategy(static_cast<StrategyId>(p))) {
+      congestion_[static_cast<std::size_t>(e)] += counts_[p];
+    }
+  }
+}
+
+State State::uniform_random(const CongestionGame& game, Rng& rng) {
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  std::vector<double> probs(k, 1.0 / static_cast<double>(k));
+  auto counts = rng.multinomial(game.num_players(), probs);
+  // multinomial() treats probs as possibly summing below 1; assign any
+  // residual (floating-point shortfall) to the last strategy.
+  const std::int64_t assigned =
+      std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+  counts.back() += game.num_players() - assigned;
+  return State(game, std::move(counts));
+}
+
+State State::all_on(const CongestionGame& game, StrategyId p) {
+  CID_ENSURE(p >= 0 && p < game.num_strategies(), "strategy out of range");
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(game.num_strategies()), 0);
+  counts[static_cast<std::size_t>(p)] = game.num_players();
+  return State(game, std::move(counts));
+}
+
+State State::spread_evenly(const CongestionGame& game) {
+  const auto k = static_cast<std::int64_t>(game.num_strategies());
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(k));
+  const std::int64_t base = game.num_players() / k;
+  const std::int64_t extra = game.num_players() % k;
+  for (std::int64_t i = 0; i < k; ++i) {
+    counts[static_cast<std::size_t>(i)] = base + (i < extra ? 1 : 0);
+  }
+  return State(game, std::move(counts));
+}
+
+std::int64_t State::count(StrategyId p) const {
+  CID_ENSURE(p >= 0 && static_cast<std::size_t>(p) < counts_.size(),
+             "strategy out of range");
+  return counts_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t State::congestion(Resource e) const {
+  CID_ENSURE(e >= 0 && static_cast<std::size_t>(e) < congestion_.size(),
+             "resource out of range");
+  return congestion_[static_cast<std::size_t>(e)];
+}
+
+std::vector<StrategyId> State::support() const {
+  std::vector<StrategyId> used;
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] > 0) used.push_back(static_cast<StrategyId>(p));
+  }
+  return used;
+}
+
+void State::apply(const CongestionGame& game,
+                  std::span<const Migration> moves) {
+  // Validate against pre-application counts: total outflow per strategy must
+  // be feasible (a concurrent round's movers all depart from state x).
+  std::vector<std::int64_t> outflow(counts_.size(), 0);
+  for (const Migration& mv : moves) {
+    CID_ENSURE(mv.from >= 0 &&
+                   static_cast<std::size_t>(mv.from) < counts_.size(),
+               "migration origin out of range");
+    CID_ENSURE(mv.to >= 0 && static_cast<std::size_t>(mv.to) < counts_.size(),
+               "migration destination out of range");
+    CID_ENSURE(mv.count >= 0, "migration count must be >= 0");
+    CID_ENSURE(mv.from != mv.to, "migration must change strategy");
+    outflow[static_cast<std::size_t>(mv.from)] += mv.count;
+  }
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    CID_ENSURE(outflow[p] <= counts_[p],
+               "migration outflow exceeds strategy population");
+  }
+  for (const Migration& mv : moves) {
+    if (mv.count == 0) continue;
+    counts_[static_cast<std::size_t>(mv.from)] -= mv.count;
+    counts_[static_cast<std::size_t>(mv.to)] += mv.count;
+    // Update congestion via symmetric difference; shared resources cancel.
+    for (Resource e : game.strategy(mv.from)) {
+      congestion_[static_cast<std::size_t>(e)] -= mv.count;
+    }
+    for (Resource e : game.strategy(mv.to)) {
+      congestion_[static_cast<std::size_t>(e)] += mv.count;
+    }
+  }
+}
+
+void State::check_consistent(const CongestionGame& game) const {
+  CID_ENSURE(static_cast<std::int32_t>(counts_.size()) ==
+                 game.num_strategies(),
+             "counts size mismatch");
+  std::int64_t total = 0;
+  for (std::int64_t c : counts_) {
+    CID_ENSURE(c >= 0, "negative count");
+    total += c;
+  }
+  CID_ENSURE(total == game.num_players(), "player mass not conserved");
+  std::vector<std::int64_t> expect(
+      static_cast<std::size_t>(game.num_resources()), 0);
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    for (Resource e : game.strategy(static_cast<StrategyId>(p))) {
+      expect[static_cast<std::size_t>(e)] += counts_[p];
+    }
+  }
+  CID_ENSURE(expect == congestion_, "congestion cache out of sync");
+}
+
+}  // namespace cid

@@ -1,0 +1,75 @@
+// Game states (paper §2.1).
+//
+// Because the game is symmetric, a state is fully described by the counts
+// x_P of players per strategy; the per-resource congestions x_e are a
+// derived cache kept consistent by construction. `State` is a value type
+// that does not reference the game it came from — every method that needs
+// the game takes it explicitly, and validates dimensional agreement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "game/congestion_game.hpp"
+
+namespace cid {
+
+class Rng;
+
+/// One aggregated migration: `count` players move from strategy `from` to
+/// strategy `to`. A round of a concurrent protocol is a list of these, all
+/// evaluated against the same pre-round state.
+struct Migration {
+  StrategyId from = 0;
+  StrategyId to = 0;
+  std::int64_t count = 0;
+};
+
+class State {
+ public:
+  /// Builds a state from explicit per-strategy counts.
+  /// Preconditions: counts.size() == game.num_strategies(), all >= 0,
+  /// sum == game.num_players().
+  State(const CongestionGame& game, std::vector<std::int64_t> counts);
+
+  /// Each player picks a strategy uniformly at random (the paper's "random
+  /// initialization": per-link load is Binomial(n, 1/|P|)).
+  static State uniform_random(const CongestionGame& game, Rng& rng);
+
+  /// All n players on one strategy (worst-case-style starts).
+  static State all_on(const CongestionGame& game, StrategyId p);
+
+  /// Deterministic near-even split: strategy i gets ⌊n/k⌋ (+1 for i < n%k).
+  static State spread_evenly(const CongestionGame& game);
+
+  std::int64_t count(StrategyId p) const;
+  std::int64_t congestion(Resource e) const;
+
+  std::span<const std::int64_t> counts() const noexcept { return counts_; }
+  std::span<const std::int64_t> congestions() const noexcept {
+    return congestion_;
+  }
+
+  /// Strategies with x_P > 0, ascending. O(|strategies|) per call.
+  std::vector<StrategyId> support() const;
+
+  /// Applies a batch of migrations atomically (all validated first, against
+  /// the *pre*-application counts: Σ_{Q} moves out of P must not exceed x_P).
+  void apply(const CongestionGame& game, std::span<const Migration> moves);
+
+  /// Full O(n + m) consistency check (counts vs congestions vs n); used by
+  /// tests and debug paths.
+  void check_consistent(const CongestionGame& game) const;
+
+  friend bool operator==(const State& a, const State& b) noexcept {
+    return a.counts_ == b.counts_;
+  }
+
+ private:
+  std::vector<std::int64_t> counts_;      // x_P per strategy
+  std::vector<std::int64_t> congestion_;  // x_e per resource
+  std::int64_t num_players_ = 0;
+};
+
+}  // namespace cid

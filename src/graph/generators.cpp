@@ -1,0 +1,81 @@
+#include "graph/generators.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+StNetwork make_parallel_links(std::int32_t m) {
+  CID_ENSURE(m >= 1, "need at least one link");
+  StNetwork net{Digraph(2), 0, 1};
+  for (std::int32_t i = 0; i < m; ++i) net.graph.add_edge(0, 1);
+  return net;
+}
+
+StNetwork make_braess_network() {
+  // Vertices: 0 = s, 1 = u (top), 2 = v (bottom), 3 = t.
+  StNetwork net{Digraph(4), 0, 3};
+  net.graph.add_edge(0, 1);  // s->u
+  net.graph.add_edge(0, 2);  // s->v
+  net.graph.add_edge(1, 3);  // u->t
+  net.graph.add_edge(2, 3);  // v->t
+  net.graph.add_edge(1, 2);  // u->v (the bridge)
+  return net;
+}
+
+StNetwork make_layered_network(std::int32_t width, std::int32_t depth) {
+  CID_ENSURE(width >= 1, "layer width must be >= 1");
+  CID_ENSURE(depth >= 1, "depth must be >= 1");
+  const std::int32_t num_vertices = 2 + width * depth;
+  StNetwork net{Digraph(num_vertices), 0, 1};
+  auto layer_vertex = [&](std::int32_t layer, std::int32_t i) -> VertexId {
+    return 2 + layer * width + i;
+  };
+  for (std::int32_t i = 0; i < width; ++i) {
+    net.graph.add_edge(net.source, layer_vertex(0, i));
+  }
+  for (std::int32_t layer = 0; layer + 1 < depth; ++layer) {
+    for (std::int32_t i = 0; i < width; ++i) {
+      for (std::int32_t j = 0; j < width; ++j) {
+        net.graph.add_edge(layer_vertex(layer, i), layer_vertex(layer + 1, j));
+      }
+    }
+  }
+  for (std::int32_t i = 0; i < width; ++i) {
+    net.graph.add_edge(layer_vertex(depth - 1, i), net.sink);
+  }
+  return net;
+}
+
+StNetwork make_series_parallel(std::int32_t steps, Rng& rng) {
+  CID_ENSURE(steps >= 0, "steps must be >= 0");
+  // Build the edge list abstractly first (endpoints mutate during
+  // composition), then materialize the Digraph once.
+  struct AbstractEdge {
+    std::int32_t from, to;
+  };
+  std::vector<AbstractEdge> edges{{0, 1}};
+  std::int32_t next_vertex = 2;
+  for (std::int32_t step = 0; step < steps; ++step) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(edges.size()));
+    const AbstractEdge picked = edges[idx];
+    if (rng.bernoulli(0.5)) {
+      // Parallel composition: duplicate the edge.
+      edges.push_back(picked);
+    } else {
+      // Series composition: split the edge with a fresh middle vertex.
+      const std::int32_t mid = next_vertex++;
+      edges[idx] = {picked.from, mid};
+      edges.push_back({mid, picked.to});
+    }
+  }
+  StNetwork net{Digraph(next_vertex), 0, 1};
+  for (const auto& e : edges) net.graph.add_edge(e.from, e.to);
+  return net;
+}
+
+}  // namespace cid

@@ -1,0 +1,41 @@
+// Network generators for the experiment suite.
+//
+// Each generator returns the graph together with its source/sink so callers
+// cannot mis-wire the endpoints. These are the topologies the paper's
+// setting calls for: parallel links (singleton games), the Braess network
+// (the canonical small network game), layered networks (rich path structure
+// with bounded path count), and series-parallel compositions.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace cid {
+
+class Rng;
+
+struct StNetwork {
+  Digraph graph;
+  VertexId source = 0;
+  VertexId sink = 0;
+};
+
+/// Two vertices joined by m parallel edges: the singleton-game topology.
+StNetwork make_parallel_links(std::int32_t m);
+
+/// The classic 4-vertex Braess network (with the s-v "bridge" edge),
+/// 3 s-t paths, 5 edges.
+StNetwork make_braess_network();
+
+/// Layered network: source → width vertices per layer × depth → sink, with
+/// complete bipartite wiring between consecutive layers.
+/// Path count = width^depth; keep depth small.
+StNetwork make_layered_network(std::int32_t width, std::int32_t depth);
+
+/// Random series-parallel network built by recursive composition: starting
+/// from a single edge, repeatedly replace a uniformly chosen edge by either
+/// a series or a parallel pair (probability 1/2 each), `steps` times.
+StNetwork make_series_parallel(std::int32_t steps, Rng& rng);
+
+}  // namespace cid

@@ -1,0 +1,32 @@
+#include "graph/graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+Digraph::Digraph(std::int32_t num_vertices) {
+  CID_ENSURE(num_vertices >= 1, "graph needs at least one vertex");
+  out_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+EdgeId Digraph::add_edge(VertexId from, VertexId to) {
+  CID_ENSURE(from >= 0 && from < num_vertices(), "edge source out of range");
+  CID_ENSURE(to >= 0 && to < num_vertices(), "edge target out of range");
+  CID_ENSURE(from != to, "self-loops are not allowed");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to});
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  return id;
+}
+
+const Edge& Digraph::edge(EdgeId e) const {
+  CID_ENSURE(e >= 0 && e < num_edges(), "edge id out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<EdgeId>& Digraph::out_edges(VertexId v) const {
+  CID_ENSURE(v >= 0 && v < num_vertices(), "vertex id out of range");
+  return out_[static_cast<std::size_t>(v)];
+}
+
+}  // namespace cid

@@ -1,0 +1,47 @@
+// Directed multigraph substrate for symmetric *network* congestion games
+// (paper §2.1: strategies are the s-t paths of a directed network).
+//
+// Parallel edges are first-class (the paper's singleton games are exactly
+// two vertices joined by m parallel links), hence edges carry ids and paths
+// are edge-id sequences, not vertex sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cid {
+
+using VertexId = std::int32_t;
+using EdgeId = std::int32_t;
+
+struct Edge {
+  VertexId from = 0;
+  VertexId to = 0;
+};
+
+class Digraph {
+ public:
+  explicit Digraph(std::int32_t num_vertices);
+
+  std::int32_t num_vertices() const noexcept {
+    return static_cast<std::int32_t>(out_.size());
+  }
+  std::int32_t num_edges() const noexcept {
+    return static_cast<std::int32_t>(edges_.size());
+  }
+
+  /// Adds a directed edge and returns its id. Self-loops are rejected (they
+  /// can never appear on a simple s-t path).
+  EdgeId add_edge(VertexId from, VertexId to);
+
+  const Edge& edge(EdgeId e) const;
+
+  /// Edge ids leaving v, in insertion order.
+  const std::vector<EdgeId>& out_edges(VertexId v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+}  // namespace cid

@@ -1,0 +1,60 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+namespace {
+
+struct DfsState {
+  const Digraph& g;
+  VertexId target;
+  const PathEnumerationOptions& opts;
+  std::vector<Path>& out;
+  std::vector<bool> on_stack;
+  Path current;
+
+  void visit(VertexId v) {
+    if (v == target) {
+      CID_ENSURE(out.size() < opts.max_paths,
+                 "path enumeration exceeded max_paths cap");
+      out.push_back(current);
+      return;
+    }
+    if (opts.max_length != 0 && current.size() >= opts.max_length) return;
+    on_stack[static_cast<std::size_t>(v)] = true;
+    for (EdgeId e : g.out_edges(v)) {
+      const VertexId next = g.edge(e).to;
+      if (on_stack[static_cast<std::size_t>(next)]) continue;
+      current.push_back(e);
+      visit(next);
+      current.pop_back();
+    }
+    on_stack[static_cast<std::size_t>(v)] = false;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> enumerate_st_paths(const Digraph& g, VertexId s, VertexId t,
+                                     const PathEnumerationOptions& opts) {
+  CID_ENSURE(s >= 0 && s < g.num_vertices(), "source out of range");
+  CID_ENSURE(t >= 0 && t < g.num_vertices(), "target out of range");
+  CID_ENSURE(s != t, "source and target must differ");
+  std::vector<Path> paths;
+  DfsState dfs{g, t, opts, paths,
+               std::vector<bool>(static_cast<std::size_t>(g.num_vertices())),
+               {}};
+  dfs.visit(s);
+  return paths;
+}
+
+std::size_t max_path_length(const std::vector<Path>& paths) {
+  std::size_t best = 0;
+  for (const auto& p : paths) best = std::max(best, p.size());
+  return best;
+}
+
+}  // namespace cid

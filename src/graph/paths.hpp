@@ -1,0 +1,34 @@
+// Simple s-t path enumeration.
+//
+// Strategy spaces of network congestion games are the sets of simple s-t
+// paths; for the instance families used in the experiments these are small
+// (parallel links, Braess, shallow layered networks), so explicit
+// enumeration with an explicit cap is the right tool. The cap exists so a
+// mis-parameterized generator fails loudly instead of exhausting memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cid {
+
+using Path = std::vector<EdgeId>;
+
+struct PathEnumerationOptions {
+  /// Hard cap on the number of returned paths; exceeding it throws.
+  std::size_t max_paths = 1 << 20;
+  /// Maximum number of edges per path (0 = no limit).
+  std::size_t max_length = 0;
+};
+
+/// All simple (vertex-disjoint within themselves) s-t paths as edge-id
+/// sequences, in DFS order. Preconditions: s != t, valid vertices.
+std::vector<Path> enumerate_st_paths(const Digraph& g, VertexId s, VertexId t,
+                                     const PathEnumerationOptions& opts = {});
+
+/// Number of edges on the longest returned path, 0 for empty input.
+std::size_t max_path_length(const std::vector<Path>& paths);
+
+}  // namespace cid

@@ -1,0 +1,215 @@
+#include "lowerbound/maxcut.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace cid {
+
+MaxCutInstance::MaxCutInstance(std::vector<std::vector<double>> weights)
+    : n_(static_cast<int>(weights.size())), w_(std::move(weights)) {
+  CID_ENSURE(n_ >= 1, "MaxCut instance needs at least one node");
+  CID_ENSURE(n_ <= 31, "cut bitmask limits instances to 31 nodes");
+  for (int i = 0; i < n_; ++i) {
+    CID_ENSURE(static_cast<int>(w_[static_cast<std::size_t>(i)].size()) == n_,
+               "weight matrix must be square");
+    CID_ENSURE(w_[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] ==
+                   0.0,
+               "weight matrix diagonal must be zero");
+    for (int j = 0; j < n_; ++j) {
+      const double wij =
+          w_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      CID_ENSURE(wij >= 0.0, "weights must be non-negative");
+      CID_ENSURE(wij == w_[static_cast<std::size_t>(j)]
+                            [static_cast<std::size_t>(i)],
+                 "weight matrix must be symmetric");
+    }
+  }
+}
+
+MaxCutInstance MaxCutInstance::random(int num_nodes, double density,
+                                      int max_weight, Rng& rng) {
+  CID_ENSURE(num_nodes >= 1, "need at least one node");
+  CID_ENSURE(density >= 0.0 && density <= 1.0, "density must be in [0, 1]");
+  CID_ENSURE(max_weight >= 1, "max_weight must be >= 1");
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(num_nodes),
+      std::vector<double>(static_cast<std::size_t>(num_nodes), 0.0));
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = i + 1; j < num_nodes; ++j) {
+      if (!rng.bernoulli(density)) continue;
+      const double weight = static_cast<double>(
+          1 + rng.uniform_int(static_cast<std::uint64_t>(max_weight)));
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = weight;
+      w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = weight;
+    }
+  }
+  return MaxCutInstance(std::move(w));
+}
+
+double MaxCutInstance::weight(int i, int j) const {
+  CID_ENSURE(i >= 0 && i < n_ && j >= 0 && j < n_, "node out of range");
+  return w_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+}
+
+double MaxCutInstance::cut_value(std::uint32_t cut) const {
+  double value = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      const bool si = (cut >> i) & 1u;
+      const bool sj = (cut >> j) & 1u;
+      if (si != sj) {
+        value += w_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return value;
+}
+
+double MaxCutInstance::flip_gain(std::uint32_t cut, int i) const {
+  CID_ENSURE(i >= 0 && i < n_, "node out of range");
+  // Flipping i turns its cut edges into uncut and vice versa:
+  // gain = (weight to same side) - (weight to other side).
+  const bool si = (cut >> i) & 1u;
+  double same = 0.0, cross = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    if (j == i) continue;
+    const double wij =
+        w_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    if (wij == 0.0) continue;
+    const bool sj = (cut >> j) & 1u;
+    if (si == sj) same += wij;
+    else cross += wij;
+  }
+  return same - cross;
+}
+
+std::vector<int> MaxCutInstance::improving_flips(std::uint32_t cut) const {
+  std::vector<int> nodes;
+  for (int i = 0; i < n_; ++i) {
+    if (flip_gain(cut, i) > 0.0) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+bool MaxCutInstance::is_local_opt(std::uint32_t cut) const {
+  return improving_flips(cut).empty();
+}
+
+LocalSearchRun run_flip_local_search(const MaxCutInstance& inst,
+                                     std::uint32_t start, PivotRule rule,
+                                     Rng& rng, std::int64_t max_steps) {
+  LocalSearchRun run;
+  std::uint32_t cut = start;
+  for (; run.steps < max_steps; ++run.steps) {
+    const auto improving = inst.improving_flips(cut);
+    if (improving.empty()) {
+      run.converged = true;
+      break;
+    }
+    if (improving.size() > 1) run.unique_improver_throughout = false;
+    int chosen = improving.front();
+    switch (rule) {
+      case PivotRule::kFirstImproving:
+        break;
+      case PivotRule::kBestImproving: {
+        double best = -1.0;
+        for (int i : improving) {
+          const double g = inst.flip_gain(cut, i);
+          if (g > best) {
+            best = g;
+            chosen = i;
+          }
+        }
+        break;
+      }
+      case PivotRule::kWorstImproving: {
+        double worst = std::numeric_limits<double>::infinity();
+        for (int i : improving) {
+          const double g = inst.flip_gain(cut, i);
+          if (g < worst) {
+            worst = g;
+            chosen = i;
+          }
+        }
+        break;
+      }
+      case PivotRule::kRandomImproving:
+        chosen = improving[static_cast<std::size_t>(
+            rng.uniform_int(improving.size()))];
+        break;
+    }
+    cut ^= (1u << chosen);
+  }
+  run.final_cut = cut;
+  return run;
+}
+
+std::int64_t bfs_shortest_to_local_opt(const MaxCutInstance& inst,
+                                       std::uint32_t start) {
+  CID_ENSURE(inst.num_nodes() <= kCertifierMaxNodes,
+             "instance too large for exact certification");
+  std::unordered_map<std::uint32_t, std::int64_t> dist;
+  std::queue<std::uint32_t> frontier;
+  dist[start] = 0;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const std::uint32_t cut = frontier.front();
+    frontier.pop();
+    const auto improving = inst.improving_flips(cut);
+    if (improving.empty()) return dist[cut];
+    for (int i : improving) {
+      const std::uint32_t next = cut ^ (1u << i);
+      if (dist.emplace(next, dist[cut] + 1).second) frontier.push(next);
+    }
+  }
+  CID_ENSURE(false, "improving-flip graph must contain a local optimum");
+  return -1;
+}
+
+std::int64_t dp_longest_improvement_path(const MaxCutInstance& inst,
+                                         std::uint32_t start) {
+  CID_ENSURE(inst.num_nodes() <= kCertifierMaxNodes,
+             "instance too large for exact certification");
+  // The improving-flip graph is a DAG (cut value strictly increases), so
+  // longest path is well-defined; memoized DFS with an explicit stack.
+  std::unordered_map<std::uint32_t, std::int64_t> best;
+  struct Frame {
+    std::uint32_t cut;
+    std::vector<int> succ;
+    std::size_t next = 0;
+    std::int64_t acc = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{start, inst.improving_flips(start), 0, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < f.succ.size()) {
+      const std::uint32_t child = f.cut ^ (1u << f.succ[f.next]);
+      ++f.next;
+      const auto it = best.find(child);
+      if (it != best.end()) {
+        f.acc = std::max(f.acc, 1 + it->second);
+      } else {
+        stack.push_back(Frame{child, inst.improving_flips(child), 0, 0});
+      }
+    } else {
+      best[f.cut] = f.acc;
+      const std::uint32_t done = f.cut;
+      const std::int64_t value = f.acc;
+      stack.pop_back();
+      if (!stack.empty()) {
+        stack.back().acc = std::max(stack.back().acc, 1 + value);
+      } else {
+        return value;
+      }
+      (void)done;
+    }
+  }
+  return best[start];
+}
+
+}  // namespace cid

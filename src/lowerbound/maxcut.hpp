@@ -1,0 +1,84 @@
+// Weighted MaxCut with the FLIP neighbourhood (paper §3.2).
+//
+// Theorem 6's lower bound is built by chaining PLS reductions starting from
+// MaxCut local search. This module provides the MaxCut substrate: instances,
+// cut evaluation, improving flips, pivot-rule local search, and two exact
+// certifiers over the configuration graph (which is a DAG, since the cut
+// value strictly increases along improving flips):
+//
+//   * bfs_shortest_to_local_opt — length of the SHORTEST improving sequence
+//     from a given cut to any local optimum (what "every sequence is
+//     exponentially long" bounds from below);
+//   * dp_longest_improvement_path — length of the LONGEST improving
+//     sequence (what an adversarial pivot rule can force).
+//
+// Cuts are bitmasks (bit i set = node i on side 1); certifiers require
+// n <= kCertifierMaxNodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cid {
+
+class MaxCutInstance {
+ public:
+  /// Symmetric non-negative weights, zero diagonal.
+  explicit MaxCutInstance(std::vector<std::vector<double>> weights);
+
+  static MaxCutInstance random(int num_nodes, double density,
+                               int max_weight, Rng& rng);
+
+  int num_nodes() const noexcept { return n_; }
+  double weight(int i, int j) const;
+
+  /// Total weight of edges crossing the cut.
+  double cut_value(std::uint32_t cut) const;
+
+  /// Change of cut value if node i flips sides (positive = improving).
+  double flip_gain(std::uint32_t cut, int i) const;
+
+  std::vector<int> improving_flips(std::uint32_t cut) const;
+  bool is_local_opt(std::uint32_t cut) const;
+
+ private:
+  int n_;
+  std::vector<std::vector<double>> w_;
+};
+
+enum class PivotRule {
+  kFirstImproving,   // lowest-index improving node
+  kBestImproving,    // largest gain (ties: lowest index)
+  kWorstImproving,   // smallest positive gain (adversarial-ish)
+  kRandomImproving,  // uniform among improving nodes
+};
+
+struct LocalSearchRun {
+  std::int64_t steps = 0;
+  bool converged = false;
+  std::uint32_t final_cut = 0;
+  /// True iff at every visited non-optimal state exactly one node improved
+  /// (the property the Theorem 6 family has by construction).
+  bool unique_improver_throughout = true;
+};
+
+/// Runs FLIP local search from `start` with the given pivot rule.
+LocalSearchRun run_flip_local_search(const MaxCutInstance& inst,
+                                     std::uint32_t start, PivotRule rule,
+                                     Rng& rng, std::int64_t max_steps);
+
+inline constexpr int kCertifierMaxNodes = 22;
+
+/// Exact shortest improving sequence to any local optimum (BFS over the
+/// reachable configuration graph). Precondition: n <= kCertifierMaxNodes.
+std::int64_t bfs_shortest_to_local_opt(const MaxCutInstance& inst,
+                                       std::uint32_t start);
+
+/// Exact longest improving sequence from `start` (memoized DFS over the
+/// improving-flip DAG). Precondition: n <= kCertifierMaxNodes.
+std::int64_t dp_longest_improvement_path(const MaxCutInstance& inst,
+                                         std::uint32_t start);
+
+}  // namespace cid

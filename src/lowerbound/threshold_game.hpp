@@ -1,0 +1,154 @@
+// Threshold games and the ×3 tripling construction (paper §3.2).
+//
+// A threshold game is an *asymmetric* congestion game where player i has
+// exactly two strategies: S_out^i = {r_i} (a resource of its own) and
+// S_in^i ⊆ R_in (shared). In the quadratic games built from MaxCut, R_in
+// holds one resource r_ij per node pair.
+//
+// Latency reconstruction note. The paper states ℓ_rij(x) = a_ij·x, but that
+// is inconsistent with the arithmetic of its own tripling argument (which
+// asserts the i3 copies pay exactly 2·Σ_j a_ij more than the original
+// player, and that three copies on S_out^i pay 3·Σ_j a_ij). Both constants
+// — and the exact correspondence between threshold-game improvement steps
+// and MaxCut FLIP steps — hold for
+//
+//     ℓ_rij(x) = a_ij·(x − 1)   (0 when alone, a_ij when shared),
+//     ℓ_ri(x)  = (1/2)·Σ_{j≠i} a_ij · x,
+//
+// so that is what we implement: player i (out-latency ½W_i, W_i = Σ_j a_ij)
+// prefers S_in iff Σ_{j in} a_ij < ½W_i, which is exactly "flipping node i
+// to side `in` improves the cut".
+//
+// Tripling (Theorem 6): each player i becomes i1, i2, i3 with identical
+// strategy spaces; the out-resource latency gains an offset:
+// ℓ'_ri(x) = ½W_i·x + (3/2)W_i. Started at (i1 → S_out, i2 → S_in,
+// i3 → S_init(i)), the paper argues i1/i2 never move and the i3 players
+// replay the base game's improvement sequence — via *imitation* only,
+// since i3's alternative strategy is always occupied by a sibling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lowerbound/maxcut.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+/// Latency of a threshold-game resource as a function of integer load.
+using LoadLatency = std::function<double(std::int64_t)>;
+
+struct ThresholdPlayer {
+  std::vector<std::int32_t> in_strategy;  // resource ids, sorted
+  std::int32_t out_resource = 0;
+};
+
+class ThresholdState;
+
+class ThresholdGame {
+ public:
+  ThresholdGame(std::vector<LoadLatency> latencies,
+                std::vector<ThresholdPlayer> players);
+
+  std::int32_t num_resources() const noexcept {
+    return static_cast<std::int32_t>(latencies_.size());
+  }
+  std::int32_t num_players() const noexcept {
+    return static_cast<std::int32_t>(players_.size());
+  }
+  const ThresholdPlayer& player(std::int32_t i) const;
+  double resource_latency(std::int32_t r, std::int64_t load) const;
+
+  /// Player i's latency in state s.
+  double latency_of(const ThresholdState& s, std::int32_t i) const;
+
+  /// Player i's latency if it unilaterally switched to its other strategy.
+  double latency_if_toggled(const ThresholdState& s, std::int32_t i) const;
+
+  /// Players with a strictly improving toggle.
+  std::vector<std::int32_t> improving_players(const ThresholdState& s) const;
+
+  bool is_stable(const ThresholdState& s) const;
+
+  /// Rosenthal potential Σ_r Σ_{u=1..load_r} ℓ_r(u).
+  double potential(const ThresholdState& s) const;
+
+ private:
+  std::vector<LoadLatency> latencies_;
+  std::vector<ThresholdPlayer> players_;
+};
+
+class ThresholdState {
+ public:
+  /// in[i] = true iff player i plays S_in^i.
+  ThresholdState(const ThresholdGame& game, std::vector<bool> in);
+
+  bool plays_in(std::int32_t i) const;
+  std::int64_t load(std::int32_t r) const;
+  std::int32_t num_players() const noexcept {
+    return static_cast<std::int32_t>(in_.size());
+  }
+
+  void toggle(const ThresholdGame& game, std::int32_t i);
+
+ private:
+  std::vector<bool> in_;
+  std::vector<std::int64_t> load_;
+};
+
+// ---- Quadratic threshold games from MaxCut ----------------------------------
+
+struct QuadraticThresholdGame {
+  ThresholdGame game;
+  /// resource id of r_ij for i < j (index mapping helper).
+  std::vector<std::vector<std::int32_t>> pair_resource;
+};
+
+/// Builds the quadratic threshold game of a MaxCut instance. Player i in
+/// S_in corresponds to node i on cut side 1.
+QuadraticThresholdGame make_quadratic_threshold(const MaxCutInstance& inst);
+
+/// Translates a cut bitmask into the corresponding threshold-game state.
+ThresholdState state_from_cut(const ThresholdGame& game, std::uint32_t cut);
+
+// ---- Tripling (Theorem 6) ----------------------------------------------------
+
+struct TripledGame {
+  ThresholdGame game;
+  /// Player ids: copy(i, c) for c ∈ {0,1,2} = i1, i2, i3.
+  std::int32_t base_players = 0;
+  std::int32_t copy(std::int32_t i, std::int32_t c) const {
+    return 3 * i + c;
+  }
+};
+
+/// Triples every player of a quadratic threshold game per §3.2: identical
+/// strategy spaces, out-resource latency ½W_i·x + (3/2)W_i.
+TripledGame triple_quadratic_threshold(const MaxCutInstance& inst);
+
+/// The canonical start: i1 → S_out, i2 → S_in, i3 → (cut bit i).
+ThresholdState tripled_initial_state(const TripledGame& tg,
+                                     std::uint32_t cut);
+
+// ---- Dynamics on threshold games ---------------------------------------------
+
+struct ThresholdRun {
+  std::int64_t steps = 0;
+  bool converged = false;
+  bool unique_improver_throughout = true;
+};
+
+/// Sequential better-response with the first-improving pivot rule.
+ThresholdRun run_threshold_best_response(const ThresholdGame& game,
+                                         ThresholdState& s,
+                                         std::int64_t max_steps);
+
+/// Sequential *imitation* (§3.2): a player may toggle only if some other
+/// player with the same strategy space currently uses the target strategy
+/// (in the tripled game: a sibling). Any strict improvement is taken;
+/// first-improving pivot order over players.
+ThresholdRun run_tripled_imitation(const TripledGame& tg, ThresholdState& s,
+                                   std::int64_t max_steps);
+
+}  // namespace cid

@@ -1,0 +1,36 @@
+// Protocol interface consumed by the dynamics engines.
+//
+// Both of the paper's protocols are two-stage (sample a target, then accept
+// with a gain-dependent probability), executed independently by every player
+// in parallel. For simulation, only the *marginal* per-player law matters:
+//
+//   p_PQ(x) = P[a fixed player on P ends the round on Q | state x],
+//
+// which is what move_probability returns. The per-player engine draws each
+// player's destination from this categorical directly (exactly the protocol
+// law, with the two sampling stages marginalized out); the aggregate engine
+// draws the whole origin-strategy cohort as one multinomial — identical
+// joint law, since players act independently given x.
+#pragma once
+
+#include <string>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+
+namespace cid {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Marginal probability that a single player currently on `from` migrates
+  /// to `to` (!= from) this round, given the full pre-round state.
+  /// Must satisfy Σ_{to != from} move_probability(..) <= 1 for every state.
+  virtual double move_probability(const CongestionGame& game, const State& x,
+                                  StrategyId from, StrategyId to) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cid

@@ -1,0 +1,39 @@
+// Always-on invariant checking for libcid.
+//
+// CID_ENSURE is used for preconditions on public APIs and for internal
+// invariants whose violation indicates a programming error. It throws
+// (rather than aborting) so that tests can assert on misuse, and it is kept
+// enabled in release builds: the simulations in this library are long-running
+// stochastic processes where silent state corruption would invalidate every
+// downstream measurement.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cid {
+
+class invariant_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CID_ENSURE failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_violation(os.str());
+}
+}  // namespace detail
+
+}  // namespace cid
+
+#define CID_ENSURE(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::cid::detail::ensure_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,102 @@
+// Deterministic random-number substrate for the dynamics engines.
+//
+// The concurrent engines draw very large numbers of Bernoulli/binomial/
+// multinomial variates per round; std::mt19937_64 plus the standard
+// distributions would work but ties reproducibility to a particular
+// standard-library version. We therefore ship our own generator
+// (xoshiro256++, seeded via SplitMix64) and our own exact samplers:
+//
+//   * binomial(n, p): exact for all n, p. Three regimes: direct Bernoulli
+//     summation for small n, CDF inversion for small mean, and the BTRS
+//     transformed-rejection sampler (Hormann, 1993) for large mean.
+//   * multinomial(n, probs): sequential conditional binomials.
+//
+// All samplers are exact (not approximations): the concurrent round law of
+// the aggregate engine must equal the per-player protocol law exactly, which
+// the tests verify statistically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace cid {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// (Public so seeding discipline is testable and reusable.)
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// 2^128 jump: produces a generator whose stream is disjoint from the
+  /// parent for 2^128 draws. Used to derive independent per-trial streams.
+  void jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Convenience facade bundling the generator with the samplers the
+/// simulation engines need. Cheap to copy; copying forks the stream state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) noexcept : gen_(seed) {}
+
+  /// Derive an independent child stream (seed ^ golden-ratio mixing of key).
+  [[nodiscard]] Rng split(std::uint64_t key) noexcept;
+
+  std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// Precondition: bound > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Bernoulli(p), exact for p in [0, 1]; p outside is clamped.
+  bool bernoulli(double p) noexcept;
+
+  /// Exact Binomial(n, p). Precondition: n >= 0, 0 <= p <= 1 (clamped).
+  std::int64_t binomial(std::int64_t n, double p);
+
+  /// Exact multinomial: distributes n trials over probs (which may sum to
+  /// s <= 1; the remaining mass 1-s is an implicit "no event" category whose
+  /// count is not returned). Returns counts aligned with probs.
+  std::vector<std::int64_t> multinomial(std::int64_t n,
+                                        std::span<const double> probs);
+
+  /// Uniform element index from non-empty weights (linear scan).
+  std::size_t categorical(std::span<const double> weights);
+
+  Xoshiro256pp& generator() noexcept { return gen_; }
+
+ private:
+  std::int64_t binomial_inversion(std::int64_t n, double p);
+  std::int64_t binomial_btrs(std::int64_t n, double p);
+
+  Xoshiro256pp gen_;
+};
+
+}  // namespace cid

@@ -1,0 +1,137 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+void RunningStat::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::sem() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  CID_ENSURE(!xs.empty(), "quantile of empty sample");
+  CID_ENSURE(q >= 0.0 && q <= 1.0, "quantile level out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  CID_ENSURE(!xs.empty(), "summarize of empty sample");
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  Summary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.q25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.50);
+  s.q75 = quantile(xs, 0.75);
+  return s;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  CID_ENSURE(xs.size() == ys.size(), "linear_fit size mismatch");
+  CID_ENSURE(xs.size() >= 2, "linear_fit needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  CID_ENSURE(sxx > 0.0, "linear_fit requires non-constant x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit log_log_fit(std::span<const double> xs,
+                      std::span<const double> ys) {
+  CID_ENSURE(xs.size() == ys.size(), "log_log_fit size mismatch");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    CID_ENSURE(xs[i] > 0.0 && ys[i] > 0.0,
+               "log_log_fit requires positive data");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, double level,
+                              int resamples, Rng& rng) {
+  CID_ENSURE(!xs.empty(), "bootstrap of empty sample");
+  CID_ENSURE(level > 0.0 && level < 1.0, "bootstrap level out of range");
+  CID_ENSURE(resamples > 0, "bootstrap needs resamples > 0");
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sum += xs[rng.uniform_int(xs.size())];
+    }
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  return {quantile(means, alpha), quantile(means, 1.0 - alpha)};
+}
+
+double chi_square_statistic(std::span<const double> observed,
+                            std::span<const double> expected) {
+  CID_ENSURE(observed.size() == expected.size() && !observed.empty(),
+             "chi_square size mismatch");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    CID_ENSURE(expected[i] > 0.0, "chi_square expected counts must be > 0");
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+}  // namespace cid

@@ -1,0 +1,23 @@
+// Minimal wall-clock timer for bench harness self-reporting.
+#pragma once
+
+#include <chrono>
+
+namespace cid {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace cid

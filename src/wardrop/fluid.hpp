@@ -1,0 +1,96 @@
+// Fluid (infinite-population / expected-flow) limit of the imitation
+// dynamics.
+//
+// The paper's closest relative is the Wardrop-model analysis of Fischer,
+// Räcke, Vöcking [15], where an infinite population of infinitesimal agents
+// follows the same sample-and-switch rule and the dynamics are
+// deterministic. This module provides that counterpart for our atomic
+// protocol: one fluid round moves the *expected* flow
+//
+//     flow(P→Q) = x_P · p_PQ(x)
+//
+// where p_PQ is exactly the atomic protocol's marginal move probability
+// evaluated at the (now real-valued) state. Two uses:
+//
+//   * law-of-large-numbers validation: the stochastic trajectory at player
+//     count n should track the fluid trajectory with deviations O(1/√n)
+//     (bench E14 measures this);
+//   * fast qualitative exploration: fluid rounds are deterministic and
+//     cheap, and they decrease the continuous (Beckmann) potential
+//     Φ_c(x) = Σ_e ∫_0^{x_e} ℓ_e(u) du.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "game/congestion_game.hpp"
+#include "protocols/imitation.hpp"
+
+namespace cid {
+
+class State;
+
+/// Real-valued analogue of State: mass per strategy (sums to n), congestion
+/// per resource derived.
+class FluidState {
+ public:
+  FluidState(const CongestionGame& game, std::vector<double> mass);
+
+  /// Copies the integer counts of a State.
+  static FluidState from_state(const CongestionGame& game, const State& x);
+
+  /// Mass spread evenly (n/k per strategy).
+  static FluidState spread_evenly(const CongestionGame& game);
+
+  double mass(StrategyId p) const;
+  double congestion(Resource e) const;
+  std::span<const double> masses() const noexcept { return mass_; }
+
+  /// Strategies with mass above a tiny threshold.
+  std::vector<StrategyId> support(double threshold = 1e-12) const;
+
+ private:
+  friend FluidState fluid_round(const CongestionGame&, const FluidState&,
+                                const ImitationParams&);
+  std::vector<double> mass_;
+  std::vector<double> congestion_;
+};
+
+/// ℓ_P at a fluid state.
+double fluid_strategy_latency(const CongestionGame& game, const FluidState& x,
+                              StrategyId p);
+
+/// ℓ_Q(x + 1_Q − 1_P) at a fluid state (the mover still has unit size:
+/// atomic granularity is preserved in the limit we take, only randomness is
+/// averaged out).
+double fluid_expost_latency(const CongestionGame& game, const FluidState& x,
+                            StrategyId from, StrategyId to);
+
+/// The atomic protocol's marginal move probability evaluated at real x
+/// (sampling term x_Q/n; the −1 self-exclusion vanishes in the limit).
+double fluid_move_probability(const CongestionGame& game, const FluidState& x,
+                              const ImitationParams& params, StrategyId from,
+                              StrategyId to);
+
+/// One deterministic expected-flow round; returns the successor state.
+FluidState fluid_round(const CongestionGame& game, const FluidState& x,
+                       const ImitationParams& params);
+
+/// Continuous Rosenthal potential Φ_c(x) = Σ_e ∫_0^{x_e} ℓ_e(u) du
+/// (Gauss–Legendre quadrature; exact for polynomials up to degree 15).
+double fluid_potential(const CongestionGame& game, const FluidState& x);
+
+/// L_av at a fluid state.
+double fluid_average_latency(const CongestionGame& game, const FluidState& x);
+
+/// Definition 1 evaluated with masses instead of counts.
+bool fluid_is_delta_eps_nu(const CongestionGame& game, const FluidState& x,
+                           double delta, double eps, double nu);
+
+/// Max per-resource congestion deviation |x_e − y_e| / n between a fluid
+/// state and an integer state (the E14 tracking metric).
+double fluid_state_distance(const CongestionGame& game, const FluidState& f,
+                            const State& s);
+
+}  // namespace cid

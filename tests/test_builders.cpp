@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "game/builders.hpp"
+#include "game/state.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+namespace {
+
+TEST(Builders, UniformLinksShareOneFunctionObject) {
+  const auto fn = make_linear(2.0);
+  const auto game = make_uniform_links_game(4, fn, 8);
+  for (Resource e = 0; e < 4; ++e) {
+    EXPECT_EQ(&game.latency(e), fn.get());
+  }
+  EXPECT_TRUE(game.is_singleton());
+}
+
+TEST(Builders, OvershootExampleShape) {
+  const auto game = make_overshoot_example(100.0, 2.0, 3.0, 50);
+  ASSERT_EQ(game.num_resources(), 2);
+  EXPECT_DOUBLE_EQ(game.latency(0).value(17.0), 100.0);   // constant c
+  EXPECT_DOUBLE_EQ(game.latency(1).value(2.0), 16.0);     // 2*x^3
+  EXPECT_DOUBLE_EQ(game.elasticity(), 3.0);
+}
+
+TEST(Builders, BraessStrategiesAreTheThreePaths) {
+  const auto net = make_braess_network();
+  std::vector<LatencyPtr> fns(5, make_linear(1.0));
+  const auto game = make_network_game(net, std::move(fns), 6);
+  ASSERT_EQ(game.num_strategies(), 3);
+  // Edge ids: 0 s->u, 1 s->v, 2 u->t, 3 v->t, 4 u->v. Expected path edge
+  // sets (sorted): {0,2}, {1,3}, {0,3,4}.
+  std::vector<Strategy> expected{{0, 2}, {0, 3, 4}, {1, 3}};
+  std::vector<Strategy> actual;
+  for (StrategyId p = 0; p < 3; ++p) actual.push_back(game.strategy(p));
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Builders, NetworkGameCongestionMatchesPathUsage) {
+  const auto net = make_braess_network();
+  std::vector<LatencyPtr> fns(5, make_linear(1.0));
+  const auto game = make_network_game(net, std::move(fns), 9);
+  // Find the bridge path (3 edges) and load everyone on it.
+  StrategyId bridge = -1;
+  for (StrategyId p = 0; p < game.num_strategies(); ++p) {
+    if (game.strategy(p).size() == 3) bridge = p;
+  }
+  ASSERT_GE(bridge, 0);
+  const State x = State::all_on(game, bridge);
+  for (Resource e : game.strategy(bridge)) {
+    EXPECT_EQ(x.congestion(e), 9);
+  }
+  std::int64_t total_on_edges = 0;
+  for (Resource e = 0; e < 5; ++e) total_on_edges += x.congestion(e);
+  EXPECT_EQ(total_on_edges, 27);  // 9 players x 3 edges
+}
+
+TEST(Builders, SeriesParallelGamesAreWellFormed) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto net = make_series_parallel(12, rng);
+    std::vector<LatencyPtr> fns;
+    for (EdgeId e = 0; e < net.graph.num_edges(); ++e) {
+      fns.push_back(make_linear(1.0 + 0.1 * static_cast<double>(e)));
+    }
+    const auto game = make_network_game(net, std::move(fns), 20);
+    EXPECT_GE(game.num_strategies(), 1);
+    // Every strategy must be a genuine s-t path: starts at source's
+    // out-edges and is connected; we verify via congestion consistency of
+    // an arbitrary state instead of re-walking the graph.
+    Rng r2(7);
+    const State x = State::uniform_random(game, r2);
+    x.check_consistent(game);
+  }
+}
+
+TEST(Builders, NetworkGamePathCapApplies) {
+  const auto net = make_layered_network(4, 4);  // 256 paths
+  std::vector<LatencyPtr> fns;
+  for (EdgeId e = 0; e < net.graph.num_edges(); ++e) {
+    fns.push_back(make_linear(1.0));
+  }
+  PathEnumerationOptions opts;
+  opts.max_paths = 100;
+  EXPECT_THROW(make_network_game(net, std::move(fns), 5, opts),
+               invariant_violation);
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,152 @@
+// Fluid-limit tests: mass conservation, Beckmann-potential monotonicity,
+// agreement of the fluid round with the atomic engine's expectation, and
+// law-of-large-numbers tracking as n grows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dynamics/engine.hpp"
+#include "game/builders.hpp"
+#include "protocols/imitation.hpp"
+#include "util/assert.hpp"
+#include "wardrop/fluid.hpp"
+
+namespace cid {
+namespace {
+
+TEST(FluidState, ConstructionAndDerivedCongestion) {
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_linear(1.0),
+                              make_linear(1.0)};
+  CongestionGame game(std::move(fns), {{0, 1}, {1, 2}}, 10);
+  const FluidState x(game, {6.5, 3.5});
+  EXPECT_DOUBLE_EQ(x.congestion(0), 6.5);
+  EXPECT_DOUBLE_EQ(x.congestion(1), 10.0);
+  EXPECT_DOUBLE_EQ(x.congestion(2), 3.5);
+  EXPECT_THROW(FluidState(game, {6.0, 3.0}), invariant_violation);
+  EXPECT_THROW(FluidState(game, {-1.0, 11.0}), invariant_violation);
+}
+
+TEST(FluidState, FromStateMatchesCounts) {
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 9);
+  const State s(game, {5, 3, 1});
+  const FluidState f = FluidState::from_state(game, s);
+  for (StrategyId p = 0; p < 3; ++p) {
+    EXPECT_DOUBLE_EQ(f.mass(p), static_cast<double>(s.count(p)));
+  }
+  EXPECT_DOUBLE_EQ(fluid_state_distance(game, f, s), 0.0);
+}
+
+TEST(FluidRound, ConservesMass) {
+  const auto game = make_uniform_links_game(4, make_monomial(1.0, 2.0), 100);
+  ImitationParams params;
+  FluidState x(game, {70.0, 15.0, 10.0, 5.0});
+  for (int round = 0; round < 50; ++round) {
+    x = fluid_round(game, x, params);
+    double total = 0.0;
+    for (StrategyId p = 0; p < 4; ++p) {
+      ASSERT_GE(x.mass(p), -1e-9);
+      total += x.mass(p);
+    }
+    ASSERT_NEAR(total, 100.0, 1e-6);
+  }
+}
+
+TEST(FluidRound, MatchesAtomicExpectation) {
+  // One fluid round == expected one atomic round (same marginal law).
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 1000);
+  ImitationParams params;
+  params.convention = SamplingConvention::kIncludeSelf;  // fluid uses x_Q/n
+  const ImitationProtocol protocol(params);
+  const State s0(game, {700, 300});
+  const FluidState f0 = FluidState::from_state(game, s0);
+  const FluidState f1 = fluid_round(game, f0, params);
+
+  Rng rng(5);
+  double mean0 = 0.0;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    const RoundResult rr =
+        draw_round(game, s0, protocol, rng, EngineMode::kAggregate);
+    State y = s0;
+    y.apply(game, rr.moves);
+    mean0 += static_cast<double>(y.count(0));
+  }
+  mean0 /= kTrials;
+  // s.d. of the mean ≈ sqrt(700·p)/sqrt(trials) — generous 5σ tolerance.
+  EXPECT_NEAR(f1.mass(0), mean0, 0.5);
+}
+
+TEST(FluidPotential, ExactForLinearAndQuadratic) {
+  // Beckmann potential of a·x on load L is a·L²/2; of a·x² it is a·L³/3.
+  std::vector<LatencyPtr> fns{make_linear(2.0), make_monomial(3.0, 2.0)};
+  const auto game = make_singleton_game(std::move(fns), 10);
+  const FluidState x(game, {4.0, 6.0});
+  EXPECT_NEAR(fluid_potential(game, x),
+              2.0 * 16.0 / 2.0 + 3.0 * 216.0 / 3.0, 1e-9);
+}
+
+TEST(FluidPotential, DecreasesAlongFluidDynamics) {
+  const auto game = make_uniform_links_game(4, make_monomial(1.0, 3.0), 200);
+  ImitationParams params;
+  FluidState x(game, {140.0, 30.0, 20.0, 10.0});
+  double phi = fluid_potential(game, x);
+  for (int round = 0; round < 100; ++round) {
+    x = fluid_round(game, x, params);
+    const double next = fluid_potential(game, x);
+    ASSERT_LE(next, phi + 1e-9) << "round " << round;
+    phi = next;
+  }
+}
+
+TEST(FluidRound, StochasticTrajectoryTracksFluid) {
+  // LLN: max-congestion deviation after T rounds shrinks ~ 1/sqrt(n).
+  ImitationParams params;
+  params.convention = SamplingConvention::kIncludeSelf;
+  const ImitationProtocol protocol(params);
+  const int kRounds = 30;
+  double prev_err = 1e9;
+  for (std::int64_t n : {std::int64_t{100}, std::int64_t{10000}}) {
+    const auto game = make_uniform_links_game(4, make_linear(1.0), n);
+    std::vector<double> mass{0.7 * static_cast<double>(n),
+                             0.15 * static_cast<double>(n),
+                             0.1 * static_cast<double>(n),
+                             0.05 * static_cast<double>(n)};
+    std::vector<std::int64_t> counts;
+    std::int64_t assigned = 0;
+    for (double m : mass) {
+      counts.push_back(static_cast<std::int64_t>(m));
+      assigned += counts.back();
+    }
+    counts[0] += n - assigned;
+    FluidState f(game, mass);
+    double err_acc = 0.0;
+    const int kTrials = 20;
+    for (int t = 0; t < kTrials; ++t) {
+      Rng rng(77 + static_cast<std::uint64_t>(t));
+      State s(game, counts);
+      FluidState ft = f;
+      double worst = 0.0;
+      for (int round = 0; round < kRounds; ++round) {
+        step_round(game, s, protocol, rng, EngineMode::kAggregate);
+        ft = fluid_round(game, ft, params);
+        worst = std::max(worst, fluid_state_distance(game, ft, s));
+      }
+      err_acc += worst;
+    }
+    const double err = err_acc / kTrials;
+    EXPECT_LT(err, prev_err * 0.5)
+        << "deviation should shrink substantially with n";
+    prev_err = err;
+  }
+}
+
+TEST(FluidEquilibrium, DetectsBalancedStates) {
+  const auto game = make_uniform_links_game(4, make_linear(1.0), 100);
+  EXPECT_TRUE(fluid_is_delta_eps_nu(game, FluidState::spread_evenly(game),
+                                    0.0, 0.1, 0.0));
+  const FluidState skew(game, {70.0, 10.0, 10.0, 10.0});
+  EXPECT_FALSE(fluid_is_delta_eps_nu(game, skew, 0.1, 0.05, 0.0));
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/paths.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+namespace {
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g(3);
+  const EdgeId e0 = g.add_edge(0, 1);
+  const EdgeId e1 = g.add_edge(1, 2);
+  const EdgeId e2 = g.add_edge(0, 1);  // parallel edge allowed
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge(e0).to, 1);
+  EXPECT_EQ(g.edge(e1).from, 1);
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(0)[1], e2);
+  EXPECT_THROW(g.add_edge(0, 0), invariant_violation);
+  EXPECT_THROW(g.add_edge(0, 5), invariant_violation);
+  EXPECT_THROW(g.edge(99), invariant_violation);
+}
+
+TEST(Paths, ParallelLinksEnumerateAllEdges) {
+  const auto net = make_parallel_links(5);
+  const auto paths = enumerate_st_paths(net.graph, net.source, net.sink);
+  EXPECT_EQ(paths.size(), 5u);
+  for (const auto& p : paths) EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Paths, BraessHasThreePaths) {
+  const auto net = make_braess_network();
+  const auto paths = enumerate_st_paths(net.graph, net.source, net.sink);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_EQ(max_path_length(paths), 3u);  // s->u->v->t
+}
+
+TEST(Paths, LayeredCountsMatchFormula) {
+  const auto net = make_layered_network(3, 2);
+  const auto paths = enumerate_st_paths(net.graph, net.source, net.sink);
+  // width^depth routes through layers.
+  EXPECT_EQ(paths.size(), 9u);
+  for (const auto& p : paths) EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(Paths, RespectsMaxPathsCap) {
+  const auto net = make_layered_network(4, 3);  // 64 paths
+  PathEnumerationOptions opts;
+  opts.max_paths = 10;
+  EXPECT_THROW(enumerate_st_paths(net.graph, net.source, net.sink, opts),
+               invariant_violation);
+}
+
+TEST(Paths, RespectsMaxLength) {
+  const auto net = make_braess_network();
+  PathEnumerationOptions opts;
+  opts.max_length = 2;
+  const auto paths =
+      enumerate_st_paths(net.graph, net.source, net.sink, opts);
+  EXPECT_EQ(paths.size(), 2u);  // the 3-edge bridge path is pruned
+}
+
+TEST(Paths, AvoidsCycles) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // back edge creates a cycle
+  g.add_edge(1, 2);
+  const auto paths = enumerate_st_paths(g, 0, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 2u);
+}
+
+TEST(Paths, RejectsBadEndpoints) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(enumerate_st_paths(g, 0, 0), invariant_violation);
+  EXPECT_THROW(enumerate_st_paths(g, 0, 9), invariant_violation);
+}
+
+TEST(Generators, SeriesParallelAlwaysHasPath) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto net = make_series_parallel(15, rng);
+    const auto paths = enumerate_st_paths(net.graph, net.source, net.sink);
+    EXPECT_GE(paths.size(), 1u);
+    // Series-parallel edge count: starts at 1, +1 per step.
+    EXPECT_EQ(net.graph.num_edges(), 16);
+  }
+}
+
+TEST(Generators, RejectInvalidSizes) {
+  EXPECT_THROW(make_parallel_links(0), invariant_violation);
+  EXPECT_THROW(make_layered_network(0, 1), invariant_violation);
+  EXPECT_THROW(make_layered_network(1, 0), invariant_violation);
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "game/builders.hpp"
+#include "game/io.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+namespace {
+
+void expect_games_equal(const CongestionGame& a, const CongestionGame& b) {
+  ASSERT_EQ(a.num_players(), b.num_players());
+  ASSERT_EQ(a.num_resources(), b.num_resources());
+  ASSERT_EQ(a.num_strategies(), b.num_strategies());
+  for (StrategyId s = 0; s < a.num_strategies(); ++s) {
+    EXPECT_EQ(a.strategy(s), b.strategy(s));
+  }
+  // Latency equality via sampled values.
+  for (Resource e = 0; e < a.num_resources(); ++e) {
+    for (double x : {0.0, 1.0, 2.5, 7.0, 100.0}) {
+      EXPECT_NEAR(a.latency(e).value(x), b.latency(e).value(x),
+                  1e-12 * (1.0 + a.latency(e).value(x)))
+          << "resource " << e << " at x=" << x;
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.elasticity(), b.elasticity());
+  EXPECT_DOUBLE_EQ(a.nu(), b.nu());
+}
+
+TEST(GameIo, RoundTripsAllLatencyClasses) {
+  std::vector<LatencyPtr> fns{
+      make_constant(3.5),
+      make_monomial(2.0, 3.0),
+      make_polynomial({1.0, 0.0, 0.25}),
+      make_exponential(2.0, 0.125),
+      make_scaled(make_monomial(1.5, 2.0), 100),
+  };
+  CongestionGame game(std::move(fns), {{0, 1}, {1, 2, 3}, {4}}, 42);
+  const std::string text = serialize_game(game);
+  const CongestionGame parsed = parse_game(text);
+  expect_games_equal(game, parsed);
+  // Serialization is stable (idempotent round trip).
+  EXPECT_EQ(serialize_game(parsed), text);
+}
+
+TEST(GameIo, RoundTripsNetworkGame) {
+  const auto game = make_uniform_links_game(6, make_linear(1.25), 1000);
+  expect_games_equal(game, parse_game(serialize_game(game)));
+}
+
+TEST(GameIo, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_game(""), invariant_violation);
+  EXPECT_THROW(parse_game("not-a-game v1\n"), invariant_violation);
+  EXPECT_THROW(parse_game("cid-game v2\n"), invariant_violation);
+  EXPECT_THROW(parse_game("cid-game v1\nplayers 5\n"), invariant_violation);
+  EXPECT_THROW(parse_game("cid-game v1\nplayers 5\nresources 1\n"
+                          "latency bogus 1\n"),
+               invariant_violation);
+  EXPECT_THROW(parse_game("cid-game v1\nplayers 5\nresources 1\n"
+                          "latency constant 1\nstrategies 1\n"
+                          "strategy 1 0\n"),  // missing 'end'
+               invariant_violation);
+  // Semantic validation still applies (resource out of range).
+  EXPECT_THROW(parse_game("cid-game v1\nplayers 5\nresources 1\n"
+                          "latency constant 1\nstrategies 1\n"
+                          "strategy 1 3\nend\n"),
+               invariant_violation);
+}
+
+TEST(GameIo, ParseErrorsMentionLineNumbers) {
+  try {
+    parse_game("cid-game v1\nplayers 5\nresources 1\nlatency bogus 1\n");
+    FAIL() << "expected parse error";
+  } catch (const invariant_violation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StateIo, RoundTrips) {
+  const auto game = make_uniform_links_game(4, make_linear(1.0), 10);
+  const State x(game, {4, 3, 2, 1});
+  const State parsed = parse_state(game, serialize_state(x));
+  EXPECT_TRUE(x == parsed);
+}
+
+TEST(StateIo, ValidatesDimensionAndMass) {
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 10);
+  EXPECT_THROW(parse_state(game, "cid-state v1\ncounts 2 5 5\n"),
+               invariant_violation);
+  EXPECT_THROW(parse_state(game, "cid-state v1\ncounts 3 5 5 5\n"),
+               invariant_violation);  // sums to 15 != 10
+}
+
+TEST(GameIo, FileRoundTrip) {
+  const auto game = make_uniform_links_game(3, make_monomial(2.0, 2.0), 64);
+  const std::string path = "/tmp/cid_io_test_game.txt";
+  save_game(game, path);
+  const CongestionGame loaded = load_game(path);
+  expect_games_equal(game, loaded);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_game("/nonexistent/dir/game.txt"), invariant_violation);
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,234 @@
+// Unit and statistical tests for the RNG substrate. Exactness of the
+// binomial/multinomial samplers is load-bearing for the whole reproduction
+// (the aggregate engine's round law is built out of them), so the moment and
+// goodness-of-fit tolerances here are deliberately tight.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cid {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference values from the public-domain splitmix64 with seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro256pp, DeterministicPerSeed) {
+  Xoshiro256pp a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    // Different seeds should diverge almost surely.
+    if (va != c()) return;
+  }
+  FAIL() << "seeds 123 and 124 produced identical 100-draw streams";
+}
+
+TEST(Xoshiro256pp, JumpChangesStream) {
+  Xoshiro256pp a(7), b(7);
+  b.jump();
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++agree;
+  }
+  EXPECT_LT(agree, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndMean) {
+  Rng rng(2);
+  const std::uint64_t bound = 17;
+  double sum = 0.0;
+  const int kDraws = 200000;
+  std::vector<double> counts(bound, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.uniform_int(bound);
+    ASSERT_LT(v, bound);
+    counts[v] += 1.0;
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kDraws, 8.0, 0.05);
+  // Chi-square uniformity: 16 dof, reject-at-1e-6 threshold ~ 56.
+  std::vector<double> expected(bound,
+                               static_cast<double>(kDraws) /
+                                   static_cast<double>(bound));
+  EXPECT_LT(chi_square_statistic(counts, expected), 56.0);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(4);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100);
+  EXPECT_THROW(rng.binomial(-1, 0.5), invariant_violation);
+}
+
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  // Covers all three sampler regimes: Bernoulli sum (n<=32), inversion
+  // (np < 12), and BTRS (np >= 12), plus the p > 1/2 reflection.
+  const auto [n, p] = GetParam();
+  Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(n));
+  const int kDraws = 60000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto k = rng.binomial(n, p);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, n);
+    const auto kd = static_cast<double>(k);
+    sum += kd;
+    sumsq += kd * kd;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  const double true_mean = static_cast<double>(n) * p;
+  const double true_var = static_cast<double>(n) * p * (1.0 - p);
+  const double mean_tol = 6.0 * std::sqrt(true_var / kDraws) + 1e-9;
+  EXPECT_NEAR(mean, true_mean, mean_tol) << "n=" << n << " p=" << p;
+  EXPECT_NEAR(var, true_var, 0.08 * true_var + 0.01) << "n=" << n
+                                                     << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMoments,
+    ::testing::Values(BinomialCase{10, 0.3},        // Bernoulli sum
+                      BinomialCase{31, 0.5},        // Bernoulli sum boundary
+                      BinomialCase{1000, 0.001},    // inversion, tiny mean
+                      BinomialCase{500, 0.01},      // inversion
+                      BinomialCase{200, 0.4},       // BTRS
+                      BinomialCase{100000, 0.25},   // BTRS large n
+                      BinomialCase{1000, 0.97},     // reflection + inversion
+                      BinomialCase{5000, 0.75}));   // reflection + BTRS
+
+TEST(Rng, BinomialDistributionChiSquare) {
+  // Goodness-of-fit for Binomial(40, 0.3) over a binned support.
+  Rng rng(99);
+  const std::int64_t n = 40;
+  const double p = 0.3;
+  const int kDraws = 100000;
+  std::vector<double> observed(41, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    observed[static_cast<std::size_t>(rng.binomial(n, p))] += 1.0;
+  }
+  // Exact pmf via recurrence.
+  std::vector<double> pmf(41);
+  pmf[0] = std::pow(1.0 - p, static_cast<double>(n));
+  for (int k = 1; k <= 40; ++k) {
+    pmf[static_cast<std::size_t>(k)] =
+        pmf[static_cast<std::size_t>(k - 1)] * (p / (1.0 - p)) *
+        static_cast<double>(n - k + 1) / static_cast<double>(k);
+  }
+  // Merge bins with expectation < 10 into neighbours (standard practice).
+  std::vector<double> obs_binned, exp_binned;
+  double o_acc = 0.0, e_acc = 0.0;
+  for (int k = 0; k <= 40; ++k) {
+    o_acc += observed[static_cast<std::size_t>(k)];
+    e_acc += pmf[static_cast<std::size_t>(k)] * kDraws;
+    if (e_acc >= 10.0) {
+      obs_binned.push_back(o_acc);
+      exp_binned.push_back(e_acc);
+      o_acc = e_acc = 0.0;
+    }
+  }
+  if (e_acc > 0.0) {
+    obs_binned.back() += o_acc;
+    exp_binned.back() += e_acc;
+  }
+  const double stat = chi_square_statistic(obs_binned, exp_binned);
+  // dof ~ bins-1 (~20); 1e-6-level rejection threshold ~ 60.
+  EXPECT_LT(stat, 60.0);
+}
+
+TEST(Rng, MultinomialConservesTrialsAndMeans) {
+  Rng rng(5);
+  const std::vector<double> probs{0.1, 0.2, 0.3, 0.15};  // sums to 0.75
+  const std::int64_t n = 10000;
+  std::vector<double> mean(probs.size(), 0.0);
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto counts = rng.multinomial(n, probs);
+    ASSERT_EQ(counts.size(), probs.size());
+    std::int64_t total = 0;
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      ASSERT_GE(counts[j], 0);
+      total += counts[j];
+      mean[j] += static_cast<double>(counts[j]);
+    }
+    ASSERT_LE(total, n);  // residual mass stays put
+  }
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    EXPECT_NEAR(mean[j] / kDraws, static_cast<double>(n) * probs[j],
+                0.02 * static_cast<double>(n) * probs[j] + 1.0);
+  }
+}
+
+TEST(Rng, MultinomialFullMassConservesExactly) {
+  Rng rng(6);
+  const std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  for (int i = 0; i < 200; ++i) {
+    const auto counts = rng.multinomial(1000, probs);
+    std::int64_t total = 0;
+    for (auto c : counts) total += c;
+    EXPECT_EQ(total, 1000);
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(7);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.categorical(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+  EXPECT_THROW(rng.categorical(std::vector<double>{}), invariant_violation);
+  EXPECT_THROW(rng.categorical(std::vector<double>{0.0, 0.0}),
+               invariant_violation);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStreams) {
+  Rng parent(11);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++agree;
+  }
+  EXPECT_EQ(agree, 0);
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "dynamics/equilibrium.hpp"
+#include "dynamics/sequential.hpp"
+#include "game/builders.hpp"
+#include "game/potential.hpp"
+#include "graph/generators.hpp"
+
+namespace cid {
+namespace {
+
+CongestionGame braess_game(std::int64_t n) {
+  const auto net = make_braess_network();
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_constant(5.0),
+                              make_constant(5.0), make_linear(1.0),
+                              make_constant(0.1)};
+  return make_network_game(net, std::move(fns), n);
+}
+
+TEST(BestResponse, ConvergesToNashOnSingleton) {
+  const auto game = make_uniform_links_game(4, make_linear(1.0), 16);
+  State x = State::all_on(game, 0);
+  const auto result = run_best_response(game, x, 1000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_nash(game, x));
+  EXPECT_EQ(x.count(0), 4);  // perfectly balanced
+  EXPECT_GT(result.moves, 0);
+}
+
+TEST(BestResponse, ConvergesOnBraess) {
+  const auto game = braess_game(10);
+  State x = State::all_on(game, 0);
+  const auto result = run_best_response(game, x, 10000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_nash(game, x));
+}
+
+TEST(BestResponse, PotentialStrictlyDecreasesPerMove) {
+  const auto game = braess_game(12);
+  State x = State::all_on(game, 1);
+  double phi = game.potential(x);
+  for (int step = 0; step < 100; ++step) {
+    State before = x;
+    const auto result = run_best_response(game, x, 1);
+    if (result.moves == 0) break;
+    const double phi_next = game.potential(x);
+    EXPECT_LT(phi_next, phi);
+    phi = phi_next;
+  }
+}
+
+TEST(BestResponse, NashIsFixedPoint) {
+  const auto game = make_uniform_links_game(4, make_linear(1.0), 16);
+  State x(game, {4, 4, 4, 4});
+  const auto result = run_best_response(game, x, 100);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.moves, 0);
+  EXPECT_EQ(result.steps, 0);
+}
+
+TEST(BetterResponse, ConvergesToNash) {
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 9);
+  Rng rng(1);
+  State x = State::all_on(game, 0);
+  const auto result = run_better_response(game, x, rng, 100000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_nash(game, x));
+}
+
+TEST(SequentialImitation, ReachesImitationStableNotNecessarilyNash) {
+  // Start with the cheap link unused: imitation can never discover it.
+  std::vector<LatencyPtr> fns{make_linear(4.0), make_linear(4.0),
+                              make_linear(1.0)};
+  const auto game = make_singleton_game(std::move(fns), 12);
+  Rng rng(2);
+  State x(game, {12, 0, 0});
+  const auto result = run_sequential_imitation(game, x, rng, 100000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_imitation_stable(game, x, 0.0));
+  EXPECT_EQ(x.count(2), 0);  // still undiscovered
+}
+
+TEST(SequentialImitation, BalancesUsedStrategies) {
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 10);
+  Rng rng(3);
+  State x(game, {9, 1});
+  const auto result = run_sequential_imitation(game, x, rng, 100000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(x.count(0), 5);
+  EXPECT_EQ(x.count(1), 5);
+  EXPECT_GE(result.moves, 4);
+}
+
+TEST(RandomLocalSearch, ConvergesToNashAndExplores) {
+  // Unlike imitation, Goldberg-style sampling finds the unused cheap link.
+  std::vector<LatencyPtr> fns{make_linear(4.0), make_linear(4.0),
+                              make_linear(1.0)};
+  const auto game = make_singleton_game(std::move(fns), 12);
+  Rng rng(4);
+  State x(game, {12, 0, 0});
+  const auto result = run_random_local_search(game, x, rng, 1000000);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(is_nash(game, x));
+  EXPECT_GT(x.count(2), 0);
+}
+
+TEST(Sequential, AllDynamicsRespectMassConservation) {
+  const auto game = braess_game(15);
+  Rng rng(5);
+  State x1 = State::all_on(game, 0);
+  run_best_response(game, x1, 100);
+  x1.check_consistent(game);
+  State x2 = State::all_on(game, 0);
+  run_better_response(game, x2, rng, 100);
+  x2.check_consistent(game);
+  State x3 = State::all_on(game, 0);
+  run_sequential_imitation(game, x3, rng, 100);
+  x3.check_consistent(game);
+  State x4 = State::all_on(game, 0);
+  run_random_local_search(game, x4, rng, 100);
+  x4.check_consistent(game);
+}
+
+}  // namespace
+}  // namespace cid

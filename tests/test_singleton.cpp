@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "game/builders.hpp"
+#include "game/singleton.hpp"
+#include "util/assert.hpp"
+
+namespace cid {
+namespace {
+
+TEST(LinearSingleton, AnalysisClosedForms) {
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_linear(2.0),
+                              make_linear(4.0)};
+  const auto game = make_singleton_game(std::move(fns), 70);
+  const auto a = analyze_linear_singleton(game);
+  EXPECT_DOUBLE_EQ(a.a_gamma, 1.0 + 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(a.fractional_cost, 70.0 / 1.75);  // = 40
+  // x̃_e = n/(A·a_e) : 40, 20, 10 — each link at latency 40.
+  EXPECT_DOUBLE_EQ(a.fractional_opt[0], 40.0);
+  EXPECT_DOUBLE_EQ(a.fractional_opt[1], 20.0);
+  EXPECT_DOUBLE_EQ(a.fractional_opt[2], 10.0);
+  EXPECT_FALSE(a.any_useless);
+}
+
+TEST(LinearSingleton, FractionalOptimumHasEqualLatencies) {
+  std::vector<LatencyPtr> fns{make_linear(3.0), make_linear(5.0),
+                              make_linear(7.0)};
+  const auto game = make_singleton_game(std::move(fns), 100);
+  const auto a = analyze_linear_singleton(game);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_NEAR(a.coefficients[e] * a.fractional_opt[e], a.fractional_cost,
+                1e-9);
+  }
+}
+
+TEST(LinearSingleton, DetectsUselessResources) {
+  // A huge coefficient makes x̃ < 1.
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_linear(1000.0)};
+  const auto game = make_singleton_game(std::move(fns), 3);
+  const auto a = analyze_linear_singleton(game);
+  EXPECT_TRUE(a.any_useless);
+  EXPECT_FALSE(a.useless[0]);
+  EXPECT_TRUE(a.useless[1]);
+}
+
+TEST(LinearSingleton, AcceptsPolynomialFormRejectsOthers) {
+  // {0, a} polynomial counts as linear.
+  std::vector<LatencyPtr> ok{make_polynomial({0.0, 2.0}), make_linear(1.0)};
+  EXPECT_NO_THROW(
+      analyze_linear_singleton(make_singleton_game(std::move(ok), 4)));
+  std::vector<LatencyPtr> affine{make_affine(1.0, 1.0), make_linear(1.0)};
+  EXPECT_THROW(
+      analyze_linear_singleton(make_singleton_game(std::move(affine), 4)),
+      invariant_violation);
+  std::vector<LatencyPtr> quad{make_monomial(1.0, 2.0), make_linear(1.0)};
+  EXPECT_THROW(
+      analyze_linear_singleton(make_singleton_game(std::move(quad), 4)),
+      invariant_violation);
+}
+
+TEST(LinearSingleton, RejectsNonSingletonGames) {
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_linear(1.0)};
+  CongestionGame game(std::move(fns), {{0, 1}}, 4);
+  EXPECT_THROW(analyze_linear_singleton(game), invariant_violation);
+}
+
+TEST(SocialCost, EqualsAverageLatency) {
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 10);
+  const State x(game, {7, 3});
+  EXPECT_DOUBLE_EQ(social_cost(game, x), 5.8);
+  EXPECT_DOUBLE_EQ(makespan(game, x), 7.0);
+}
+
+TEST(Makespan, IgnoresEmptyStrategies) {
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_constant(99.0)};
+  const auto game = make_singleton_game(std::move(fns), 5);
+  const State x(game, {5, 0});
+  EXPECT_DOUBLE_EQ(makespan(game, x), 5.0);
+}
+
+TEST(Extinction, DetectedOnlyWhenUsedBecomesEmpty) {
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 9);
+  State before(game, {3, 3, 3});
+  State after_ok(game, {4, 3, 2});
+  State after_bad(game, {6, 3, 0});
+  EXPECT_FALSE(any_resource_extinct(before, after_ok));
+  EXPECT_TRUE(any_resource_extinct(before, after_bad));
+  // A resource empty in both states is not an extinction event.
+  State before2(game, {6, 3, 0});
+  State after2(game, {5, 4, 0});
+  EXPECT_FALSE(any_resource_extinct(before2, after2));
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "game/builders.hpp"
+#include "game/state.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+namespace {
+
+TEST(State, ConstructionValidates) {
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 10);
+  EXPECT_NO_THROW(State(game, {4, 3, 3}));
+  EXPECT_THROW(State(game, {4, 3}), invariant_violation);       // size
+  EXPECT_THROW(State(game, {4, 3, 4}), invariant_violation);    // sum
+  EXPECT_THROW(State(game, {-1, 8, 3}), invariant_violation);   // negative
+}
+
+TEST(State, CongestionDerivedFromCounts) {
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_linear(1.0),
+                              make_linear(1.0)};
+  CongestionGame game(std::move(fns), {{0, 1}, {1, 2}}, 5);
+  const State x(game, {3, 2});
+  EXPECT_EQ(x.congestion(0), 3);
+  EXPECT_EQ(x.congestion(1), 5);
+  EXPECT_EQ(x.congestion(2), 2);
+  x.check_consistent(game);
+}
+
+TEST(State, Initializers) {
+  const auto game = make_uniform_links_game(4, make_linear(1.0), 10);
+  Rng rng(1);
+  const State u = State::uniform_random(game, rng);
+  u.check_consistent(game);
+
+  const State a = State::all_on(game, 2);
+  EXPECT_EQ(a.count(2), 10);
+  EXPECT_EQ(a.support(), (std::vector<StrategyId>{2}));
+
+  const State e = State::spread_evenly(game);
+  EXPECT_EQ(e.count(0), 3);  // 10 = 3+3+2+2
+  EXPECT_EQ(e.count(1), 3);
+  EXPECT_EQ(e.count(2), 2);
+  EXPECT_EQ(e.count(3), 2);
+}
+
+TEST(State, UniformRandomIsApproximatelyBalanced) {
+  const auto game = make_uniform_links_game(5, make_linear(1.0), 100000);
+  Rng rng(2);
+  const State x = State::uniform_random(game, rng);
+  for (StrategyId p = 0; p < 5; ++p) {
+    EXPECT_NEAR(static_cast<double>(x.count(p)), 20000.0, 1000.0);
+  }
+}
+
+TEST(State, ApplyMovesMass) {
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 10);
+  State x(game, {5, 5, 0});
+  const std::array<Migration, 2> moves{Migration{0, 2, 2},
+                                       Migration{1, 0, 1}};
+  x.apply(game, moves);
+  EXPECT_EQ(x.count(0), 4);
+  EXPECT_EQ(x.count(1), 4);
+  EXPECT_EQ(x.count(2), 2);
+  x.check_consistent(game);
+}
+
+TEST(State, ApplyValidatesAgainstPreState) {
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 10);
+  State x(game, {6, 4});
+  // 7 out of strategy 0 is infeasible even though 0 also receives 5.
+  const std::array<Migration, 2> moves{Migration{0, 1, 7},
+                                       Migration{1, 0, 4}};
+  EXPECT_THROW(x.apply(game, moves), invariant_violation);
+  // Unchanged after failed apply (validation happens before mutation).
+  EXPECT_EQ(x.count(0), 6);
+  x.check_consistent(game);
+}
+
+TEST(State, ApplyRejectsMalformedMigrations) {
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 4);
+  State x(game, {2, 2});
+  EXPECT_THROW(
+      x.apply(game, std::array<Migration, 1>{Migration{0, 0, 1}}),
+      invariant_violation);
+  EXPECT_THROW(
+      x.apply(game, std::array<Migration, 1>{Migration{0, 1, -2}}),
+      invariant_violation);
+  EXPECT_THROW(
+      x.apply(game, std::array<Migration, 1>{Migration{0, 9, 1}}),
+      invariant_violation);
+}
+
+TEST(State, ApplyConcurrentSwapIsOrderFree) {
+  // A full swap 0->1 and 1->0 is feasible concurrently.
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 10);
+  State x(game, {6, 4});
+  const std::array<Migration, 2> moves{Migration{0, 1, 6},
+                                       Migration{1, 0, 4}};
+  x.apply(game, moves);
+  EXPECT_EQ(x.count(0), 4);
+  EXPECT_EQ(x.count(1), 6);
+}
+
+TEST(State, SharedResourceCongestionCancels) {
+  std::vector<LatencyPtr> fns{make_linear(1.0), make_linear(1.0),
+                              make_linear(1.0)};
+  CongestionGame game(std::move(fns), {{0, 1}, {1, 2}}, 5);
+  State x(game, {3, 2});
+  x.apply(game, std::array<Migration, 1>{Migration{0, 1, 2}});
+  EXPECT_EQ(x.congestion(0), 1);
+  EXPECT_EQ(x.congestion(1), 5);  // shared resource unchanged
+  EXPECT_EQ(x.congestion(2), 4);
+  x.check_consistent(game);
+}
+
+TEST(State, EqualityByCounts) {
+  const auto game = make_uniform_links_game(2, make_linear(1.0), 4);
+  EXPECT_TRUE(State(game, {2, 2}) == State(game, {2, 2}));
+  EXPECT_FALSE(State(game, {3, 1}) == State(game, {2, 2}));
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace cid {
+namespace {
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.sem(), rs.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStat, DegenerateCases) {
+  RunningStat rs;
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(3.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.sem(), 0.0);
+  EXPECT_EQ(rs.mean(), 3.0);
+}
+
+TEST(Quantile, InterpolatesType7) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), invariant_violation);
+  EXPECT_THROW(quantile(xs, 1.5), invariant_violation);
+}
+
+TEST(Summarize, FiveNumberSummary) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  EXPECT_THROW(
+      linear_fit(std::vector<double>{1.0}, std::vector<double>{1.0}),
+      invariant_violation);
+  EXPECT_THROW(linear_fit(std::vector<double>{1.0, 1.0},
+                          std::vector<double>{1.0, 2.0}),
+               invariant_violation);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.7));
+  }
+  const LinearFit fit = log_log_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.7, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+  EXPECT_THROW(log_log_fit(std::vector<double>{0.0, 1.0},
+                           std::vector<double>{1.0, 2.0}),
+               invariant_violation);
+}
+
+TEST(Bootstrap, CiContainsTruthForWellBehavedSample) {
+  Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(5.0 + rng.uniform());
+  const BootstrapCi ci = bootstrap_mean_ci(xs, 0.95, 2000, rng);
+  EXPECT_LT(ci.lo, 5.5);
+  EXPECT_GT(ci.hi, 5.5);
+  EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(ChiSquare, ZeroForPerfectFit) {
+  const std::vector<double> obs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(obs, obs), 0.0);
+  EXPECT_THROW(chi_square_statistic(obs, std::vector<double>{1.0, 2.0}),
+               invariant_violation);
+}
+
+}  // namespace
+}  // namespace cid

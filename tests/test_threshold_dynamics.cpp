@@ -1,0 +1,133 @@
+// Additional depth on the Theorem 6 machinery: potential monotonicity of
+// threshold-game dynamics, the exactness of the ×3 construction's latency
+// offsets, and behaviour of the forced (unique-improver) runs.
+#include <gtest/gtest.h>
+
+#include "lowerbound/maxcut.hpp"
+#include "lowerbound/threshold_game.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+namespace {
+
+TEST(ThresholdDynamics, PotentialStrictlyDecreasesPerToggle) {
+  Rng rng(1);
+  const auto inst = MaxCutInstance::random(7, 0.7, 9, rng);
+  const auto qt = make_quadratic_threshold(inst);
+  ThresholdState s = state_from_cut(qt.game, 0);
+  double phi = qt.game.potential(s);
+  for (int step = 0; step < 10000; ++step) {
+    const auto improving = qt.game.improving_players(s);
+    if (improving.empty()) break;
+    s.toggle(qt.game, improving.front());
+    const double next = qt.game.potential(s);
+    ASSERT_LT(next, phi);
+    phi = next;
+  }
+  EXPECT_TRUE(qt.game.is_stable(s));
+}
+
+TEST(ThresholdDynamics, TripledPotentialDecreasesUnderImitation) {
+  Rng rng(2);
+  const auto inst = MaxCutInstance::random(6, 0.8, 9, rng);
+  const auto tg = triple_quadratic_threshold(inst);
+  ThresholdState s = tripled_initial_state(tg, 0b101010 & 0b111111);
+  double phi = tg.game.potential(s);
+  for (int step = 0; step < 10000; ++step) {
+    ThresholdState before = s;
+    const auto run = run_tripled_imitation(tg, s, 1);
+    if (run.converged) break;
+    const double next = tg.game.potential(s);
+    ASSERT_LT(next, phi);
+    phi = next;
+  }
+}
+
+TEST(Tripled, LatencyOffsetsMatchThePaper) {
+  // §3.2's arithmetic, verified exactly on the canonical start:
+  //  * i3's latency = base player's latency + 2·Σ_j a_ij on both strategies;
+  //  * all three copies on S_out would pay 3·Σ_j a_ij;
+  //  * i2 on S_in with i1,i3 out pays at most 2·Σ_j a_ij.
+  Rng rng(3);
+  const auto inst = MaxCutInstance::random(5, 1.0, 7, rng);
+  const auto qt = make_quadratic_threshold(inst);
+  const auto tg = triple_quadratic_threshold(inst);
+  for (std::uint32_t cut = 0; cut < 32; ++cut) {
+    const ThresholdState base = state_from_cut(qt.game, cut);
+    const ThresholdState trip = tripled_initial_state(tg, cut);
+    for (int i = 0; i < 5; ++i) {
+      double wi = 0.0;
+      for (int j = 0; j < 5; ++j) wi += inst.weight(i, j);
+      const double base_lat = qt.game.latency_of(base, i);
+      const double trip_lat = tg.game.latency_of(trip, tg.copy(i, 2));
+      EXPECT_NEAR(trip_lat, base_lat + 2.0 * wi, 1e-9)
+          << "cut=" << cut << " i=" << i;
+    }
+  }
+  // All-three-on-S_out latency = 3W_i (probe by moving i2 and i3 out).
+  {
+    ThresholdState s = tripled_initial_state(tg, 0);  // i3 out already
+    const int i = 0;
+    double wi = 0.0;
+    for (int j = 0; j < 5; ++j) wi += inst.weight(i, j);
+    s.toggle(tg.game, tg.copy(i, 1));  // i2 joins S_out: load 3 on r_i
+    EXPECT_NEAR(tg.game.latency_of(s, tg.copy(i, 0)), 3.0 * wi, 1e-9);
+    // i2 back on S_in with both others out: at most 2W_i.
+    s.toggle(tg.game, tg.copy(i, 1));
+    EXPECT_LE(tg.game.latency_of(s, tg.copy(i, 1)), 2.0 * wi + 1e-9);
+  }
+}
+
+TEST(ThresholdDynamics, ForcedRunsReportUniqueness) {
+  // Path 0-1 (weight 4), 1-2 (weight 1), start {0 in, 1 out, 2 out}:
+  // only node 2 improves (join cost 0 < T_2 = 0.5), and after it joins the
+  // state is stable — so the run reports unique improvers throughout.
+  MaxCutInstance inst({{0.0, 4.0, 0.0},
+                       {4.0, 0.0, 1.0},
+                       {0.0, 1.0, 0.0}});
+  const auto qt = make_quadratic_threshold(inst);
+  ThresholdState s = state_from_cut(qt.game, 0b001);
+  const auto run = run_threshold_best_response(qt.game, s, 100);
+  EXPECT_TRUE(run.converged);
+  EXPECT_TRUE(run.unique_improver_throughout);
+  EXPECT_EQ(run.steps, 1);
+  EXPECT_TRUE(qt.game.is_stable(s));
+  EXPECT_TRUE(s.plays_in(2));
+}
+
+TEST(ThresholdDynamics, AllOutStartHasEveryIncidentNodeImproving) {
+  // Complement of the uniqueness test: from the all-out cut, every node
+  // with positive incident weight wants in (cost 0 < T_i = W_i/2 > 0).
+  MaxCutInstance inst({{0.0, 5.0}, {5.0, 0.0}});
+  const auto qt = make_quadratic_threshold(inst);
+  const ThresholdState s = state_from_cut(qt.game, 0);
+  EXPECT_EQ(qt.game.improving_players(s).size(), 2u);
+}
+
+TEST(ThresholdDynamics, StateFromCutRoundTripsBits) {
+  Rng rng(4);
+  const auto inst = MaxCutInstance::random(6, 0.5, 4, rng);
+  const auto qt = make_quadratic_threshold(inst);
+  for (std::uint32_t cut = 0; cut < 64; ++cut) {
+    const ThresholdState s = state_from_cut(qt.game, cut);
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(s.plays_in(i), static_cast<bool>((cut >> i) & 1u));
+    }
+  }
+}
+
+TEST(ThresholdDynamics, ZeroWeightNodesAreIndifferent) {
+  // A node with no incident weight has W_i = 0: both strategies cost 0, so
+  // it never improves and never blocks stability.
+  MaxCutInstance inst({{0.0, 3.0, 0.0},
+                       {3.0, 0.0, 0.0},
+                       {0.0, 0.0, 0.0}});
+  const auto qt = make_quadratic_threshold(inst);
+  ThresholdState s = state_from_cut(qt.game, 0);
+  const auto run = run_threshold_best_response(qt.game, s, 100);
+  EXPECT_TRUE(run.converged);
+  EXPECT_LE(run.steps, 2);
+}
+
+}  // namespace
+}  // namespace cid

@@ -1,0 +1,202 @@
+// cid_sim — command-line driver for the dynamics in this library.
+//
+//   cid_sim --game FILE [--protocol imitation|exploration|combined]
+//           [--lambda L] [--no-nu] [--no-damping] [--virtual V]
+//           [--rounds N] [--seed S] [--engine aggregate|perplayer]
+//           [--start uniform|even|all:K] [--stop stable|nash|deltaeps:D,E]
+//           [--trace-every K] [--csv PATH]
+//
+// Loads a game in the cid-game v1 text format (see src/game/io.hpp;
+// cid_gen writes such files), runs the chosen protocol, prints a trace
+// table and a final report, and optionally dumps the trace as CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cid/cid.hpp"
+
+namespace {
+
+using namespace cid;
+
+[[noreturn]] void usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: cid_sim --game FILE [options]\n"
+      "  --protocol P    imitation (default) | exploration | combined\n"
+      "  --lambda L      migration scale, default 0.25\n"
+      "  --no-nu         drop the nu gain cutoff (Theorem 9 regime)\n"
+      "  --no-damping    drop the 1/d damping (overshoot ablation)\n"
+      "  --virtual V     virtual agents per strategy (section 6)\n"
+      "  --rounds N      round cap, default 100000\n"
+      "  --seed S        RNG seed, default 1\n"
+      "  --engine E      aggregate (default) | perplayer\n"
+      "  --start S       uniform (default) | even | all:K\n"
+      "  --stop C        stable (default) | nash | deltaeps:D,E\n"
+      "  --trace-every K sample the trace every K rounds, default 10\n"
+      "  --csv PATH      also write the trace as CSV\n");
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+struct Options {
+  std::string game_path;
+  std::string protocol = "imitation";
+  double lambda = 0.25;
+  bool no_nu = false;
+  bool no_damping = false;
+  std::int64_t virtual_agents = 0;
+  std::int64_t rounds = 100000;
+  std::uint64_t seed = 1;
+  EngineMode engine = EngineMode::kAggregate;
+  std::string start = "uniform";
+  std::string stop = "stable";
+  std::int64_t trace_every = 10;
+  std::string csv_path;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing value for flag");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") usage(nullptr);
+    else if (flag == "--game") opt.game_path = need_value(i);
+    else if (flag == "--protocol") opt.protocol = need_value(i);
+    else if (flag == "--lambda") opt.lambda = std::atof(need_value(i));
+    else if (flag == "--no-nu") opt.no_nu = true;
+    else if (flag == "--no-damping") opt.no_damping = true;
+    else if (flag == "--virtual") opt.virtual_agents = std::atoll(need_value(i));
+    else if (flag == "--rounds") opt.rounds = std::atoll(need_value(i));
+    else if (flag == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+    } else if (flag == "--engine") {
+      const std::string v = need_value(i);
+      if (v == "aggregate") opt.engine = EngineMode::kAggregate;
+      else if (v == "perplayer") opt.engine = EngineMode::kPerPlayer;
+      else usage("unknown engine");
+    } else if (flag == "--start") opt.start = need_value(i);
+    else if (flag == "--stop") opt.stop = need_value(i);
+    else if (flag == "--trace-every") {
+      opt.trace_every = std::atoll(need_value(i));
+    } else if (flag == "--csv") opt.csv_path = need_value(i);
+    else usage(("unknown flag: " + flag).c_str());
+  }
+  if (opt.game_path.empty()) usage("--game is required");
+  if (opt.lambda <= 0.0 || opt.lambda > 1.0) usage("lambda out of (0,1]");
+  if (opt.trace_every < 1) usage("--trace-every must be >= 1");
+  return opt;
+}
+
+std::unique_ptr<Protocol> build_protocol(const Options& opt) {
+  ImitationParams ip;
+  ip.lambda = opt.lambda;
+  ip.nu_cutoff = !opt.no_nu;
+  ip.damping = !opt.no_damping;
+  ip.virtual_agents = opt.virtual_agents;
+  ExplorationParams ep;
+  ep.lambda = opt.lambda;
+  if (opt.protocol == "imitation") {
+    return std::make_unique<ImitationProtocol>(ip);
+  }
+  if (opt.protocol == "exploration") {
+    return std::make_unique<ExplorationProtocol>(ep);
+  }
+  if (opt.protocol == "combined") {
+    return std::make_unique<CombinedProtocol>(ip, ep, 0.5);
+  }
+  usage("unknown protocol");
+}
+
+State build_start(const Options& opt, const CongestionGame& game, Rng& rng) {
+  if (opt.start == "uniform") return State::uniform_random(game, rng);
+  if (opt.start == "even") return State::spread_evenly(game);
+  if (opt.start.rfind("all:", 0) == 0) {
+    const auto k = static_cast<StrategyId>(std::atoi(opt.start.c_str() + 4));
+    if (k < 0 || k >= game.num_strategies()) usage("all:K out of range");
+    return State::all_on(game, k);
+  }
+  usage("unknown start");
+}
+
+StopPredicate build_stop(const Options& opt) {
+  if (opt.stop == "stable") {
+    return [](const CongestionGame& g, const State& s, std::int64_t) {
+      return is_imitation_stable(g, s, g.nu());
+    };
+  }
+  if (opt.stop == "nash") {
+    return [](const CongestionGame& g, const State& s, std::int64_t) {
+      return is_nash(g, s);
+    };
+  }
+  if (opt.stop.rfind("deltaeps:", 0) == 0) {
+    double delta = 0.1, eps = 0.1;
+    if (std::sscanf(opt.stop.c_str(), "deltaeps:%lf,%lf", &delta, &eps) !=
+        2) {
+      usage("expected --stop deltaeps:D,E");
+    }
+    return [delta, eps](const CongestionGame& g, const State& s,
+                        std::int64_t) {
+      return is_delta_eps_equilibrium(g, s, delta, eps);
+    };
+  }
+  usage("unknown stop condition");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    const CongestionGame game = load_game(opt.game_path);
+    std::printf("loaded %s\n", game.describe().c_str());
+    Rng rng(opt.seed);
+    State x = build_start(opt, game, rng);
+    const auto protocol = build_protocol(opt);
+    std::printf("protocol: %s, engine: %s, rounds cap: %lld\n\n",
+                protocol->name().c_str(),
+                opt.engine == EngineMode::kAggregate ? "aggregate"
+                                                     : "perplayer",
+                static_cast<long long>(opt.rounds));
+
+    TraceRecorder trace(game, x, opt.trace_every);
+    RunOptions run_options;
+    run_options.max_rounds = opt.rounds;
+    run_options.mode = opt.engine;
+    const RunResult result = run_dynamics(game, x, *protocol, rng,
+                                          run_options, build_stop(opt),
+                                          trace.observer());
+
+    trace.to_table().print("trace (every " +
+                           std::to_string(opt.trace_every) + " rounds)");
+    std::printf(
+        "\nstopped after %lld rounds (converged: %s, total migrations "
+        "%lld)\n",
+        static_cast<long long>(result.rounds),
+        result.converged ? "yes" : "no",
+        static_cast<long long>(result.total_movers));
+    const auto report = check_delta_eps_nu(game, x, 0.1, 0.1, game.nu());
+    std::printf(
+        "final: L_av=%.4f  L+_av=%.4f  makespan=%.4f  nash_gap=%.4f\n"
+        "imitation-stable=%s  nash=%s  (0.1,0.1,nu)-eq=%s\n",
+        report.average_latency, report.plus_average_latency,
+        makespan(game, x), nash_gap(game, x),
+        is_imitation_stable(game, x, game.nu()) ? "yes" : "no",
+        is_nash(game, x) ? "yes" : "no",
+        report.at_equilibrium ? "yes" : "no");
+    if (!opt.csv_path.empty()) {
+      trace.to_table().write_csv(opt.csv_path);
+      std::printf("trace written to %s\n", opt.csv_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cid_sim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
