@@ -7,6 +7,11 @@
 // with the best link unused (where pure imitation provably stabilizes
 // sub-optimally). Columns report hitting times of the approximate
 // equilibrium and of exact Nash (capped), plus the terminal social cost.
+//
+// Both measurements run through the sweep runtime: one grid per stop rule
+// (approximate equilibrium / exact Nash), all three protocols as the
+// protocol axis, trials fanned out across hardware threads with
+// thread-count-invariant results. `--json PATH` emits BENCH_<name>.json.
 #include <cstdio>
 
 #include "common.hpp"
@@ -15,85 +20,70 @@ using namespace cid;
 
 namespace {
 
-struct Row {
-  double approx_rounds = 0.0;
-  double approx_sem = 0.0;
-  double nash_rounds = 0.0;
-  double nash_frac = 0.0;
-  double social_cost = 0.0;
-};
-
-Row evaluate(const CongestionGame& game, const Protocol& protocol,
-             bool bad_start, std::int64_t nash_cap) {
-  const auto start = [&](Rng& rng) {
-    if (!bad_start) return State::uniform_random(game, rng);
-    std::vector<std::int64_t> counts(
-        static_cast<std::size_t>(game.num_strategies()), 0);
-    counts[0] = game.num_players() / 2;
-    counts[1] = game.num_players() - counts[0];
-    return State(game, std::move(counts));
-  };
-  Row row;
-  const auto approx = bench::time_to(game, protocol, start,
-                                     bench::stop_at_delta_eps(0.1, 0.1), 15,
-                                     0xE12, 100000);
-  row.approx_rounds = approx.mean_rounds;
-  row.approx_sem = approx.sem;
-  double sc = 0.0;
-  const auto nash = [&] {
-    int converged = 0;
-    const TrialSet set = run_trials(15, 0x12E, [&](Rng& rng) {
-      State x = start(rng);
-      RunOptions options;
-      options.max_rounds = nash_cap;
-      options.check_interval = 16;
-      const RunResult rr = run_dynamics(game, x, protocol, rng, options,
-                                        bench::stop_at_nash());
-      if (rr.converged) ++converged;
-      sc += social_cost(game, x);
-      return static_cast<double>(rr.rounds);
-    });
-    row.nash_frac = static_cast<double>(converged) / 15.0;
-    return set.summary.mean;
-  }();
-  row.nash_rounds = nash;
-  row.social_cost = sc / 15.0;
-  return row;
+sweep::SweepGrid base_grid(bool bad_start) {
+  sweep::SweepGrid grid;
+  grid.scenario.name = "load-balancing";
+  // The §6 instance: 3 linear links a = {2, 2, 0.5}; the cheap link is the
+  // one the trap start leaves unused.
+  grid.scenario.params = {{"m", 3.0}, {"a0", 2.0}, {"a1", 2.0},
+                          {"a2", 0.5}};
+  if (bad_start) {
+    grid.scenario.params["start"] =
+        static_cast<double>(static_cast<int>(sweep::StartKind::kTrap));
+  }
+  grid.protocols = sweep::parse_protocol_list("imitation,exploration,combined");
+  grid.ns = {300};
+  grid.trials = 15;
+  return grid;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E12 / section 6 — imitation vs exploration vs combined protocol\n"
       "(3 linear links a={2,2,0.5}, n=300, 15 trials, Nash cap 3e5 "
       "rounds)\n\n");
-  std::vector<LatencyPtr> fns{make_linear(2.0), make_linear(2.0),
-                              make_linear(0.5)};
-  const auto game = make_singleton_game(std::move(fns), 300);
-
-  const ImitationProtocol imitation;
-  const ExplorationProtocol exploration;
-  const CombinedProtocol combined(ImitationParams{}, ExplorationParams{},
-                                  0.5);
+  bench::JsonReport report("combined");
+  sweep::SweepOptions options;
+  options.threads = 0;  // one worker per hardware thread
 
   for (bool bad_start : {false, true}) {
+    sweep::SweepGrid approx_grid = base_grid(bad_start);
+    approx_grid.master_seed = 0xE12;
+    approx_grid.dynamics.max_rounds = 100000;
+    approx_grid.dynamics.stop = sweep::StopRule::kDeltaEps;
+    approx_grid.dynamics.delta = 0.1;
+    approx_grid.dynamics.eps = 0.1;
+    const sweep::SweepResult approx = sweep::run_sweep(approx_grid, options);
+
+    sweep::SweepGrid nash_grid = base_grid(bad_start);
+    nash_grid.master_seed = 0x12E;
+    nash_grid.dynamics.max_rounds = 300000;
+    nash_grid.dynamics.check_interval = 16;
+    nash_grid.dynamics.stop = sweep::StopRule::kNash;
+    const sweep::SweepResult nash = sweep::run_sweep(nash_grid, options);
+
     Table table({"protocol", "rounds to (0.1,0.1,nu)-eq", "rounds to Nash",
                  "Nash reached (frac)", "final social cost"});
-    struct Entry {
-      const char* name;
-      const Protocol* protocol;
-    };
-    for (const Entry e :
-         {Entry{"imitation", &imitation}, Entry{"exploration", &exploration},
-          Entry{"combined 50/50", &combined}}) {
-      const Row row = evaluate(game, *e.protocol, bad_start, 300000);
+    for (std::size_t c = 0; c < approx.cells.size(); ++c) {
+      const sweep::CellRow& a = approx.cells[c];
+      const sweep::CellRow& g = nash.cells[c];
       table.row()
-          .cell(e.name)
-          .cell_pm(row.approx_rounds, row.approx_sem, 1)
-          .cell(row.nash_rounds, 1)
-          .cell(row.nash_frac, 2)
-          .cell(row.social_cost, 2);
+          .cell(a.key.protocol)
+          .cell_pm(a.rounds.mean, a.rounds_sem, 1)
+          .cell(g.rounds.mean, 1)
+          .cell(g.fraction_converged, 2)
+          .cell(g.mean_social_cost, 2);
+      report.cell()
+          .metric("bad_start", bad_start ? 1.0 : 0.0)
+          .metric("protocol", static_cast<double>(c))
+          .metric("approx_rounds_mean", a.rounds.mean)
+          .metric("approx_rounds_sem", a.rounds_sem)
+          .metric("nash_rounds_mean", g.rounds.mean)
+          .metric("nash_fraction", g.fraction_converged)
+          .metric("social_cost", g.mean_social_cost)
+          .metric("cell_wall_seconds", a.wall_seconds + g.wall_seconds);
     }
     table.print(bad_start
                     ? "start: best link UNUSED (imitation trap)"
@@ -106,5 +96,6 @@ int main() {
       "fast link is undiscoverable), while exploration and the combined\n"
       "protocol do; the combined protocol's approximate-equilibrium time\n"
       "stays within ~2x of pure imitation — §6's claimed best of both.\n");
+  report.write_if_requested(argc, argv);
   return 0;
 }

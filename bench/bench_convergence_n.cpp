@@ -9,6 +9,11 @@
 // stronger statement proved in §4 — the *total* number of non-equilibrated
 // rounds over a long horizon. The aggregate engine's cost per round is
 // n-independent, which is what makes the n = 10^6 row cheap.
+//
+// The n-axis runs through the sweep runtime (scenario "singleton-uniform"
+// with the bench's coefficient fan and geometric-skew start), so the
+// five cells' trials execute concurrently across hardware threads with
+// thread-count-invariant results. `--json PATH` emits BENCH_<name>.json.
 #include <cmath>
 #include <cstdio>
 
@@ -16,35 +21,49 @@
 
 using namespace cid;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E3 / Theorem 7 — hitting time of (delta,eps,nu)-equilibria vs n\n"
       "(m=10 quadratic links, geometric-skew start, delta=eps=0.1, "
       "lambda=1/4, 15 trials)\n\n");
   const double delta = 0.1, eps = 0.1;
-  const ImitationProtocol protocol;
+  bench::JsonReport report("convergence_n");
+
+  sweep::SweepGrid grid;
+  grid.scenario.name = "singleton-uniform";
+  grid.scenario.params = {{"m", 10.0},
+                          {"degree", 2.0},
+                          {"spread", 1.0},
+                          {"start", 1.0 /* geometric skew */}};
+  grid.protocols = {sweep::ProtocolSpec{}};  // imitation, lambda 1/4
+  grid.ns = {100, 1000, 10000, 100000, 1000000};
+  grid.trials = 15;
+  grid.master_seed = 0xE3;
+  grid.dynamics.max_rounds = 100000;
+  grid.dynamics.stop = sweep::StopRule::kDeltaEps;
+  grid.dynamics.delta = delta;
+  grid.dynamics.eps = eps;
+
+  sweep::SweepOptions options;
+  options.threads = 0;  // one worker per hardware thread
+  const sweep::SweepResult result = sweep::run_sweep(grid, options);
 
   Table table({"n", "rounds to eq", "total non-eq rounds", "d", "nu",
                "log2(Phi0/Phi*)"});
   std::vector<double> ns, taus;
-  for (std::int64_t n : {std::int64_t{100}, std::int64_t{1000},
-                         std::int64_t{10000}, std::int64_t{100000},
-                         std::int64_t{1000000}}) {
+  for (const sweep::CellRow& cell : result.cells) {
+    const std::int64_t n = cell.key.n;
     const auto game = bench::monomial_links_game(10, 2.0, n);
-    const auto start = [&](Rng&) { return bench::geometric_skew_state(game); };
-
-    const auto ht = bench::time_to(game, protocol, start,
-                                   bench::stop_at_delta_eps(delta, eps), 15,
-                                   0xE3, 100000);
+    const ImitationProtocol protocol;
 
     // Stronger statement: expected TOTAL rounds spent off-equilibrium over
     // a long horizon (the proof bounds this, not just the first hit).
     const TrialSet noneq = run_trials(5, 0x3E3, [&](Rng& rng) {
       State x = bench::geometric_skew_state(game);
       std::int64_t bad = 0;
-      RunOptions options;
-      options.max_rounds = 2000;
-      run_dynamics(game, x, protocol, rng, options,
+      RunOptions run_options;
+      run_options.max_rounds = 2000;
+      run_dynamics(game, x, protocol, rng, run_options,
                    [&](const CongestionGame& g, const State& s,
                        std::int64_t round) {
                      if (round < 2000 &&
@@ -66,13 +85,22 @@ int main() {
 
     table.row()
         .cell(n)
-        .cell_pm(ht.mean_rounds, ht.sem, 1)
+        .cell_pm(cell.rounds.mean, cell.rounds_sem, 1)
         .cell_pm(noneq.summary.mean, noneq.sem, 1)
         .cell(game.elasticity(), 1)
         .cell(game.nu(), 2)
         .cell(log_ratio, 3);
+    report.cell()
+        .metric("n", static_cast<double>(n))
+        .metric("rounds_mean", cell.rounds.mean)
+        .metric("rounds_sem", cell.rounds_sem)
+        .metric("fraction_converged", cell.fraction_converged)
+        .metric("noneq_rounds_mean", noneq.summary.mean)
+        .metric("noneq_rounds_sem", noneq.sem)
+        .metric("log2_phi_ratio", log_ratio)
+        .metric("cell_wall_seconds", cell.wall_seconds);
     ns.push_back(std::log2(static_cast<double>(n)));
-    taus.push_back(ht.mean_rounds);
+    taus.push_back(cell.rounds.mean);
   }
   table.print("hitting time vs number of players");
 
@@ -84,5 +112,10 @@ int main() {
       "imbalance the bound is constant in n), while sequential dynamics\n"
       "would need Omega(n) steps just to move every player once.\n",
       fit.intercept, fit.slope, fit.r_squared);
+  report.cell()
+      .metric("fit_intercept", fit.intercept)
+      .metric("fit_slope", fit.slope)
+      .metric("fit_r_squared", fit.r_squared);
+  report.write_if_requested(argc, argv);
   return 0;
 }

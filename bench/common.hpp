@@ -7,47 +7,115 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cid/cid.hpp"
 
 namespace cid::bench {
 
-/// Deterministic skewed start with a scale-free shape: strategy e receives
-/// a mass proportional to 2^-e (remainder to the last). Using a fixed
-/// *relative* imbalance keeps Φ(x0)/Φ* roughly constant across n, which is
-/// what Theorem 7's log(Φ0/Φ*) term wants held fixed when sweeping n.
-inline State geometric_skew_state(const CongestionGame& game) {
-  const auto k = static_cast<std::size_t>(game.num_strategies());
-  std::vector<std::int64_t> counts(k, 0);
-  std::int64_t left = game.num_players();
-  for (std::size_t e = 0; e + 1 < k && left > 0; ++e) {
-    const std::int64_t take = (left + 1) / 2;
-    counts[e] = take;
-    left -= take;
+/// Machine-readable bench output: collect named scalar cells while the
+/// bench prints its human tables, then call write_if_requested(argc, argv)
+/// at the end. If the bench was invoked with `--json PATH`, the report is
+/// written as JSON — to PATH itself when it ends in ".json", else to
+/// PATH/BENCH_<name>.json — so the perf trajectory of every experiment can
+/// be tracked across commits. Without the flag this is a no-op.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    timer_.reset();
   }
-  counts[k - 1] += left;
-  // Give every strategy at least one player so imitation can reach it
-  // (moving mass from the largest pile).
-  for (std::size_t e = 0; e < k; ++e) {
-    if (counts[e] == 0) {
-      counts[0] -= 1;
-      counts[e] = 1;
+
+  /// Starts a new cell (one row of the bench's table); subsequent metric()
+  /// calls attach to it.
+  JsonReport& cell() {
+    cells_.emplace_back();
+    return *this;
+  }
+
+  JsonReport& metric(const std::string& key, double value) {
+    if (cells_.empty()) cells_.emplace_back();
+    cells_.back().emplace_back(key, value);
+    return *this;
+  }
+
+  /// Scans argv for "--json PATH"; writes and returns true when present.
+  /// An unwritable path is reported on stderr rather than thrown — by the
+  /// time this runs the bench has already printed its tables, and losing
+  /// them to a bad report path helps nobody.
+  bool write_if_requested(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "bench --json: missing PATH argument\n");
+          return false;
+        }
+        try {
+          write(argv[i + 1]);
+          return true;
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bench --json: %s\n", e.what());
+          return false;
+        }
+      }
     }
+    return false;
   }
-  return State(game, std::move(counts));
+
+  void write(const std::string& path) const {
+    const std::string ext = ".json";
+    const bool is_file = path.size() >= ext.size() &&
+                         path.compare(path.size() - ext.size(),
+                                      ext.size(), ext) == 0;
+    const std::string target =
+        is_file ? path : path + "/BENCH_" + name_ + ".json";
+    std::ofstream out(target);
+    if (!out) {
+      throw std::runtime_error("cannot open '" + target + "' for writing");
+    }
+    out << "{\"bench\":\"" << name_ << "\",\"wall_seconds\":"
+        << format(timer_.seconds()) << ",\"cells\":[";
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      out << (c == 0 ? "" : ",") << '{';
+      for (std::size_t k = 0; k < cells_[c].size(); ++k) {
+        out << (k == 0 ? "" : ",") << '"' << cells_[c][k].first
+            << "\":" << format(cells_[c][k].second);
+      }
+      out << '}';
+    }
+    out << "]}\n";
+  }
+
+ private:
+  static std::string format(double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  }
+
+  std::string name_;
+  WallTimer timer_;
+  std::vector<std::vector<std::pair<std::string, double>>> cells_;
+};
+
+/// Deterministic skewed start with fixed relative imbalance; see
+/// State::geometric_skew (shared with the sweep runtime's skewed starts).
+inline State geometric_skew_state(const CongestionGame& game) {
+  return State::geometric_skew(game);
 }
 
-/// m links with monomial latencies a_e·x^d, a_e spread over [1, 2].
+/// m links with monomial latencies a_e·x^d, a_e spread over [1, 2]; see
+/// make_monomial_fan_game (shared with the sweep runtime's
+/// singleton-uniform scenario).
 inline CongestionGame monomial_links_game(std::int32_t m, double degree,
                                           std::int64_t n) {
-  std::vector<LatencyPtr> fns;
-  for (std::int32_t e = 0; e < m; ++e) {
-    const double a = 1.0 + static_cast<double>(e) / static_cast<double>(m);
-    fns.push_back(make_monomial(a, degree));
-  }
-  return make_singleton_game(std::move(fns), n);
+  return make_monomial_fan_game(m, degree, 1.0, n);
 }
 
 struct HittingTime {

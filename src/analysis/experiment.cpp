@@ -1,20 +1,16 @@
 #include "analysis/experiment.hpp"
 
+#include "sweep/pool.hpp"
 #include "util/assert.hpp"
 
 namespace cid {
 
 TrialSet run_trials(int trials, std::uint64_t master_seed,
-                    const TrialFn& trial) {
+                    const TrialFn& trial, int threads) {
   CID_ENSURE(trials >= 1, "need at least one trial");
   CID_ENSURE(static_cast<bool>(trial), "trial function must be callable");
-  Rng master(master_seed);
   TrialSet out;
-  out.values.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    Rng child = master.split(static_cast<std::uint64_t>(t));
-    out.values.push_back(trial(child));
-  }
+  out.values = sweep::map_trials(trials, master_seed, trial, threads);
   out.summary = summarize(out.values);
   RunningStat rs;
   for (double v : out.values) rs.add(v);
@@ -23,8 +19,8 @@ TrialSet run_trials(int trials, std::uint64_t master_seed,
 }
 
 double event_frequency(int trials, std::uint64_t master_seed,
-                       const TrialFn& trial) {
-  const TrialSet set = run_trials(trials, master_seed, trial);
+                       const TrialFn& trial, int threads) {
+  const TrialSet set = run_trials(trials, master_seed, trial, threads);
   int hits = 0;
   for (double v : set.values) {
     if (v != 0.0) ++hits;

@@ -5,6 +5,12 @@
 // hitting times). Seeding discipline: a master seed is split into one
 // independent child stream per trial, so trials are reproducible and
 // order-independent.
+//
+// Execution delegates to the sweep subsystem's deterministic trial pool
+// (sweep::map_trials): because every child stream is derived serially
+// before any trial runs, the values are bitwise identical for every
+// `threads` setting — the default threads = 1 is exactly the historical
+// serial harness.
 #pragma once
 
 #include <cstdint>
@@ -25,13 +31,15 @@ struct TrialSet {
   double sem = 0.0;
 };
 
-/// Runs `trials` independent repetitions. Precondition: trials >= 1.
+/// Runs `trials` independent repetitions, fanned out over `threads`
+/// workers (1 = serial, 0 = one per hardware thread); results do not
+/// depend on the thread count. Precondition: trials >= 1.
 TrialSet run_trials(int trials, std::uint64_t master_seed,
-                    const TrialFn& trial);
+                    const TrialFn& trial, int threads = 1);
 
 /// Fraction of trials for which `trial` returns a truthy (non-zero) value —
 /// used for event-probability estimates (e.g. extinction frequency).
 double event_frequency(int trials, std::uint64_t master_seed,
-                       const TrialFn& trial);
+                       const TrialFn& trial, int threads = 1);
 
 }  // namespace cid

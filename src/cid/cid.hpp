@@ -35,6 +35,10 @@
 #include "protocols/combined.hpp"     // IWYU pragma: export
 #include "protocols/exploration.hpp"  // IWYU pragma: export
 #include "protocols/imitation.hpp"    // IWYU pragma: export
+#include "sweep/output.hpp"           // IWYU pragma: export
+#include "sweep/pool.hpp"             // IWYU pragma: export
+#include "sweep/runner.hpp"           // IWYU pragma: export
+#include "sweep/scenario.hpp"         // IWYU pragma: export
 #include "util/rng.hpp"               // IWYU pragma: export
 #include "wardrop/fluid.hpp"          // IWYU pragma: export
 #include "util/stats.hpp"             // IWYU pragma: export

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "game/congestion_game.hpp"

@@ -45,6 +45,21 @@ CongestionGame make_uniform_links_game(std::int32_t m, const LatencyPtr& fn,
   return make_singleton_game(std::move(latencies), num_players);
 }
 
+CongestionGame make_monomial_fan_game(std::int32_t m, double degree,
+                                      double spread,
+                                      std::int64_t num_players) {
+  CID_ENSURE(m >= 1, "need at least one link");
+  CID_ENSURE(spread >= 0.0, "spread must be >= 0");
+  std::vector<LatencyPtr> latencies;
+  latencies.reserve(static_cast<std::size_t>(m));
+  for (std::int32_t e = 0; e < m; ++e) {
+    const double a =
+        1.0 + spread * static_cast<double>(e) / static_cast<double>(m);
+    latencies.push_back(make_monomial(a, degree));
+  }
+  return make_singleton_game(std::move(latencies), num_players);
+}
+
 CongestionGame make_overshoot_example(double c, double a, double d,
                                       std::int64_t num_players) {
   std::vector<LatencyPtr> latencies;

@@ -28,6 +28,14 @@ CongestionGame make_network_game(const StNetwork& net,
 CongestionGame make_uniform_links_game(std::int32_t m, const LatencyPtr& fn,
                                        std::int64_t num_players);
 
+/// m monomial links a_e·x^degree with coefficients fanned over
+/// [1, 1+spread): a_e = 1 + spread·e/m. spread = 0 gives identical links.
+/// This is the instance family the n-sweeps (bench E3, the sweep runtime's
+/// singleton-uniform scenario) share — defined once so they cannot drift.
+CongestionGame make_monomial_fan_game(std::int32_t m, double degree,
+                                      double spread,
+                                      std::int64_t num_players);
+
 /// The paper's §2.3 overshooting example: link 1 constant c, link 2 a·x^d.
 CongestionGame make_overshoot_example(double c, double a, double d,
                                       std::int64_t num_players);

@@ -58,6 +58,28 @@ State State::spread_evenly(const CongestionGame& game) {
   return State(game, std::move(counts));
 }
 
+State State::geometric_skew(const CongestionGame& game) {
+  CID_ENSURE(game.num_players() >= game.num_strategies(),
+             "geometric_skew requires n >= number of strategies (every "
+             "strategy keeps at least one player)");
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  std::vector<std::int64_t> counts(k, 0);
+  std::int64_t left = game.num_players();
+  for (std::size_t e = 0; e + 1 < k && left > 0; ++e) {
+    const std::int64_t take = (left + 1) / 2;
+    counts[e] = take;
+    left -= take;
+  }
+  counts[k - 1] += left;
+  for (std::size_t e = 0; e < k; ++e) {
+    if (counts[e] == 0) {
+      counts[0] -= 1;
+      counts[e] = 1;
+    }
+  }
+  return State(game, std::move(counts));
+}
+
 std::int64_t State::count(StrategyId p) const {
   CID_ENSURE(p >= 0 && static_cast<std::size_t>(p) < counts_.size(),
              "strategy out of range");

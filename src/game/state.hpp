@@ -43,6 +43,14 @@ class State {
   /// Deterministic near-even split: strategy i gets ⌊n/k⌋ (+1 for i < n%k).
   static State spread_evenly(const CongestionGame& game);
 
+  /// Deterministic skewed start with a scale-free shape: strategy e gets a
+  /// mass proportional to 2^-e (remainder to the last), then every strategy
+  /// is topped up to at least one player so imitation can reach it. The
+  /// fixed *relative* imbalance keeps Φ(x0)/Φ* roughly constant across n —
+  /// what Theorem 7's log(Φ0/Φ*) term wants held fixed when sweeping n.
+  /// Shared by the bench harness and the sweep runtime's skewed starts.
+  static State geometric_skew(const CongestionGame& game);
+
   std::int64_t count(StrategyId p) const;
   std::int64_t congestion(Resource e) const;
 

@@ -1,0 +1,122 @@
+#include "sweep/output.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cid::sweep {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  return out;
+}
+
+// Full-precision doubles: round-tripping matters more than prettiness in
+// machine-readable output (the determinism test diffs these files).
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_trials_csv(const std::string& path, const SweepResult& result) {
+  auto out = open_or_throw(path);
+  out << "cell,scenario,protocol,n,trial,rounds,converged,movers,potential,"
+         "social_cost\n";
+  for (const TrialRow& row : result.trials) {
+    out << row.key.cell << ',' << row.key.scenario << ',' << row.key.protocol
+        << ',' << row.key.n << ',' << row.trial << ','
+        << num(row.outcome.rounds) << ',' << (row.outcome.converged ? 1 : 0)
+        << ',' << row.outcome.movers << ',' << num(row.outcome.potential)
+        << ',' << num(row.outcome.social_cost) << '\n';
+  }
+}
+
+void write_cells_csv(const std::string& path, const SweepResult& result) {
+  auto out = open_or_throw(path);
+  out << "cell,scenario,protocol,n,trials,rounds_mean,rounds_sem,"
+         "rounds_median,rounds_min,rounds_max,fraction_converged,"
+         "mean_potential,mean_social_cost,mean_movers,wall_seconds\n";
+  for (const CellRow& row : result.cells) {
+    out << row.key.cell << ',' << row.key.scenario << ',' << row.key.protocol
+        << ',' << row.key.n << ',' << row.trials << ','
+        << num(row.rounds.mean) << ',' << num(row.rounds_sem) << ','
+        << num(row.rounds.median) << ',' << num(row.rounds.min) << ','
+        << num(row.rounds.max) << ',' << num(row.fraction_converged) << ','
+        << num(row.mean_potential) << ',' << num(row.mean_social_cost) << ','
+        << num(row.mean_movers) << ',' << num(row.wall_seconds) << '\n';
+  }
+}
+
+void write_trials_jsonl(const std::string& path, const SweepResult& result) {
+  auto out = open_or_throw(path);
+  for (const TrialRow& row : result.trials) {
+    out << "{\"cell\":" << row.key.cell << ",\"scenario\":\""
+        << json_escape(row.key.scenario) << "\",\"protocol\":\""
+        << json_escape(row.key.protocol) << "\",\"n\":" << row.key.n
+        << ",\"trial\":" << row.trial << ",\"rounds\":"
+        << num(row.outcome.rounds) << ",\"converged\":"
+        << (row.outcome.converged ? "true" : "false")
+        << ",\"movers\":" << row.outcome.movers << ",\"potential\":"
+        << num(row.outcome.potential) << ",\"social_cost\":"
+        << num(row.outcome.social_cost) << "}\n";
+  }
+}
+
+void write_cells_jsonl(const std::string& path, const SweepResult& result) {
+  auto out = open_or_throw(path);
+  for (const CellRow& row : result.cells) {
+    out << "{\"cell\":" << row.key.cell << ",\"scenario\":\""
+        << json_escape(row.key.scenario) << "\",\"protocol\":\""
+        << json_escape(row.key.protocol) << "\",\"n\":" << row.key.n
+        << ",\"trials\":" << row.trials << ",\"rounds_mean\":"
+        << num(row.rounds.mean) << ",\"rounds_sem\":" << num(row.rounds_sem)
+        << ",\"rounds_median\":" << num(row.rounds.median)
+        << ",\"rounds_min\":" << num(row.rounds.min) << ",\"rounds_max\":"
+        << num(row.rounds.max) << ",\"fraction_converged\":"
+        << num(row.fraction_converged) << ",\"mean_potential\":"
+        << num(row.mean_potential) << ",\"mean_social_cost\":"
+        << num(row.mean_social_cost) << ",\"mean_movers\":"
+        << num(row.mean_movers) << ",\"wall_seconds\":"
+        << num(row.wall_seconds) << "}\n";
+  }
+}
+
+std::vector<std::string> write_sweep_outputs(const std::string& prefix,
+                                             const SweepResult& result) {
+  const std::vector<std::string> paths = {
+      prefix + "_trials.csv", prefix + "_cells.csv", prefix + "_trials.jsonl",
+      prefix + "_cells.jsonl"};
+  write_trials_csv(paths[0], result);
+  write_cells_csv(paths[1], result);
+  write_trials_jsonl(paths[2], result);
+  write_cells_jsonl(paths[3], result);
+  return paths;
+}
+
+}  // namespace cid::sweep

@@ -1,0 +1,24 @@
+// Structured sweep output: CSV (spreadsheet-friendly) and JSONL (one
+// object per line, stream-friendly) for both granularities — per-trial
+// rows carry only deterministic fields, per-cell rows add the aggregate
+// statistics and wall time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace cid::sweep {
+
+void write_trials_csv(const std::string& path, const SweepResult& result);
+void write_cells_csv(const std::string& path, const SweepResult& result);
+void write_trials_jsonl(const std::string& path, const SweepResult& result);
+void write_cells_jsonl(const std::string& path, const SweepResult& result);
+
+/// Writes all four files as PREFIX_trials.csv, PREFIX_cells.csv,
+/// PREFIX_trials.jsonl, PREFIX_cells.jsonl; returns the paths written.
+std::vector<std::string> write_sweep_outputs(const std::string& prefix,
+                                             const SweepResult& result);
+
+}  // namespace cid::sweep

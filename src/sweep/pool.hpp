@@ -1,0 +1,40 @@
+// Deterministic parallel execution substrate for the sweep runtime.
+//
+// The contract that makes the whole subsystem reproducible lives here: all
+// randomness is derived *serially* (one cheap Rng::split per trial) before
+// any worker starts, and every job writes only to its own pre-allocated
+// output slot. Scheduling — which thread runs which job, in which order —
+// then cannot influence results, so a sweep is bitwise identical for every
+// thread count, including the serial threads=1 path the analysis harness
+// has always used.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cid::sweep {
+
+/// Resolves a requested worker count: values >= 1 pass through; 0 means
+/// "one per hardware thread" (floored at 1 when the hardware is coy).
+int resolve_threads(int requested);
+
+/// Runs fn(0..count-1) across `threads` workers. Jobs are claimed in small
+/// chunks off a shared cursor, so stragglers do not serialize the pool.
+/// fn must confine its writes to per-index slots; the pool imposes no
+/// ordering. The first exception thrown by any job is rethrown on the
+/// caller's thread after all workers have drained.
+void parallel_for(std::int64_t count, int threads,
+                  const std::function<void(std::int64_t)>& fn);
+
+/// Deterministic parallel trial map: slot t receives fn(child_t), where
+/// child_t is the t-th Rng::split of a master stream seeded with
+/// master_seed — the exact seeding discipline of the serial analysis
+/// harness, which this function generalizes.
+std::vector<double> map_trials(int trials, std::uint64_t master_seed,
+                               const std::function<double(Rng&)>& fn,
+                               int threads = 1);
+
+}  // namespace cid::sweep

@@ -1,0 +1,220 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sweep/pool.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace cid::sweep {
+
+namespace {
+
+std::vector<double> split_numbers(const std::string& text, char sep) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(sep, pos);
+    const std::string token =
+        text.substr(pos, next == std::string::npos ? next : next - pos);
+    if (token.empty()) throw std::runtime_error("empty value in '" + text + "'");
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) {
+      throw std::runtime_error("bad number '" + token + "'");
+    }
+    out.push_back(value);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+void push_unique(std::vector<std::int64_t>& values, double v) {
+  const auto rounded = static_cast<std::int64_t>(std::llround(v));
+  if (rounded < 1) throw std::runtime_error("grid values must be >= 1");
+  // Global dedupe (first occurrence wins): a duplicated n would produce two
+  // cells with the same (scenario, protocol, n) key but different streams.
+  if (std::find(values.begin(), values.end(), rounded) == values.end()) {
+    values.push_back(rounded);
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> parse_grid_axis(const std::string& spec) {
+  std::string body = spec;
+  const auto eq = body.find('=');
+  if (eq != std::string::npos) body = body.substr(eq + 1);
+  if (body.empty()) throw std::runtime_error("empty grid spec");
+
+  std::vector<std::int64_t> values;
+  if (body.find(':') == std::string::npos) {
+    for (double v : split_numbers(body, ',')) push_unique(values, v);
+    return values;
+  }
+
+  // A:B:scale[:K]
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t next = body.find(':', pos);
+    parts.push_back(
+        body.substr(pos, next == std::string::npos ? next : next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    throw std::runtime_error("expected A:B:log|lin[:K] in '" + spec + "'");
+  }
+  const double lo = std::stod(parts[0]);
+  const double hi = std::stod(parts[1]);
+  const std::string& scale = parts[2];
+  if (lo < 1.0 || hi < lo) {
+    throw std::runtime_error("grid range requires 1 <= A <= B");
+  }
+  if (scale == "log") {
+    if (parts.size() == 4) {
+      const int k = std::stoi(parts[3]);
+      if (k < 2) throw std::runtime_error("log grid needs K >= 2 points");
+      for (int i = 0; i < k; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(k - 1);
+        push_unique(values, lo * std::pow(hi / lo, t));
+      }
+    } else {
+      for (double v = lo; v < hi * (1.0 + 1e-12); v *= 10.0) {
+        push_unique(values, v);
+      }
+      push_unique(values, hi);
+    }
+  } else if (scale == "lin") {
+    const int k = parts.size() == 4 ? std::stoi(parts[3]) : 5;
+    if (k < 2) throw std::runtime_error("lin grid needs K >= 2 points");
+    for (int i = 0; i < k; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(k - 1);
+      push_unique(values, lo + (hi - lo) * t);
+    }
+  } else {
+    throw std::runtime_error("unknown grid scale '" + scale +
+                             "' (expected log|lin)");
+  }
+  return values;
+}
+
+std::vector<ProtocolSpec> parse_protocol_list(const std::string& csv) {
+  std::vector<ProtocolSpec> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t next = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, next == std::string::npos ? next : next - pos);
+    if (token.empty()) {
+      throw std::runtime_error("empty protocol in '" + csv + "'");
+    }
+    out.push_back(parse_protocol_spec(token));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
+  CID_ENSURE(!grid.ns.empty(), "sweep needs at least one n");
+  CID_ENSURE(!grid.protocols.empty(), "sweep needs at least one protocol");
+  CID_ENSURE(grid.trials >= 1, "sweep needs at least one trial");
+
+  // Instances are built once per n (they can be expensive — path
+  // enumeration, MaxCut generation) and shared read-only across all of
+  // that n's cells and trials.
+  std::vector<std::unique_ptr<ScenarioInstance>> instances;
+  instances.reserve(grid.ns.size());
+  for (std::int64_t n : grid.ns) {
+    instances.push_back(make_scenario(grid.scenario, n));
+  }
+
+  const std::size_t num_protocols = grid.protocols.size();
+  const std::size_t num_cells = grid.ns.size() * num_protocols;
+  const auto trials_per_cell = static_cast<std::size_t>(grid.trials);
+
+  struct Job {
+    std::size_t n_index = 0;
+    std::size_t protocol_index = 0;
+    Rng rng{1};
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(num_cells * trials_per_cell);
+  // Serial stream derivation: one fresh cell master per cell (keyed split
+  // of the grid master), then one split per trial — a pure function of
+  // master_seed, so scheduling cannot perturb it.
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    Rng grid_master(grid.master_seed);
+    Rng cell_master = grid_master.split(static_cast<std::uint64_t>(cell));
+    for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      Job job;
+      job.n_index = cell / num_protocols;
+      job.protocol_index = cell % num_protocols;
+      job.rng = cell_master.split(static_cast<std::uint64_t>(t));
+      jobs.push_back(job);
+    }
+  }
+
+  SweepResult result;
+  result.trials.resize(jobs.size());
+  std::vector<double> wall(jobs.size(), 0.0);
+  parallel_for(static_cast<std::int64_t>(jobs.size()), options.threads,
+               [&](std::int64_t i) {
+                 Job& job = jobs[static_cast<std::size_t>(i)];
+                 const WallTimer timer;
+                 const TrialOutcome outcome =
+                     instances[job.n_index]->run_trial(
+                         grid.protocols[job.protocol_index], grid.dynamics,
+                         job.rng);
+                 wall[static_cast<std::size_t>(i)] = timer.seconds();
+                 TrialRow& row = result.trials[static_cast<std::size_t>(i)];
+                 const std::size_t cell =
+                     job.n_index * num_protocols + job.protocol_index;
+                 row.key.cell = static_cast<std::int32_t>(cell);
+                 row.key.scenario = grid.scenario.name;
+                 row.key.protocol = grid.protocols[job.protocol_index].name;
+                 row.key.n = grid.ns[job.n_index];
+                 row.trial = static_cast<int>(i % trials_per_cell);
+                 row.outcome = outcome;
+               });
+
+  result.cells.reserve(num_cells);
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    const std::size_t base = cell * trials_per_cell;
+    CellRow row;
+    row.key = result.trials[base].key;
+    row.trials = grid.trials;
+    std::vector<double> rounds;
+    rounds.reserve(trials_per_cell);
+    RunningStat rs;
+    int converged = 0;
+    for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      const TrialRow& trial = result.trials[base + t];
+      rounds.push_back(trial.outcome.rounds);
+      rs.add(trial.outcome.rounds);
+      converged += trial.outcome.converged ? 1 : 0;
+      row.mean_potential += trial.outcome.potential;
+      row.mean_social_cost += trial.outcome.social_cost;
+      row.mean_movers += static_cast<double>(trial.outcome.movers);
+      row.wall_seconds += wall[base + t];
+    }
+    const auto count = static_cast<double>(trials_per_cell);
+    row.rounds = summarize(rounds);
+    row.rounds_sem = rs.sem();
+    row.fraction_converged = static_cast<double>(converged) / count;
+    row.mean_potential /= count;
+    row.mean_social_cost /= count;
+    row.mean_movers /= count;
+    result.cells.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace cid::sweep

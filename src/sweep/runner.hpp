@@ -1,0 +1,81 @@
+// Parallel scenario-sweep runner.
+//
+// A SweepGrid is the cross product scenario × protocol × n, each cell run
+// for `trials` independent repetitions. The runner expands the grid into
+// one job per trial, derives every trial's Rng stream serially up front
+// (cell-keyed Rng::split, so streams are a pure function of the master
+// seed), builds each scenario instance once per n, and fans the jobs out
+// over the pool. Per-trial results are therefore bitwise identical for
+// every thread count; wall-clock timing, the one legitimately
+// scheduling-dependent output, is reported only per cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace cid::sweep {
+
+struct SweepGrid {
+  ScenarioSpec scenario;
+  std::vector<ProtocolSpec> protocols;
+  std::vector<std::int64_t> ns;
+  int trials = 8;
+  std::uint64_t master_seed = 1;
+  DynamicsConfig dynamics;
+};
+
+/// One grid cell: a (protocol, n) pair of one scenario.
+struct CellKey {
+  std::int32_t cell = 0;  // dense index, row-major over ns × protocols
+  std::string scenario;
+  std::string protocol;
+  std::int64_t n = 0;
+};
+
+struct TrialRow {
+  CellKey key;
+  int trial = 0;
+  TrialOutcome outcome;
+};
+
+struct CellRow {
+  CellKey key;
+  int trials = 0;
+  Summary rounds;                  // across the cell's trials
+  double rounds_sem = 0.0;
+  double fraction_converged = 0.0;
+  double mean_potential = 0.0;
+  double mean_social_cost = 0.0;
+  double mean_movers = 0.0;
+  double wall_seconds = 0.0;       // summed trial wall time (not deterministic)
+};
+
+struct SweepResult {
+  std::vector<TrialRow> trials;  // cell-major, trial-minor
+  std::vector<CellRow> cells;
+};
+
+struct SweepOptions {
+  int threads = 1;  // 0 = one per hardware thread
+};
+
+/// Runs the whole grid. Throws std::runtime_error on an unknown scenario,
+/// empty protocol/n axes, or trials < 1.
+SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
+
+/// Parses a sweep axis:
+///   "n=1000:100000:log"     decades from 1000 to 100000 (ratio 10)
+///   "n=1000:100000:log:7"   7 geometrically spaced points, endpoints exact
+///   "n=100:500:lin:5"       5 evenly spaced points
+///   "n=100,1000,5000"       explicit list
+/// The "n=" prefix is optional; values are rounded to integers and deduped.
+std::vector<std::int64_t> parse_grid_axis(const std::string& spec);
+
+/// Parses a comma-separated protocol list, e.g. "imitation,combined:0.3".
+std::vector<ProtocolSpec> parse_protocol_list(const std::string& csv);
+
+}  // namespace cid::sweep

@@ -1,0 +1,458 @@
+#include "sweep/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "dynamics/equilibrium.hpp"
+#include "game/asymmetric.hpp"
+#include "game/builders.hpp"
+#include "game/singleton.hpp"
+#include "game/state.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/threshold_game.hpp"
+#include "protocols/combined.hpp"
+#include "protocols/exploration.hpp"
+#include "protocols/imitation.hpp"
+
+namespace cid::sweep {
+
+double ScenarioSpec::param(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+ProtocolSpec parse_protocol_spec(const std::string& token) {
+  ProtocolSpec spec;
+  std::string name = token;
+  const auto colon = token.find(':');
+  if (colon != std::string::npos) {
+    name = token.substr(0, colon);
+    if (name != "combined") {
+      throw std::runtime_error("protocol '" + name +
+                               "' takes no ':' argument");
+    }
+    spec.p_explore = std::stod(token.substr(colon + 1));
+    if (spec.p_explore < 0.0 || spec.p_explore > 1.0) {
+      throw std::runtime_error("combined:P requires P in [0, 1]");
+    }
+  }
+  if (name != "imitation" && name != "exploration" && name != "combined") {
+    throw std::runtime_error("unknown protocol '" + name +
+                             "' (expected imitation|exploration|combined)");
+  }
+  spec.name = name;
+  return spec;
+}
+
+std::unique_ptr<Protocol> build_protocol(const ProtocolSpec& spec) {
+  ImitationParams ip;
+  ip.lambda = spec.lambda;
+  ip.nu_cutoff = spec.nu_cutoff;
+  ip.damping = spec.damping;
+  ip.virtual_agents = spec.virtual_agents;
+  ExplorationParams ep;
+  ep.lambda = spec.lambda;
+  if (spec.name == "imitation") return std::make_unique<ImitationProtocol>(ip);
+  if (spec.name == "exploration") {
+    return std::make_unique<ExplorationProtocol>(ep);
+  }
+  if (spec.name == "combined") {
+    return std::make_unique<CombinedProtocol>(ip, ep, spec.p_explore);
+  }
+  throw std::runtime_error("unknown protocol '" + spec.name + "'");
+}
+
+namespace {
+
+State trap_state(const CongestionGame& game) {
+  if (game.num_strategies() < 2) {
+    throw std::runtime_error("trap start requires >= 2 strategies");
+  }
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(game.num_strategies()), 0);
+  counts[0] = game.num_players() / 2;
+  counts[1] = game.num_players() - counts[0];
+  return State(game, std::move(counts));
+}
+
+StartKind start_kind(const ScenarioSpec& spec) {
+  const int s = static_cast<int>(spec.param("start", 0.0));
+  if (s < 0 || s > 3) throw std::runtime_error("start must be in 0..3");
+  return static_cast<StartKind>(s);
+}
+
+StopPredicate make_stop(const DynamicsConfig& dynamics) {
+  switch (dynamics.stop) {
+    case StopRule::kImitationStable:
+      return [](const CongestionGame& g, const State& s, std::int64_t) {
+        return is_imitation_stable(g, s, g.nu());
+      };
+    case StopRule::kNash:
+      return [](const CongestionGame& g, const State& s, std::int64_t) {
+        return is_nash(g, s);
+      };
+    case StopRule::kDeltaEps: {
+      const double delta = dynamics.delta, eps = dynamics.eps;
+      return [delta, eps](const CongestionGame& g, const State& s,
+                          std::int64_t) {
+        return is_delta_eps_equilibrium(g, s, delta, eps);
+      };
+    }
+  }
+  throw std::runtime_error("unhandled stop rule");
+}
+
+// ---- Symmetric scenarios ----------------------------------------------------
+
+class SymmetricInstance final : public ScenarioInstance {
+ public:
+  SymmetricInstance(std::string label, CongestionGame game, StartKind start)
+      : label_(std::move(label)), game_(std::move(game)), start_(start) {}
+
+  std::string describe() const override {
+    return label_ + ": " + game_.describe();
+  }
+
+  TrialOutcome run_trial(const ProtocolSpec& protocol,
+                         const DynamicsConfig& dynamics,
+                         Rng& rng) const override {
+    const auto proto = build_protocol(protocol);
+    State x = make_start(rng);
+    RunOptions options;
+    options.max_rounds = dynamics.max_rounds;
+    options.check_interval = dynamics.check_interval;
+    options.mode = dynamics.mode;
+    const RunResult rr =
+        run_dynamics(game_, x, *proto, rng, options, make_stop(dynamics));
+    TrialOutcome out;
+    out.rounds = static_cast<double>(rr.rounds);
+    out.converged = rr.converged;
+    out.movers = rr.total_movers;
+    out.potential = game_.potential(x);
+    out.social_cost = social_cost(game_, x);
+    return out;
+  }
+
+ private:
+  State make_start(Rng& rng) const {
+    switch (start_) {
+      case StartKind::kUniformRandom:
+        return State::uniform_random(game_, rng);
+      case StartKind::kGeometricSkew:
+        return State::geometric_skew(game_);
+      case StartKind::kEven:
+        return State::spread_evenly(game_);
+      case StartKind::kTrap:
+        return trap_state(game_);
+    }
+    throw std::runtime_error("unhandled start kind");
+  }
+
+  std::string label_;
+  CongestionGame game_;
+  StartKind start_;
+};
+
+std::unique_ptr<ScenarioInstance> make_singleton_uniform(
+    const ScenarioSpec& spec, std::int64_t n) {
+  const auto m = static_cast<std::int32_t>(spec.param("m", 10.0));
+  const double degree = spec.param("degree", 1.0);
+  const double spread = spec.param("spread", 0.0);
+  if (m < 1) throw std::runtime_error("singleton-uniform requires m >= 1");
+  return std::make_unique<SymmetricInstance>(
+      "singleton-uniform", make_monomial_fan_game(m, degree, spread, n),
+      start_kind(spec));
+}
+
+std::unique_ptr<ScenarioInstance> make_load_balancing(const ScenarioSpec& spec,
+                                                      std::int64_t n) {
+  const auto m = static_cast<std::int32_t>(spec.param("m", 10.0));
+  const double spread = spec.param("spread", 1.0);
+  if (m < 1) throw std::runtime_error("load-balancing requires m >= 1");
+  std::vector<LatencyPtr> fns;
+  for (std::int32_t e = 0; e < m; ++e) {
+    const double fallback =
+        1.0 + spread * static_cast<double>(e) / static_cast<double>(m);
+    std::string key = "a";
+    key += std::to_string(e);
+    fns.push_back(make_linear(spec.param(key, fallback)));
+  }
+  return std::make_unique<SymmetricInstance>(
+      "load-balancing", make_singleton_game(std::move(fns), n),
+      start_kind(spec));
+}
+
+std::unique_ptr<ScenarioInstance> make_network_routing(
+    const ScenarioSpec& spec, std::int64_t n) {
+  const auto width = static_cast<std::int32_t>(spec.param("width", 3.0));
+  const auto depth = static_cast<std::int32_t>(spec.param("depth", 2.0));
+  if (width < 1 || depth < 1) {
+    throw std::runtime_error("network-routing requires width, depth >= 1");
+  }
+  const auto net = make_layered_network(width, depth);
+  // Instance-level randomness (the latency mix) is drawn from its own seed
+  // so the *game* is a pure function of (spec, n); trial randomness stays
+  // in the trial streams.
+  Rng latency_rng(
+      static_cast<std::uint64_t>(spec.param("latency_seed", 7.0)));
+  std::vector<LatencyPtr> fns;
+  for (EdgeId e = 0; e < net.graph.num_edges(); ++e) {
+    const double a = 0.5 + latency_rng.uniform();
+    if (latency_rng.bernoulli(0.5)) {
+      fns.push_back(make_linear(a));
+    } else {
+      fns.push_back(make_monomial(0.05 * a, 2.0));
+    }
+  }
+  return std::make_unique<SymmetricInstance>(
+      "network-routing", make_network_game(net, std::move(fns), n),
+      start_kind(spec));
+}
+
+// ---- Asymmetric scenarios (class-local imitation, paper §3 remark) ----------
+
+class AsymmetricInstance final : public ScenarioInstance {
+ public:
+  AsymmetricInstance(std::string label, AsymmetricGame game)
+      : label_(std::move(label)), game_(std::move(game)) {}
+
+  std::string describe() const override {
+    return label_ + ": " + game_.describe();
+  }
+
+  TrialOutcome run_trial(const ProtocolSpec& protocol,
+                         const DynamicsConfig& dynamics,
+                         Rng& rng) const override {
+    if (protocol.name != "imitation") {
+      throw std::runtime_error(
+          "asymmetric scenarios support only the imitation protocol "
+          "(class-local sampling, paper §3)");
+    }
+    if (dynamics.check_interval < 1) {
+      throw std::runtime_error("check_interval must be >= 1");
+    }
+    AsymmetricImitationParams params;
+    params.lambda = protocol.lambda;
+    params.nu_cutoff = protocol.nu_cutoff;
+    params.damping = protocol.damping;
+
+    // No Definition-1 evaluation exists for asymmetric games, so kDeltaEps
+    // deliberately falls back to the stricter class-wise nu-stability
+    // (documented on StopRule in scenario.hpp).
+    auto stopped = [&](const AsymmetricState& x) {
+      return dynamics.stop == StopRule::kNash
+                 ? is_asymmetric_nash(game_, x)
+                 : is_asymmetric_imitation_stable(game_, x, game_.nu());
+    };
+
+    AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
+    TrialOutcome out;
+    std::int64_t round = 0;
+    for (; round < dynamics.max_rounds; ++round) {
+      if (round % dynamics.check_interval == 0 && stopped(x)) {
+        out.converged = true;
+        break;
+      }
+      out.movers += step_asymmetric_round(game_, x, params, rng).movers;
+    }
+    if (!out.converged && stopped(x)) out.converged = true;
+    out.rounds = static_cast<double>(round);
+    out.potential = game_.potential(x);
+    double cost = 0.0;
+    for (std::int32_t c = 0; c < game_.num_classes(); ++c) {
+      cost += game_.class_average_latency(x, c) *
+              static_cast<double>(game_.player_class(c).num_players);
+    }
+    out.social_cost = cost;
+    return out;
+  }
+
+ private:
+  std::string label_;
+  AsymmetricGame game_;
+};
+
+std::unique_ptr<ScenarioInstance> make_asymmetric(const ScenarioSpec& spec,
+                                                  std::int64_t n) {
+  const auto num_classes =
+      static_cast<std::int32_t>(spec.param("classes", 2.0));
+  const auto per_class =
+      static_cast<std::int32_t>(spec.param("links_per_class", 2.0));
+  if (num_classes < 1 || per_class < 1) {
+    throw std::runtime_error(
+        "asymmetric requires classes >= 1, links_per_class >= 1");
+  }
+  // Resource 0 is a fast link shared by every class; each class also owns
+  // `per_class` private links of increasing cost.
+  std::vector<LatencyPtr> fns;
+  fns.push_back(make_linear(0.5));
+  std::vector<PlayerClass> classes(static_cast<std::size_t>(num_classes));
+  Resource next = 1;
+  for (std::int32_t c = 0; c < num_classes; ++c) {
+    auto& cls = classes[static_cast<std::size_t>(c)];
+    cls.strategies.push_back({0});
+    for (std::int32_t k = 0; k < per_class; ++k) {
+      fns.push_back(make_linear(1.0 + 0.5 * static_cast<double>(k)));
+      cls.strategies.push_back({next});
+      ++next;
+    }
+    cls.num_players = n / num_classes + (c < n % num_classes ? 1 : 0);
+    if (cls.num_players < 1) {
+      throw std::runtime_error("asymmetric requires n >= classes");
+    }
+  }
+  return std::make_unique<AsymmetricInstance>(
+      "asymmetric", AsymmetricGame(std::move(fns), std::move(classes)));
+}
+
+std::unique_ptr<ScenarioInstance> make_multicommodity(const ScenarioSpec& spec,
+                                                      std::int64_t n) {
+  const double share = spec.param("share", 0.6);
+  if (share <= 0.0 || share >= 1.0) {
+    throw std::runtime_error("multicommodity requires share in (0, 1)");
+  }
+  // Two traffic classes contending for a cheap shared middle link.
+  std::vector<LatencyPtr> fns{make_linear(1.5), make_linear(3.0),
+                              make_linear(0.75), make_linear(3.0),
+                              make_linear(1.5)};
+  std::vector<PlayerClass> classes(2);
+  classes[0].strategies = {{0}, {1}, {2}};
+  classes[0].num_players =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    std::llround(share * static_cast<double>(n))));
+  if (classes[0].num_players >= n) classes[0].num_players = n - 1;
+  classes[1].strategies = {{2}, {3}, {4}};
+  classes[1].num_players = n - classes[0].num_players;
+  if (n < 2) throw std::runtime_error("multicommodity requires n >= 2");
+  return std::make_unique<AsymmetricInstance>(
+      "multicommodity", AsymmetricGame(std::move(fns), std::move(classes)));
+}
+
+// ---- Threshold lower-bound scenario (§3.2) ----------------------------------
+
+class ThresholdInstance final : public ScenarioInstance {
+ public:
+  ThresholdInstance(MaxCutInstance inst, int nodes)
+      : inst_(std::move(inst)), nodes_(nodes) {}
+
+  std::string describe() const override {
+    return "threshold-lb: tripled quadratic threshold game over " +
+           std::to_string(nodes_) + "-node MaxCut";
+  }
+
+  TrialOutcome run_trial(const ProtocolSpec& protocol,
+                         const DynamicsConfig& dynamics,
+                         Rng& rng) const override {
+    const auto cut = static_cast<std::uint32_t>(
+        rng.uniform_int(std::uint64_t{1} << nodes_));
+    TrialOutcome out;
+    if (protocol.name == "imitation") {
+      const TripledGame tg = triple_quadratic_threshold(inst_);
+      ThresholdState s = tripled_initial_state(tg, cut);
+      const ThresholdRun run =
+          run_tripled_imitation(tg, s, dynamics.max_rounds);
+      out.rounds = static_cast<double>(run.steps);
+      out.movers = run.steps;
+      out.converged = run.converged;
+      out.potential = tg.game.potential(s);
+      out.social_cost = total_latency(tg.game, s);
+    } else {
+      const QuadraticThresholdGame qt = make_quadratic_threshold(inst_);
+      ThresholdState s = state_from_cut(qt.game, cut);
+      const ThresholdRun run =
+          run_threshold_best_response(qt.game, s, dynamics.max_rounds);
+      out.rounds = static_cast<double>(run.steps);
+      out.movers = run.steps;
+      out.converged = run.converged;
+      out.potential = qt.game.potential(s);
+      out.social_cost = total_latency(qt.game, s);
+    }
+    return out;
+  }
+
+ private:
+  static double total_latency(const ThresholdGame& game,
+                              const ThresholdState& s) {
+    double cost = 0.0;
+    for (std::int32_t i = 0; i < game.num_players(); ++i) {
+      cost += game.latency_of(s, i);
+    }
+    return cost;
+  }
+
+  MaxCutInstance inst_;
+  int nodes_;
+};
+
+std::unique_ptr<ScenarioInstance> make_threshold_lb(const ScenarioSpec& spec,
+                                                    std::int64_t n) {
+  const int nodes = static_cast<int>(std::clamp<std::int64_t>(n, 4, 30));
+  const double density = spec.param("density", 0.5);
+  const int max_weight = static_cast<int>(spec.param("max_weight", 64.0));
+  Rng instance_rng(
+      static_cast<std::uint64_t>(spec.param("instance_seed", 1234.0)));
+  return std::make_unique<ThresholdInstance>(
+      MaxCutInstance::random(nodes, density, max_weight, instance_rng),
+      nodes);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+const std::vector<Scenario>& registry() {
+  static const std::vector<Scenario> scenarios = {
+      {"singleton-uniform",
+       "m monomial links, identical or coefficient-fanned (params: m, "
+       "degree, spread)",
+       &make_singleton_uniform},
+      {"load-balancing",
+       "m heterogeneous linear links (params: m, spread, a<i>)",
+       &make_load_balancing},
+      {"network-routing",
+       "layered network, mixed linear/quadratic edges (params: width, depth, "
+       "latency_seed)",
+       &make_network_routing},
+      {"asymmetric",
+       "c classes over private links plus one shared link (params: classes, "
+       "links_per_class)",
+       &make_asymmetric},
+      {"multicommodity",
+       "two commodities contending for a shared middle link (params: share)",
+       &make_multicommodity},
+      {"threshold-lb",
+       "tripled quadratic threshold game from random MaxCut (params: "
+       "density, max_weight, instance_seed)",
+       &make_threshold_lb},
+  };
+  return scenarios;
+}
+
+}  // namespace
+
+std::span<const Scenario> all_scenarios() { return registry(); }
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ScenarioInstance> make_scenario(const ScenarioSpec& spec,
+                                                std::int64_t n) {
+  const Scenario* scenario = find_scenario(spec.name);
+  if (scenario == nullptr) {
+    std::string known;
+    for (const Scenario& s : registry()) {
+      known += known.empty() ? s.name : ", " + s.name;
+    }
+    throw std::runtime_error("unknown scenario '" + spec.name +
+                             "' (known: " + known + ")");
+  }
+  if (n < 1) throw std::runtime_error("scenario requires n >= 1");
+  return scenario->make(spec, n);
+}
+
+}  // namespace cid::sweep

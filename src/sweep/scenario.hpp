@@ -1,0 +1,152 @@
+// Scenario registry: the paper's game families behind one named interface.
+//
+// A ScenarioSpec is a name plus a flat bag of numeric parameters; the
+// registry turns (spec, n) into a ScenarioInstance — an immutable, built
+// game plus the knowledge of how to run ONE independent trial of a given
+// protocol on it. Instances are shared across threads (the game objects
+// are deeply const), so a sweep builds each instance once per n and fans
+// the trials out.
+//
+// Registered scenarios:
+//   singleton-uniform  m monomial links of degree `degree`; identical
+//                      (spread=0) or coefficients fanned over [1, 1+spread)
+//                      (params: m=10, degree=1, spread=0, start)
+//   load-balancing     m heterogeneous linear links a_e spread over
+//                      [1, 1+spread); per-link overrides a0..a15
+//                      (params: m=10, spread=1, a<i>, start)
+//   network-routing    layered width x depth network, mixed linear /
+//                      quadratic edges drawn from latency_seed
+//                      (params: width=3, depth=2, latency_seed=7, start)
+//   asymmetric         c classes, each over its own contiguous window of
+//                      singleton links plus one shared fast link
+//                      (params: classes=2, links_per_class=2)
+//   multicommodity     the two-commodity shared-middle-link routing game
+//                      (params: share=0.6 — class-0 player fraction)
+//   threshold-lb       tripled quadratic threshold game from a random
+//                      MaxCut instance (sequential imitation lower-bound
+//                      construction; n is the node count, clamped to
+//                      [4, 30]; params: density=0.5, max_weight=64)
+//
+// The `start` parameter selects the initial state for the symmetric
+// scenarios: 0 uniform-random (default), 1 geometric-skew (fixed relative
+// imbalance — what Theorem 7 wants held fixed when sweeping n), 2 even
+// split, 3 trap (all players on strategies 0 and 1; the §6 start where
+// pure imitation provably stabilizes sub-optimally).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dynamics/engine.hpp"
+#include "protocols/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace cid::sweep {
+
+struct ScenarioSpec {
+  std::string name;
+  std::map<std::string, double> params;
+
+  /// Returns params[key], or fallback when absent.
+  double param(const std::string& key, double fallback) const;
+};
+
+/// Start-state selector for the symmetric scenarios (param "start").
+enum class StartKind : int {
+  kUniformRandom = 0,
+  kGeometricSkew = 1,
+  kEven = 2,
+  kTrap = 3,
+};
+
+/// Which protocol a trial runs. For the symmetric scenarios all three of
+/// the paper's protocols apply; the asymmetric scenarios support class-
+/// local imitation only (the paper's §3 remark), and threshold-lb maps
+/// "imitation" to the tripled sequential imitation dynamics and any other
+/// name to plain best response.
+struct ProtocolSpec {
+  std::string name = "imitation";  // imitation | exploration | combined
+  double lambda = 0.25;
+  double p_explore = 0.5;          // combined only
+  bool nu_cutoff = true;
+  bool damping = true;
+  std::int64_t virtual_agents = 0;
+};
+
+/// Parses "imitation", "exploration", "combined" or "combined:P" (explore
+/// probability). Throws std::runtime_error on anything else.
+ProtocolSpec parse_protocol_spec(const std::string& token);
+
+/// Builds the corresponding symmetric-game Protocol.
+std::unique_ptr<Protocol> build_protocol(const ProtocolSpec& spec);
+
+/// Asymmetric scenarios have no Definition-1 evaluation (the paper states
+/// it for symmetric games), so they check kDeltaEps as class-wise
+/// nu-imitation-stability — a *stricter* criterion; kNash maps to exact
+/// class-wise Nash. threshold-lb runs sequential dynamics to their own
+/// local-optimum notion and ignores the stop rule entirely.
+enum class StopRule {
+  kImitationStable,  // support-restricted nu-stability
+  kNash,             // exact Nash over the full strategy space
+  kDeltaEps,         // Definition 1 (delta, eps, nu)-equilibrium
+};
+
+struct DynamicsConfig {
+  std::int64_t max_rounds = 100'000;
+  std::int64_t check_interval = 1;
+  EngineMode mode = EngineMode::kAggregate;
+  StopRule stop = StopRule::kDeltaEps;
+  double delta = 0.1;
+  double eps = 0.1;
+};
+
+/// Everything a trial reports. Deliberately wall-clock-free: these fields
+/// are the payload of the determinism contract (bitwise identical across
+/// thread counts); timing lives at the cell level in the runner.
+struct TrialOutcome {
+  double rounds = 0.0;
+  bool converged = false;
+  std::int64_t movers = 0;
+  double potential = 0.0;
+  double social_cost = 0.0;
+
+  friend bool operator==(const TrialOutcome&, const TrialOutcome&) = default;
+};
+
+class ScenarioInstance {
+ public:
+  virtual ~ScenarioInstance() = default;
+
+  virtual std::string describe() const = 0;
+
+  /// Runs one independent trial. Must be const and re-entrant: trials of
+  /// the same instance run concurrently on different threads, each with
+  /// its own Rng stream.
+  virtual TrialOutcome run_trial(const ProtocolSpec& protocol,
+                                 const DynamicsConfig& dynamics,
+                                 Rng& rng) const = 0;
+};
+
+using ScenarioFactory =
+    std::unique_ptr<ScenarioInstance> (*)(const ScenarioSpec&, std::int64_t n);
+
+struct Scenario {
+  std::string name;
+  std::string summary;
+  ScenarioFactory make;
+};
+
+/// All registered scenarios, in registration order.
+std::span<const Scenario> all_scenarios();
+
+/// Looks a scenario up by name; nullptr when unknown.
+const Scenario* find_scenario(const std::string& name);
+
+/// Builds an instance; throws std::runtime_error for an unknown name.
+std::unique_ptr<ScenarioInstance> make_scenario(const ScenarioSpec& spec,
+                                                std::int64_t n);
+
+}  // namespace cid::sweep

@@ -1,0 +1,284 @@
+// Tests for the parallel scenario-sweep runtime. The load-bearing contract
+// is thread-count invariance: a sweep's per-trial results must be bitwise
+// identical whether it runs on 1 thread or 8, because all Rng streams are
+// derived serially (Rng::split) before any worker starts. Everything else
+// — registry, grid parsing, writers, the retrofitted analysis harness —
+// rides on that.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "sweep/output.hpp"
+#include "sweep/pool.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace cid::sweep {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.scenario.name = "load-balancing";
+  grid.scenario.params = {{"m", 4.0}};
+  grid.protocols = parse_protocol_list("imitation,combined");
+  grid.ns = {200, 500};
+  grid.trials = 6;
+  grid.master_seed = 99;
+  grid.dynamics.max_rounds = 2000;
+  return grid;
+}
+
+void expect_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    const TrialRow& ta = a.trials[i];
+    const TrialRow& tb = b.trials[i];
+    EXPECT_EQ(ta.key.cell, tb.key.cell);
+    EXPECT_EQ(ta.key.protocol, tb.key.protocol);
+    EXPECT_EQ(ta.key.n, tb.key.n);
+    EXPECT_EQ(ta.trial, tb.trial);
+    // operator== compares every field exactly — bitwise for the doubles.
+    EXPECT_EQ(ta.outcome, tb.outcome) << "trial " << i << " diverged";
+  }
+}
+
+TEST(SweepDeterminism, ThreadCountInvariant) {
+  const SweepGrid grid = small_grid();
+  const SweepResult serial = run_sweep(grid, {.threads = 1});
+  const SweepResult four = run_sweep(grid, {.threads = 4});
+  const SweepResult eight = run_sweep(grid, {.threads = 8});
+  expect_identical(serial, four);
+  expect_identical(serial, eight);
+}
+
+TEST(SweepDeterminism, RepeatedRunsIdentical) {
+  const SweepGrid grid = small_grid();
+  expect_identical(run_sweep(grid, {.threads = 3}),
+                   run_sweep(grid, {.threads = 3}));
+}
+
+TEST(SweepDeterminism, AsymmetricAndThresholdScenarios) {
+  for (const char* name : {"asymmetric", "multicommodity", "threshold-lb"}) {
+    SweepGrid grid;
+    grid.scenario.name = name;
+    grid.protocols = parse_protocol_list("imitation");
+    grid.ns = {60};
+    grid.trials = 4;
+    grid.master_seed = 7;
+    grid.dynamics.max_rounds = 5000;
+    grid.dynamics.stop = StopRule::kImitationStable;
+    expect_identical(run_sweep(grid, {.threads = 1}),
+                     run_sweep(grid, {.threads = 4}));
+  }
+}
+
+TEST(SweepDeterminism, WrittenFilesIdenticalAcrossThreadCounts) {
+  const SweepGrid grid = small_grid();
+  const SweepResult serial = run_sweep(grid, {.threads = 1});
+  const SweepResult parallel = run_sweep(grid, {.threads = 8});
+  auto slurp_trials = [](const SweepResult& result, const std::string& path) {
+    write_trials_jsonl(path, result);
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+    return ss.str();
+  };
+  const std::string dir = ::testing::TempDir();
+  EXPECT_EQ(slurp_trials(serial, dir + "/sweep_t1.jsonl"),
+            slurp_trials(parallel, dir + "/sweep_t8.jsonl"));
+}
+
+TEST(SweepRunner, CellAggregatesMatchTrials) {
+  const SweepGrid grid = small_grid();
+  const SweepResult result = run_sweep(grid, {.threads = 2});
+  ASSERT_EQ(result.cells.size(), grid.ns.size() * grid.protocols.size());
+  ASSERT_EQ(result.trials.size(),
+            result.cells.size() * static_cast<std::size_t>(grid.trials));
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    const CellRow& cell = result.cells[c];
+    double sum = 0.0;
+    int converged = 0;
+    for (int t = 0; t < grid.trials; ++t) {
+      const TrialRow& trial =
+          result.trials[c * static_cast<std::size_t>(grid.trials) +
+                        static_cast<std::size_t>(t)];
+      EXPECT_EQ(trial.key.cell, cell.key.cell);
+      sum += trial.outcome.rounds;
+      converged += trial.outcome.converged ? 1 : 0;
+    }
+    EXPECT_DOUBLE_EQ(cell.rounds.mean,
+                     sum / static_cast<double>(grid.trials));
+    EXPECT_DOUBLE_EQ(cell.fraction_converged,
+                     static_cast<double>(converged) /
+                         static_cast<double>(grid.trials));
+  }
+}
+
+TEST(SweepPool, MapTrialsMatchesHistoricalSerialHarness) {
+  // The analysis harness has always run: master.split(t) serially, one
+  // value per child. map_trials must reproduce that exactly — for every
+  // thread count.
+  const auto fn = [](Rng& rng) { return rng.uniform() + rng.uniform(); };
+  Rng master(0xABCDE);
+  std::vector<double> expected;
+  for (int t = 0; t < 17; ++t) {
+    Rng child = master.split(static_cast<std::uint64_t>(t));
+    expected.push_back(fn(child));
+  }
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(map_trials(17, 0xABCDE, fn, threads), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SweepPool, RunTrialsThreadInvariant) {
+  const auto fn = [](Rng& rng) {
+    double acc = 0.0;
+    for (int i = 0; i < 100; ++i) acc += rng.uniform();
+    return acc;
+  };
+  const TrialSet serial = run_trials(23, 42, fn, 1);
+  const TrialSet parallel = run_trials(23, 42, fn, 8);
+  EXPECT_EQ(serial.values, parallel.values);
+  EXPECT_DOUBLE_EQ(serial.summary.mean, parallel.summary.mean);
+  EXPECT_DOUBLE_EQ(serial.sem, parallel.sem);
+}
+
+TEST(SweepPool, ParallelForCoversEveryIndexOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(1000, 8, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SweepPool, ParallelForPropagatesExceptions) {
+  EXPECT_THROW(parallel_for(64, 4,
+                            [](std::int64_t i) {
+                              if (i == 17) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(SweepPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_GE(resolve_threads(0), 1);
+}
+
+TEST(SweepGridParsing, LogDecades) {
+  EXPECT_EQ(parse_grid_axis("n=1000:100000:log"),
+            (std::vector<std::int64_t>{1000, 10000, 100000}));
+  // A non-decade endpoint is still included.
+  EXPECT_EQ(parse_grid_axis("100:5000:log"),
+            (std::vector<std::int64_t>{100, 1000, 5000}));
+}
+
+TEST(SweepGridParsing, LogWithPointCountHitsEndpoints) {
+  const auto values = parse_grid_axis("n=100:100000:log:4");
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values.front(), 100);
+  EXPECT_EQ(values.back(), 100000);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_GT(values[i], values[i - 1]);
+  }
+}
+
+TEST(SweepGridParsing, LinearAndList) {
+  EXPECT_EQ(parse_grid_axis("n=100:500:lin:5"),
+            (std::vector<std::int64_t>{100, 200, 300, 400, 500}));
+  EXPECT_EQ(parse_grid_axis("n=100,1000,5000"),
+            (std::vector<std::int64_t>{100, 1000, 5000}));
+  // Non-adjacent duplicates are dropped too (first occurrence wins): a
+  // duplicated n would mint two cells with the same key.
+  EXPECT_EQ(parse_grid_axis("n=1000,100,1000"),
+            (std::vector<std::int64_t>{1000, 100}));
+}
+
+TEST(SweepGridParsing, Rejections) {
+  EXPECT_THROW(parse_grid_axis(""), std::runtime_error);
+  EXPECT_THROW(parse_grid_axis("n=10:5:log"), std::runtime_error);
+  EXPECT_THROW(parse_grid_axis("n=10:100:cubic"), std::runtime_error);
+  EXPECT_THROW(parse_grid_axis("n=0:10:lin"), std::runtime_error);
+  EXPECT_THROW(parse_grid_axis("n=1:10:log:1"), std::runtime_error);
+}
+
+TEST(SweepProtocols, ParsingAndConstruction) {
+  const auto specs = parse_protocol_list("imitation,exploration,combined:0.3");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "imitation");
+  EXPECT_EQ(specs[1].name, "exploration");
+  EXPECT_EQ(specs[2].name, "combined");
+  EXPECT_DOUBLE_EQ(specs[2].p_explore, 0.3);
+  for (const ProtocolSpec& spec : specs) {
+    EXPECT_FALSE(build_protocol(spec)->name().empty());
+  }
+  EXPECT_THROW(parse_protocol_list("imitation,,combined"),
+               std::runtime_error);
+  EXPECT_THROW(parse_protocol_spec("mutation"), std::runtime_error);
+  EXPECT_THROW(parse_protocol_spec("imitation:0.5"), std::runtime_error);
+  EXPECT_THROW(parse_protocol_spec("combined:1.5"), std::runtime_error);
+}
+
+TEST(SweepScenarios, RegistryIsComplete) {
+  for (const char* name :
+       {"singleton-uniform", "load-balancing", "network-routing",
+        "asymmetric", "multicommodity", "threshold-lb"}) {
+    const Scenario* scenario = find_scenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    EXPECT_EQ(scenario->name, name);
+    ScenarioSpec spec;
+    spec.name = name;
+    const auto instance = make_scenario(spec, 64);
+    EXPECT_FALSE(instance->describe().empty());
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+  ScenarioSpec unknown;
+  unknown.name = "no-such-scenario";
+  EXPECT_THROW(make_scenario(unknown, 100), std::runtime_error);
+}
+
+TEST(SweepScenarios, AsymmetricRejectsNonImitation) {
+  ScenarioSpec spec;
+  spec.name = "multicommodity";
+  const auto instance = make_scenario(spec, 100);
+  ProtocolSpec exploration;
+  exploration.name = "exploration";
+  Rng rng(1);
+  EXPECT_THROW(instance->run_trial(exploration, DynamicsConfig{}, rng),
+               std::runtime_error);
+}
+
+TEST(SweepOutput, WritersProduceExpectedShape) {
+  const SweepGrid grid = small_grid();
+  const SweepResult result = run_sweep(grid, {.threads = 2});
+  const std::string prefix = ::testing::TempDir() + "/cid_sweep_out";
+  const auto paths = write_sweep_outputs(prefix, result);
+  ASSERT_EQ(paths.size(), 4u);
+  auto count_lines = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) ++lines;
+    return lines;
+  };
+  // CSV: header + one line per row. JSONL: one object per row.
+  EXPECT_EQ(count_lines(paths[0]), result.trials.size() + 1);
+  EXPECT_EQ(count_lines(paths[1]), result.cells.size() + 1);
+  EXPECT_EQ(count_lines(paths[2]), result.trials.size());
+  EXPECT_EQ(count_lines(paths[3]), result.cells.size());
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cid::sweep
