@@ -14,18 +14,31 @@
 // with the bench's coefficient fan and geometric-skew start), so the
 // five cells' trials execute concurrently across hardware threads with
 // thread-count-invariant results. `--json PATH` emits BENCH_<name>.json.
+//
+// `--quick` shrinks the grid (n <= 10^4, fewer trials) for CI: the CI job
+// runs quick mode every push and uploads BENCH_convergence_n.json as an
+// artifact, diffable against the checked-in baseline at the repo root.
+// Quick-mode results are deterministic (same seeds, thread-invariant
+// runtime), so cells[] should only move when the dynamics change;
+// wall_seconds tracks the hardware.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common.hpp"
 
 using namespace cid;
 
 int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
   std::printf(
       "E3 / Theorem 7 — hitting time of (delta,eps,nu)-equilibria vs n\n"
       "(m=10 quadratic links, geometric-skew start, delta=eps=0.1, "
-      "lambda=1/4, 15 trials)\n\n");
+      "lambda=1/4, %d trials%s)\n\n",
+      quick ? 6 : 15, quick ? ", quick mode" : "");
   const double delta = 0.1, eps = 0.1;
   bench::JsonReport report("convergence_n");
 
@@ -38,6 +51,10 @@ int main(int argc, char** argv) {
   grid.protocols = {sweep::ProtocolSpec{}};  // imitation, lambda 1/4
   grid.ns = {100, 1000, 10000, 100000, 1000000};
   grid.trials = 15;
+  if (quick) {
+    grid.ns = {100, 1000, 10000};
+    grid.trials = 6;
+  }
   grid.master_seed = 0xE3;
   grid.dynamics.max_rounds = 100000;
   grid.dynamics.stop = sweep::StopRule::kDeltaEps;
@@ -58,7 +75,7 @@ int main(int argc, char** argv) {
 
     // Stronger statement: expected TOTAL rounds spent off-equilibrium over
     // a long horizon (the proof bounds this, not just the first hit).
-    const TrialSet noneq = run_trials(5, 0x3E3, [&](Rng& rng) {
+    const TrialSet noneq = run_trials(quick ? 2 : 5, 0x3E3, [&](Rng& rng) {
       State x = bench::geometric_skew_state(game);
       std::int64_t bad = 0;
       RunOptions run_options;

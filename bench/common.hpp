@@ -89,6 +89,11 @@ class JsonReport {
       out << '}';
     }
     out << "]}\n";
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write failed (disk full?) for '" + target +
+                               "'");
+    }
   }
 
  private:

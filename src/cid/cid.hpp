@@ -32,6 +32,12 @@
 #include "latency/latency.hpp"        // IWYU pragma: export
 #include "lowerbound/maxcut.hpp"      // IWYU pragma: export
 #include "lowerbound/threshold_game.hpp"  // IWYU pragma: export
+#include "persist/binio.hpp"          // IWYU pragma: export
+#include "persist/checkpoint.hpp"     // IWYU pragma: export
+#include "persist/codec.hpp"          // IWYU pragma: export
+#include "persist/eventlog.hpp"       // IWYU pragma: export
+#include "persist/manifest.hpp"       // IWYU pragma: export
+#include "persist/snapshot.hpp"       // IWYU pragma: export
 #include "protocols/combined.hpp"     // IWYU pragma: export
 #include "protocols/exploration.hpp"  // IWYU pragma: export
 #include "protocols/imitation.hpp"    // IWYU pragma: export

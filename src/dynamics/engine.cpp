@@ -125,8 +125,11 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
                        const RoundObserver& observer) {
   CID_ENSURE(options.max_rounds >= 0, "max_rounds must be >= 0");
   CID_ENSURE(options.check_interval >= 1, "check_interval must be >= 1");
+  CID_ENSURE(options.start_round >= 0, "start_round must be >= 0");
   RunResult result;
-  for (std::int64_t round = 0; round < options.max_rounds; ++round) {
+  result.rounds = options.start_round;
+  for (std::int64_t round = options.start_round; round < options.max_rounds;
+       ++round) {
     if (stop && round % options.check_interval == 0 &&
         stop(game, x, round)) {
       result.converged = true;

@@ -60,12 +60,18 @@ struct RunOptions {
   std::int64_t max_rounds = 1'000'000;
   std::int64_t check_interval = 1;
   EngineMode mode = EngineMode::kAggregate;
+  /// First round index to execute (max_rounds stays the TOTAL cap, not a
+  /// per-invocation budget). Non-zero when resuming from a checkpoint: the
+  /// caller restores (state, rng, round) from a snapshot and continues
+  /// with absolute round numbering, so observers, stop checks, and event
+  /// logs line up bit-exactly with the uninterrupted run.
+  std::int64_t start_round = 0;
 };
 
 struct RunResult {
-  std::int64_t rounds = 0;        // rounds actually executed
+  std::int64_t rounds = 0;        // completed rounds (absolute index)
   bool converged = false;         // stop predicate fired
-  std::int64_t total_movers = 0;  // migrations summed over the run
+  std::int64_t total_movers = 0;  // migrations summed over THIS invocation
 };
 
 /// Runs until the predicate fires or max_rounds is exhausted.

@@ -217,18 +217,41 @@ State parse_state(const CongestionGame& game, const std::string& text) {
   return State(game, std::move(counts));
 }
 
-void save_game(const CongestionGame& game, const std::string& path) {
+namespace {
+
+void write_text_file(const std::string& path, const std::string& text) {
   std::ofstream out(path);
   CID_ENSURE(out.good(), "cannot open path for writing: " + path);
-  out << serialize_game(game);
+  out << text;
+  out.flush();
+  CID_ENSURE(out.good(), "write failed (disk full?) for: " + path);
 }
 
-CongestionGame load_game(const std::string& path) {
+std::string read_text_file(const std::string& path) {
   std::ifstream in(path);
   CID_ENSURE(in.good(), "cannot open path for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_game(buffer.str());
+  CID_ENSURE(!in.bad(), "read failed for: " + path);
+  return buffer.str();
+}
+
+}  // namespace
+
+void save_game(const CongestionGame& game, const std::string& path) {
+  write_text_file(path, serialize_game(game));
+}
+
+CongestionGame load_game(const std::string& path) {
+  return parse_game(read_text_file(path));
+}
+
+void save_state(const State& x, const std::string& path) {
+  write_text_file(path, serialize_state(x));
+}
+
+State load_state(const CongestionGame& game, const std::string& path) {
+  return parse_state(game, read_text_file(path));
 }
 
 }  // namespace cid

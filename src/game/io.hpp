@@ -37,8 +37,12 @@ CongestionGame parse_game(const std::string& text);
 std::string serialize_state(const State& x);
 State parse_state(const CongestionGame& game, const std::string& text);
 
-/// File convenience wrappers.
+/// File convenience wrappers. All writers flush and verify the stream
+/// before returning, throwing with the path name on any write failure —
+/// a full disk must never silently truncate an instance file.
 void save_game(const CongestionGame& game, const std::string& path);
 CongestionGame load_game(const std::string& path);
+void save_state(const State& x, const std::string& path);
+State load_state(const CongestionGame& game, const std::string& path);
 
 }  // namespace cid

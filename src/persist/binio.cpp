@@ -1,0 +1,220 @@
+#include "persist/binio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace cid::persist {
+
+namespace {
+
+struct Crc32Table {
+  std::array<std::uint32_t, 256> entries{};
+  Crc32Table() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table kCrc32Table;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kCrc32Table.entries[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t read_le32(const char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t read_le64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void BinWriter::u8(std::uint8_t v) {
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void BinWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinWriter::str(const std::string& s) {
+  if (s.size() > 0xFFFFFFFFull) {
+    throw persist_error("string too large to serialize");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.append(s);
+}
+
+void BinWriter::raw(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+const void* BinReader::take(std::size_t size) {
+  if (remaining() < size) {
+    fail("truncated payload (wanted " + std::to_string(size) + " bytes, " +
+         std::to_string(remaining()) + " left)");
+  }
+  const void* p = buffer_.data() + position_;
+  position_ += size;
+  return p;
+}
+
+std::uint8_t BinReader::u8() {
+  return static_cast<std::uint8_t>(
+      *static_cast<const unsigned char*>(take(1)));
+}
+
+std::uint32_t BinReader::u32() {
+  return read_le32(static_cast<const char*>(take(4)));
+}
+
+std::uint64_t BinReader::u64() {
+  return read_le64(static_cast<const char*>(take(8)));
+}
+
+double BinReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BinReader::str() {
+  const std::uint32_t size = u32();
+  const char* p = static_cast<const char*>(take(size));
+  return std::string(p, size);
+}
+
+void BinReader::expect_done() const {
+  if (!done()) {
+    fail(std::to_string(remaining()) + " trailing bytes after payload");
+  }
+}
+
+void BinReader::fail(const std::string& message) const {
+  throw persist_error(context_ + ": " + message);
+}
+
+void write_file_atomic(const std::string& path, const std::string& magic,
+                       std::uint8_t version, const std::string& payload) {
+  const std::string tmp = path + ".tmp";
+  BinWriter blob;
+  blob.raw(magic.data(), magic.size());
+  blob.u8(version);
+  blob.u64(payload.size());
+  blob.raw(payload.data(), payload.size());
+  blob.u32(crc32(payload.data(), payload.size()));
+
+  // fsync before the rename and fsync the directory after it: rename-over
+  // is only atomic against POWER LOSS if the tmp file's data blocks are on
+  // disk before the rename is journaled (delayed allocation on ext4/xfs
+  // can otherwise journal the rename first, destroying the previous
+  // checkpoint AND leaving the new one empty).
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + tmp + "' for writing");
+  }
+  const bool wrote =
+      std::fwrite(blob.buffer().data(), 1, blob.buffer().size(), file) ==
+          blob.buffer().size() &&
+      std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    throw persist_error("write failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw persist_error("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {  // best-effort: some filesystems refuse dir fsync
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw persist_error("cannot open '" + path + "' for reading");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw persist_error("read failed for '" + path + "'");
+  return data;
+}
+
+FramedFile read_file_checked(const std::string& path,
+                             const std::string& magic,
+                             std::uint8_t max_version) {
+  const std::string data = slurp_file(path);
+  // magic + version + size + crc is the minimum structurally valid file.
+  const std::size_t overhead = magic.size() + 1 + 8 + 4;
+  if (data.size() < overhead) {
+    throw persist_error(path + ": file too short to be a valid artifact");
+  }
+  if (data.compare(0, magic.size(), magic) != 0) {
+    throw persist_error(path + ": bad magic (not a " + magic + " file)");
+  }
+  FramedFile file;
+  file.version = static_cast<std::uint8_t>(
+      static_cast<unsigned char>(data[magic.size()]));
+  if (file.version < 1 || file.version > max_version) {
+    throw persist_error(path + ": unsupported format version " +
+                        std::to_string(file.version) + " (reader supports " +
+                        "1.." + std::to_string(max_version) + ")");
+  }
+  const std::uint64_t payload_size = read_le64(data.data() + magic.size() + 1);
+  if (payload_size != data.size() - overhead) {
+    throw persist_error(path + ": payload size mismatch (header says " +
+                        std::to_string(payload_size) + ", file holds " +
+                        std::to_string(data.size() - overhead) + ")");
+  }
+  const char* payload = data.data() + magic.size() + 1 + 8;
+  const std::uint32_t stored = read_le32(data.data() + data.size() - 4);
+  const std::uint32_t actual =
+      crc32(payload, static_cast<std::size_t>(payload_size));
+  if (stored != actual) {
+    throw persist_error(path + ": checksum mismatch (file corrupt)");
+  }
+  file.payload.assign(payload, static_cast<std::size_t>(payload_size));
+  return file;
+}
+
+}  // namespace cid::persist

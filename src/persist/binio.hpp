@@ -1,0 +1,128 @@
+// Binary I/O primitives for the persistence subsystem.
+//
+// Every on-disk artifact in src/persist/ (snapshots, event logs, sweep
+// manifests) is built from the same vocabulary: little-endian fixed-width
+// integers, bit-exact doubles (IEEE-754 words, never decimal round trips),
+// length-prefixed strings, and CRC-32 checksums. BinWriter serializes into
+// an in-memory buffer; BinReader deserializes with hard bounds checks and
+// throws persist_error on any structural violation, so a truncated or
+// bit-flipped file can never be half-read into a live simulation.
+//
+// File framing (single-blob artifacts — snapshots; the streaming event log
+// and manifest define their own record framing on top of these primitives):
+//
+//   magic[7] version:u8 payload_size:u64 payload[...] crc32(payload):u32
+//
+// write_file_atomic stages through "<path>.tmp" + rename, so a crash while
+// checkpointing leaves the previous checkpoint intact — the property that
+// makes overwrite-in-place checkpoint cadence safe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cid::persist {
+
+/// Thrown for any persistence failure: unopenable paths, short reads,
+/// checksum mismatches, version skew, malformed payloads. The message
+/// always names the offending path or field.
+class persist_error : public std::runtime_error {
+ public:
+  explicit persist_error(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) over `size`
+/// bytes, continuing from `seed` (pass the previous return value to
+/// checksum a stream piecewise; start from 0).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
+
+/// Raw little-endian loads. The ONE place the byte order lives when
+/// scanning record streams in place (BinReader uses them too); callers
+/// must have bounds-checked `p` themselves.
+std::uint32_t read_le32(const char* p) noexcept;
+std::uint64_t read_le64(const char* p) noexcept;
+
+/// Append-only little-endian serializer into an owned byte buffer.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Bit-exact: the IEEE-754 word, not a decimal rendering.
+  void f64(double v);
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s);
+  void raw(const void* data, std::size_t size);
+
+  const std::string& buffer() const noexcept { return buffer_; }
+  std::string take() noexcept { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian deserializer over a borrowed buffer (which
+/// must outlive the reader — a string_view so record slices of a larger
+/// file can be parsed in place, without substr copies). Every read past
+/// the end throws persist_error naming `context` (typically the file
+/// path), so corruption surfaces as a diagnosable error, not UB.
+class BinReader {
+ public:
+  BinReader(std::string_view buffer, std::string context)
+      : buffer_(buffer), context_(std::move(context)) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const noexcept {
+    return buffer_.size() - position_;
+  }
+  bool done() const noexcept { return remaining() == 0; }
+
+  /// Asserts the payload was consumed exactly — catches payloads with
+  /// trailing garbage that a field-by-field parse would silently ignore.
+  void expect_done() const;
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  const void* take(std::size_t size);
+
+  std::string_view buffer_;
+  std::string context_;
+  std::size_t position_ = 0;
+};
+
+/// Writes magic+version+payload+crc to `path` via tmp-file + rename.
+/// Throws persist_error (naming the path) on any write or rename failure.
+void write_file_atomic(const std::string& path, const std::string& magic,
+                       std::uint8_t version, const std::string& payload);
+
+struct FramedFile {
+  std::uint8_t version = 0;
+  std::string payload;
+};
+
+/// Reads and validates a framed file: magic must match, version must be in
+/// [1, max_version] (the forward-compatibility policy: readers refuse
+/// versions newer than they understand), size and CRC must agree.
+FramedFile read_file_checked(const std::string& path,
+                             const std::string& magic,
+                             std::uint8_t max_version);
+
+/// Reads a whole file into memory; throws persist_error when unreadable.
+std::string slurp_file(const std::string& path);
+
+}  // namespace cid::persist

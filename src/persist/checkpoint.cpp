@@ -1,0 +1,139 @@
+#include "persist/checkpoint.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "dynamics/equilibrium.hpp"
+#include "persist/binio.hpp"
+#include "protocols/combined.hpp"
+#include "protocols/exploration.hpp"
+#include "protocols/imitation.hpp"
+
+namespace cid::persist {
+
+Checkpointer::Checkpointer(const CongestionGame& game, const Rng& rng,
+                           CheckpointConfig checkpoint, SimConfig sim)
+    : game_(game),
+      rng_(rng),
+      checkpoint_(std::move(checkpoint)),
+      sim_(std::move(sim)) {
+  if (checkpoint_.path.empty()) {
+    throw persist_error("checkpoint path must not be empty");
+  }
+  if (checkpoint_.every < 0) {
+    throw persist_error("checkpoint cadence must be >= 0");
+  }
+}
+
+void Checkpointer::write_now(const State& x, std::int64_t round) const {
+  save_snapshot(make_snapshot(game_, x, rng_, round, sim_),
+                checkpoint_.path);
+}
+
+RoundObserver Checkpointer::observer() const {
+  return [this](const CongestionGame& game, const State& x,
+                std::span<const Migration> moves, std::int64_t round,
+                bool final) {
+    if (final) {
+      // Final call carries the post-run state and no moves.
+      write_now(x, round);
+      return;
+    }
+    if (checkpoint_.every <= 0 || (round + 1) % checkpoint_.every != 0) {
+      return;
+    }
+    // The RNG has consumed rounds 0..round; pairing it with the post-round
+    // state at counter round+1 is the unique consistent tuple.
+    State after = x;
+    after.apply(game, moves);
+    write_now(after, round + 1);
+  };
+}
+
+RoundObserver chain_observers(RoundObserver first, RoundObserver second) {
+  if (!first) return second;
+  if (!second) return first;
+  return [first = std::move(first), second = std::move(second)](
+             const CongestionGame& game, const State& x,
+             std::span<const Migration> moves, std::int64_t round,
+             bool final) {
+    first(game, x, moves, round, final);
+    second(game, x, moves, round, final);
+  };
+}
+
+StopPredicate stop_from_spec(const std::string& spec) {
+  if (spec == "stable") {
+    return [](const CongestionGame& g, const State& s, std::int64_t) {
+      return is_imitation_stable(g, s, g.nu());
+    };
+  }
+  if (spec == "nash") {
+    return [](const CongestionGame& g, const State& s, std::int64_t) {
+      return is_nash(g, s);
+    };
+  }
+  if (spec.rfind("deltaeps:", 0) == 0) {
+    double delta = 0.1, eps = 0.1;
+    if (std::sscanf(spec.c_str(), "deltaeps:%lf,%lf", &delta, &eps) != 2) {
+      throw persist_error("bad stop spec '" + spec +
+                          "' (expected deltaeps:D,E)");
+    }
+    return [delta, eps](const CongestionGame& g, const State& s,
+                        std::int64_t) {
+      return is_delta_eps_equilibrium(g, s, delta, eps);
+    };
+  }
+  throw persist_error("unknown stop spec '" + spec +
+                      "' (expected stable|nash|deltaeps:D,E)");
+}
+
+ResumedRun resume_run(const std::string& snapshot_path) {
+  Snapshot snapshot = load_snapshot(snapshot_path);
+
+  auto game = std::make_unique<CongestionGame>(std::move(snapshot.game));
+  State state(*game, std::move(snapshot.counts));
+
+  ImitationParams ip;
+  ip.lambda = snapshot.config.lambda;
+  ip.nu_cutoff = snapshot.config.nu_cutoff;
+  ip.damping = snapshot.config.damping;
+  ip.virtual_agents = snapshot.config.virtual_agents;
+  ExplorationParams ep;
+  ep.lambda = snapshot.config.lambda;
+  std::unique_ptr<Protocol> protocol;
+  if (snapshot.config.protocol == "imitation") {
+    protocol = std::make_unique<ImitationProtocol>(ip);
+  } else if (snapshot.config.protocol == "exploration") {
+    protocol = std::make_unique<ExplorationProtocol>(ep);
+  } else if (snapshot.config.protocol == "combined") {
+    protocol = std::make_unique<CombinedProtocol>(ip, ep,
+                                                  snapshot.config.p_explore);
+  } else {
+    throw persist_error(snapshot_path + ": unknown protocol '" +
+                        snapshot.config.protocol + "' in snapshot");
+  }
+
+  EngineMode mode = EngineMode::kAggregate;
+  switch (snapshot.config.engine) {
+    case 0:
+      mode = EngineMode::kPerPlayer;
+      break;
+    case 1:
+      mode = EngineMode::kAggregate;
+      break;
+    default:
+      throw persist_error(snapshot_path + ": unknown engine byte " +
+                          std::to_string(snapshot.config.engine));
+  }
+
+  Rng rng;
+  rng.set_state(snapshot.rng_state);
+
+  return ResumedRun{std::move(game),    std::move(state),
+                    rng,                snapshot.round,
+                    snapshot.config,    std::move(protocol),
+                    mode};
+}
+
+}  // namespace cid::persist

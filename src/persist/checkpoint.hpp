@@ -1,0 +1,82 @@
+// Checkpoint cadence and resume orchestration.
+//
+// Checkpointer turns the snapshot codec into a RoundObserver: every K
+// completed rounds (and at the final observer call) it writes the full
+// simulation tuple to one path, atomically, overwriting the previous
+// checkpoint. The subtlety this class owns is *when* the tuple is
+// consistent: the observer fires with the PRE-round state and that round's
+// moves, at which point the RNG has already consumed the round's draws —
+// so the snapshot must pair the post-round state (pre-state + moves) with
+// the current RNG and a round counter of round+1. Resuming from such a
+// snapshot re-draws nothing and skips nothing: the continuation is the
+// uninterrupted run, bit for bit.
+//
+// resume_run() is the inverse used by cid_sim --resume: it rebuilds the
+// game, state, protocol, stop predicate, and RNG from a snapshot so the
+// caller only supplies the remaining-rounds budget and observers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dynamics/engine.hpp"
+#include "persist/snapshot.hpp"
+#include "protocols/protocol.hpp"
+
+namespace cid::persist {
+
+struct CheckpointConfig {
+  std::string path;
+  /// Write a snapshot every `every` completed rounds; 0 = only the final
+  /// observer call (still useful: the finished run's tuple on disk).
+  std::int64_t every = 0;
+};
+
+class Checkpointer {
+ public:
+  /// The game, rng, and config outlive the run; the rng reference must be
+  /// the exact stream the dynamics draw from.
+  Checkpointer(const CongestionGame& game, const Rng& rng,
+               CheckpointConfig checkpoint, SimConfig sim);
+
+  /// Writes a snapshot of (round, x, rng-now) immediately. Used for the
+  /// round-0 snapshot (capture *before* run_dynamics consumes any round
+  /// draws) and by the observer.
+  void write_now(const State& x, std::int64_t round) const;
+
+  /// Observer implementing the cadence (see file comment for why it
+  /// snapshots pre_state + moves at round+1).
+  RoundObserver observer() const;
+
+ private:
+  const CongestionGame& game_;
+  const Rng& rng_;
+  CheckpointConfig checkpoint_;
+  SimConfig sim_;
+};
+
+/// Chains observers (either may be null); calls run in argument order.
+RoundObserver chain_observers(RoundObserver first, RoundObserver second);
+
+/// Everything cid_sim needs to continue a snapshotted run. The game is
+/// owned here (stable address for the protocol/state that reference it).
+struct ResumedRun {
+  std::unique_ptr<CongestionGame> game;
+  State state;
+  Rng rng;
+  std::int64_t round = 0;
+  SimConfig config;
+  std::unique_ptr<Protocol> protocol;
+  EngineMode mode = EngineMode::kAggregate;
+};
+
+/// Loads a snapshot and rebuilds the live simulation tuple. Throws
+/// persist_error on an unknown protocol name or engine byte.
+ResumedRun resume_run(const std::string& snapshot_path);
+
+/// Builds the stop predicate a SimConfig::stop spec describes ("stable",
+/// "nash", "deltaeps:D,E"); shared by cid_sim and resume paths.
+StopPredicate stop_from_spec(const std::string& spec);
+
+}  // namespace cid::persist

@@ -1,0 +1,176 @@
+#include "persist/codec.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "latency/latency.hpp"
+
+namespace cid::persist {
+
+namespace {
+
+// Latency class tags. Appending new classes is a compatible change (old
+// readers reject unknown tags loudly); renumbering is not.
+enum LatencyTag : std::uint8_t {
+  kConstant = 1,
+  kMonomial = 2,
+  kPolynomial = 3,
+  kExponential = 4,
+  kScaled = 5,
+};
+
+// Structural limits, enforced symmetrically on encode AND decode: a limit
+// the writer does not enforce would let a valid in-memory game produce a
+// snapshot that can never be loaded back — the exact failure this
+// subsystem exists to prevent. Matches the text format's caps.
+constexpr std::uint32_t kMaxPolynomialCoefficients = 64;
+constexpr int kMaxScaledNesting = 16;
+constexpr std::uint32_t kMaxResources = 1u << 20;
+constexpr std::uint32_t kMaxStrategies = 1u << 22;
+
+void encode_latency(BinWriter& out, const LatencyFunction& fn,
+                    int depth = 0) {
+  if (depth > kMaxScaledNesting) {
+    throw persist_error("scaled latency nesting exceeds " +
+                        std::to_string(kMaxScaledNesting));
+  }
+  if (const auto* c = dynamic_cast<const ConstantLatency*>(&fn)) {
+    out.u8(kConstant);
+    out.f64(c->constant());
+    return;
+  }
+  if (const auto* m = dynamic_cast<const MonomialLatency*>(&fn)) {
+    out.u8(kMonomial);
+    out.f64(m->coefficient());
+    out.f64(m->degree());
+    return;
+  }
+  if (const auto* p = dynamic_cast<const PolynomialLatency*>(&fn)) {
+    if (p->coefficients().size() > kMaxPolynomialCoefficients) {
+      throw persist_error("polynomial degree too large to serialize (max " +
+                          std::to_string(kMaxPolynomialCoefficients) + ")");
+    }
+    out.u8(kPolynomial);
+    out.u32(static_cast<std::uint32_t>(p->coefficients().size()));
+    for (double a : p->coefficients()) out.f64(a);
+    return;
+  }
+  if (const auto* e = dynamic_cast<const ExponentialLatency*>(&fn)) {
+    // Same reconstruction as the text format: a = ℓ(0), b = ℓ'(0)/ℓ(0).
+    const double a = e->value(0.0);
+    out.u8(kExponential);
+    out.f64(a);
+    out.f64(e->derivative(0.0) / a);
+    return;
+  }
+  if (const auto* s = dynamic_cast<const ScaledLatency*>(&fn)) {
+    out.u8(kScaled);
+    out.i64(s->divisor());
+    encode_latency(out, s->base(), depth + 1);
+    return;
+  }
+  throw persist_error("unsupported latency class for binary serialization: " +
+                      fn.describe());
+}
+
+LatencyPtr decode_latency(BinReader& in, int depth = 0) {
+  const std::uint8_t tag = in.u8();
+  switch (tag) {
+    case kConstant:
+      return make_constant(in.f64());
+    case kMonomial: {
+      const double a = in.f64();
+      const double d = in.f64();
+      return make_monomial(a, d);
+    }
+    case kPolynomial: {
+      const std::uint32_t k = in.u32();
+      if (k > kMaxPolynomialCoefficients) {
+        in.fail("polynomial degree too large");
+      }
+      std::vector<double> coef(k);
+      for (auto& c : coef) c = in.f64();
+      return make_polynomial(std::move(coef));
+    }
+    case kExponential: {
+      const double a = in.f64();
+      const double b = in.f64();
+      return make_exponential(a, b);
+    }
+    case kScaled: {
+      // Depth cap: without it a crafted file of nested kScaled tags (CRC-32
+      // is integrity, not authentication) would overflow the stack instead
+      // of throwing persist_error.
+      if (depth >= kMaxScaledNesting) in.fail("scaled latency nested too deep");
+      const std::int64_t n = in.i64();
+      LatencyPtr base = decode_latency(in, depth + 1);
+      return make_scaled(std::move(base), n);
+    }
+    default:
+      in.fail("unknown latency tag " + std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+void encode_game(BinWriter& out, const CongestionGame& game) {
+  if (static_cast<std::uint32_t>(game.num_resources()) > kMaxResources ||
+      static_cast<std::uint32_t>(game.num_strategies()) > kMaxStrategies) {
+    throw persist_error("game too large for the snapshot format");
+  }
+  out.i64(game.num_players());
+  out.u32(static_cast<std::uint32_t>(game.num_resources()));
+  for (Resource e = 0; e < game.num_resources(); ++e) {
+    encode_latency(out, game.latency(e));
+  }
+  out.u32(static_cast<std::uint32_t>(game.num_strategies()));
+  for (StrategyId s = 0; s < game.num_strategies(); ++s) {
+    const Strategy& st = game.strategy(s);
+    out.u32(static_cast<std::uint32_t>(st.size()));
+    for (Resource e : st) out.i32(e);
+  }
+}
+
+CongestionGame decode_game(BinReader& in) {
+  const std::int64_t players = in.i64();
+  const std::uint32_t resources = in.u32();
+  if (resources < 1 || resources > kMaxResources) {
+    in.fail("bad resource count");
+  }
+  std::vector<LatencyPtr> latencies;
+  latencies.reserve(resources);
+  for (std::uint32_t e = 0; e < resources; ++e) {
+    latencies.push_back(decode_latency(in));
+  }
+  const std::uint32_t num_strategies = in.u32();
+  if (num_strategies < 1 || num_strategies > kMaxStrategies) {
+    in.fail("bad strategy count");
+  }
+  std::vector<Strategy> strategies;
+  strategies.reserve(num_strategies);
+  for (std::uint32_t s = 0; s < num_strategies; ++s) {
+    const std::uint32_t len = in.u32();
+    if (len > resources) in.fail("strategy longer than the resource set");
+    Strategy st(len);
+    for (auto& e : st) e = in.i32();
+    strategies.push_back(std::move(st));
+  }
+  return CongestionGame(std::move(latencies), std::move(strategies), players);
+}
+
+void encode_state(BinWriter& out, const State& x) {
+  out.u32(static_cast<std::uint32_t>(x.counts().size()));
+  for (std::int64_t c : x.counts()) out.i64(c);
+}
+
+State decode_state(BinReader& in, const CongestionGame& game) {
+  const std::uint32_t k = in.u32();
+  if (k != static_cast<std::uint32_t>(game.num_strategies())) {
+    in.fail("state dimension does not match game");
+  }
+  std::vector<std::int64_t> counts(k);
+  for (auto& c : counts) c = in.i64();
+  return State(game, std::move(counts));
+}
+
+}  // namespace cid::persist

@@ -1,0 +1,29 @@
+// Binary codecs for games and states.
+//
+// The snapshot format embeds the full game so a checkpoint file is
+// self-contained (auditable without hunting for the original .game file).
+// These codecs are the binary siblings of the cid-game/cid-state v1 text
+// format in src/game/io.hpp: same supported latency classes, same strict
+// validation on decode (decoding reconstructs through the CongestionGame /
+// State constructors, so every invariant is re-checked), but bit-exact
+// doubles and O(size) parsing. They encode into / decode from the binio
+// primitives so callers compose them into larger payloads (snapshots).
+#pragma once
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+#include "persist/binio.hpp"
+
+namespace cid::persist {
+
+/// Appends the game to `out`. Throws persist_error for latency classes
+/// outside the supported set (constant, monomial, polynomial, exponential,
+/// scaled) — the same contract as the text serializer.
+void encode_game(BinWriter& out, const CongestionGame& game);
+CongestionGame decode_game(BinReader& in);
+
+/// Appends the per-strategy counts; decode validates against `game`.
+void encode_state(BinWriter& out, const State& x);
+State decode_state(BinReader& in, const CongestionGame& game);
+
+}  // namespace cid::persist

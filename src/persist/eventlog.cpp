@@ -1,0 +1,208 @@
+#include "persist/eventlog.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "persist/binio.hpp"
+
+namespace cid::persist {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 7 + 1;  // magic + version
+
+std::string encode_record(std::int64_t round,
+                          std::span<const Migration> moves) {
+  BinWriter out;
+  out.u64(static_cast<std::uint64_t>(round));
+  out.u32(static_cast<std::uint32_t>(moves.size()));
+  for (const Migration& m : moves) {
+    out.i32(m.from);
+    out.i32(m.to);
+    out.i64(m.count);
+  }
+  BinWriter framed;
+  framed.raw(out.buffer().data(), out.buffer().size());
+  framed.u32(crc32(out.buffer().data(), out.buffer().size()));
+  return framed.take();
+}
+
+/// Parses one record starting at `pos`, in place (no copies — logs of
+/// million-round runs are scanned on every resume); returns false when
+/// the remaining bytes are not one intact record.
+bool parse_record(const std::string& data, std::size_t pos,
+                  std::size_t& next_pos, RoundEvents& events) {
+  constexpr std::size_t kFixed = 8 + 4;  // round + move_count
+  if (data.size() - pos < kFixed + 4) return false;
+  const std::uint32_t move_count = read_le32(data.data() + pos + 8);
+  const std::size_t payload_size =
+      kFixed + static_cast<std::size_t>(move_count) * (4 + 4 + 8);
+  if (data.size() - pos < payload_size + 4) return false;
+  const std::uint32_t stored = read_le32(data.data() + pos + payload_size);
+  if (stored != crc32(data.data() + pos, payload_size)) return false;
+
+  BinReader record(std::string_view(data).substr(pos, payload_size),
+                   "event log record");
+  events.round = static_cast<std::int64_t>(record.u64());
+  record.u32();  // move_count, already decoded
+  events.moves.resize(move_count);
+  for (Migration& m : events.moves) {
+    m.from = record.i32();
+    m.to = record.i32();
+    m.count = record.i64();
+  }
+  next_pos = pos + payload_size + 4;
+  return true;
+}
+
+}  // namespace
+
+EventLog read_event_log(const std::string& path) {
+  const std::string data = slurp_file(path);
+  if (data.size() < kHeaderSize ||
+      data.compare(0, 7, kEventLogMagic) != 0) {
+    throw persist_error(path + ": not a CIDELOG event log");
+  }
+  EventLog log;
+  log.version = static_cast<std::uint8_t>(
+      static_cast<unsigned char>(data[7]));
+  if (log.version < 1 || log.version > kEventLogVersion) {
+    throw persist_error(path + ": unsupported event log version " +
+                        std::to_string(log.version));
+  }
+  std::size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    RoundEvents events;
+    std::size_t next_pos = pos;
+    if (!parse_record(data, pos, next_pos, events)) {
+      log.truncated_tail = true;
+      break;
+    }
+    log.rounds.push_back(std::move(events));
+    pos = next_pos;
+  }
+  return log;
+}
+
+EventLogWriter::EventLogWriter(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+EventLogWriter::EventLogWriter(EventLogWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(std::exchange(other.file_, nullptr)) {}
+
+EventLogWriter& EventLogWriter::operator=(EventLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = std::exchange(other.file_, nullptr);
+  }
+  return *this;
+}
+
+EventLogWriter::~EventLogWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void EventLogWriter::check(bool ok, const char* what) const {
+  if (!ok) {
+    throw persist_error(path_ + ": event log " + what + " failed");
+  }
+}
+
+EventLogWriter EventLogWriter::create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + path + "' for writing");
+  }
+  EventLogWriter writer(path, file);
+  BinWriter header;
+  header.raw(kEventLogMagic, 7);
+  header.u8(kEventLogVersion);
+  writer.check(std::fwrite(header.buffer().data(), 1, header.buffer().size(),
+                           file) == header.buffer().size(),
+               "header write");
+  return writer;
+}
+
+EventLogWriter EventLogWriter::open_for_append(const std::string& path,
+                                               std::int64_t next_round) {
+  // Scan the existing file for the byte offset of the first record at or
+  // beyond next_round (or the first damaged record), then truncate there.
+  const std::string data = slurp_file(path);
+  if (data.size() < kHeaderSize ||
+      data.compare(0, 7, kEventLogMagic) != 0) {
+    throw persist_error(path + ": not a CIDELOG event log");
+  }
+  std::size_t keep = kHeaderSize;
+  std::size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    RoundEvents events;
+    std::size_t next_pos = pos;
+    if (!parse_record(data, pos, next_pos, events) ||
+        events.round >= next_round) {
+      break;
+    }
+    keep = next_pos;
+    pos = next_pos;
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) {
+    throw persist_error(path + ": cannot truncate event log tail: " +
+                        ec.message());
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + path + "' for appending");
+  }
+  return EventLogWriter(path, file);
+}
+
+void EventLogWriter::append(std::int64_t round,
+                            std::span<const Migration> moves) {
+  check(file_ != nullptr, "append after close");
+  const std::string record = encode_record(round, moves);
+  check(std::fwrite(record.data(), 1, record.size(), file_) == record.size(),
+        "record write");
+}
+
+void EventLogWriter::flush() {
+  check(file_ != nullptr && std::fflush(file_) == 0, "flush");
+}
+
+void EventLogWriter::close() {
+  check(file_ != nullptr, "double close");
+  const bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  check(ok && closed, "close");
+}
+
+RoundObserver EventLogWriter::observer() {
+  return [this](const CongestionGame&, const State&,
+                std::span<const Migration> moves, std::int64_t round,
+                bool final) {
+    if (!final) append(round, moves);
+  };
+}
+
+std::int64_t replay_rounds(const CongestionGame& game, State& x,
+                           std::span<const RoundEvents> log,
+                           std::int64_t from_round, std::int64_t to_round) {
+  std::int64_t applied = 0;
+  for (const RoundEvents& events : log) {
+    if (events.round < from_round) continue;
+    if (events.round >= to_round) break;
+    if (events.round != from_round + applied) {
+      throw persist_error("event log round " + std::to_string(events.round) +
+                          " breaks gapless ordering (expected " +
+                          std::to_string(from_round + applied) + ")");
+    }
+    x.apply(game, events.moves);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace cid::persist

@@ -1,0 +1,107 @@
+// Append-only round event log.
+//
+// One record per simulation round, holding that round's aggregated
+// Migration list (drawn against the pre-round state — exactly what the
+// RoundObserver contract delivers). A snapshot plus the event log from its
+// round onward reconstructs any later state by pure replay, with zero RNG
+// draws; the log alone (from round 0) is a complete, compact audit trail
+// of a run.
+//
+// File layout:
+//
+//   magic "CIDELOG" version:u8
+//   record*: round:u64 move_count:u32 (from:i32 to:i32 count:i64)*
+//            crc32(record payload):u32
+//
+// Records are individually checksummed, so the log survives the one
+// corruption mode an append-only file actually has — a truncated tail from
+// a killed writer. open_for_append scans existing records, truncates the
+// file back to the last intact record whose round precedes the resume
+// round, and continues; the resumed file is byte-identical to the one an
+// uninterrupted run would have written (tests/test_resume.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dynamics/engine.hpp"
+#include "game/state.hpp"
+
+namespace cid::persist {
+
+inline constexpr char kEventLogMagic[] = "CIDELOG";
+inline constexpr std::uint8_t kEventLogVersion = 1;
+
+struct RoundEvents {
+  std::int64_t round = 0;
+  std::vector<Migration> moves;
+};
+
+struct EventLog {
+  std::uint8_t version = 0;
+  std::vector<RoundEvents> rounds;
+  /// True when the file ended in a partial or corrupt record (the intact
+  /// prefix is still returned — a killed writer is an expected condition).
+  bool truncated_tail = false;
+};
+
+/// Reads and validates a whole log. Throws persist_error on a missing file
+/// or bad header; a damaged tail sets truncated_tail instead of throwing.
+EventLog read_event_log(const std::string& path);
+
+/// Streaming writer. All write errors throw persist_error naming the path.
+class EventLogWriter {
+ public:
+  /// Creates (truncating) a fresh log.
+  static EventLogWriter create(const std::string& path);
+
+  /// Opens an existing log to continue at `next_round`: validates the
+  /// header, scans records, and truncates the file after the last intact
+  /// record with round < next_round (dropping any tail a killed writer left
+  /// beyond the snapshot being resumed from). The file must already exist.
+  static EventLogWriter open_for_append(const std::string& path,
+                                        std::int64_t next_round);
+
+  EventLogWriter(EventLogWriter&& other) noexcept;
+  EventLogWriter& operator=(EventLogWriter&& other) noexcept;
+  ~EventLogWriter();
+
+  /// Appends one round record. Rounds must be appended in increasing order;
+  /// empty rounds (no movers) are recorded too, so round numbering in the
+  /// log is gapless and replay needs no bookkeeping.
+  void append(std::int64_t round, std::span<const Migration> moves);
+
+  /// Flushes buffered records to the OS. Called automatically on close.
+  void flush();
+
+  /// Flushes and closes; throws on any pending stream error. The
+  /// destructor closes too but swallows errors (destructors must not
+  /// throw) — call close() explicitly where durability matters.
+  void close();
+
+  /// RoundObserver adapter: appends every non-final observer call (the
+  /// final call is a sentinel carrying no moves). The writer must outlive
+  /// the run.
+  RoundObserver observer();
+
+ private:
+  EventLogWriter(std::string path, std::FILE* file);
+
+  void check(bool ok, const char* what) const;
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Replays `log` rounds in [from_round, to_round) onto `x` (mutating it),
+/// validating gapless round numbering against the log contents. Pure
+/// application of recorded migrations: no RNG is involved, by construction.
+/// Returns the number of rounds applied.
+std::int64_t replay_rounds(const CongestionGame& game, State& x,
+                           std::span<const RoundEvents> log,
+                           std::int64_t from_round, std::int64_t to_round);
+
+}  // namespace cid::persist

@@ -1,0 +1,239 @@
+#include "persist/manifest.hpp"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "persist/binio.hpp"
+
+namespace cid::persist {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 7 + 1 + 8 + 4 + 4;
+constexpr std::size_t kRecordPayload = 4 + 4 + 8 + 1 + 8 + 8 + 8;
+constexpr std::size_t kRecordSize = kRecordPayload + 4;
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::string header_bytes(const sweep::SweepGrid& grid) {
+  const std::size_t num_cells = grid.ns.size() * grid.protocols.size();
+  BinWriter out;
+  out.raw(kManifestMagic, 7);
+  out.u8(kManifestVersion);
+  out.u64(grid_fingerprint(grid));
+  out.u32(static_cast<std::uint32_t>(num_cells));
+  out.u32(static_cast<std::uint32_t>(grid.trials));
+  return out.take();
+}
+
+std::string record_bytes(std::uint32_t cell, std::uint32_t trial,
+                         const sweep::TrialOutcome& outcome) {
+  BinWriter out;
+  out.u32(cell);
+  out.u32(trial);
+  out.f64(outcome.rounds);
+  out.u8(outcome.converged ? 1 : 0);
+  out.i64(outcome.movers);
+  out.f64(outcome.potential);
+  out.f64(outcome.social_cost);
+  BinWriter framed;
+  framed.raw(out.buffer().data(), out.buffer().size());
+  framed.u32(crc32(out.buffer().data(), out.buffer().size()));
+  return framed.take();
+}
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const sweep::SweepGrid& grid) {
+  BinWriter out;
+  out.str(grid.scenario.name);
+  out.u32(static_cast<std::uint32_t>(grid.scenario.params.size()));
+  for (const auto& [key, value] : grid.scenario.params) {  // map: sorted
+    out.str(key);
+    out.f64(value);
+  }
+  out.u32(static_cast<std::uint32_t>(grid.protocols.size()));
+  for (const sweep::ProtocolSpec& p : grid.protocols) {
+    out.str(p.name);
+    out.f64(p.lambda);
+    out.f64(p.p_explore);
+    out.u8(p.nu_cutoff ? 1 : 0);
+    out.u8(p.damping ? 1 : 0);
+    out.i64(p.virtual_agents);
+  }
+  out.u32(static_cast<std::uint32_t>(grid.ns.size()));
+  for (std::int64_t n : grid.ns) out.i64(n);
+  out.i64(grid.trials);
+  out.u64(grid.master_seed);
+  out.i64(grid.dynamics.max_rounds);
+  out.i64(grid.dynamics.check_interval);
+  out.u8(static_cast<std::uint8_t>(grid.dynamics.mode));
+  out.u8(static_cast<std::uint8_t>(grid.dynamics.stop));
+  out.f64(grid.dynamics.delta);
+  out.f64(grid.dynamics.eps);
+  return fnv1a(out.buffer());
+}
+
+ManifestContents load_manifest(const std::string& path,
+                               const sweep::SweepGrid& grid) {
+  const std::string data = slurp_file(path);
+  const std::string expected = header_bytes(grid);
+  if (data.size() < kHeaderSize ||
+      data.compare(0, 7, kManifestMagic) != 0) {
+    throw persist_error(path + ": not a CIDMANI sweep manifest");
+  }
+  const auto version =
+      static_cast<std::uint8_t>(static_cast<unsigned char>(data[7]));
+  if (version < 1 || version > kManifestVersion) {
+    throw persist_error(path + ": unsupported manifest version " +
+                        std::to_string(version));
+  }
+  if (data.compare(0, kHeaderSize, expected) != 0) {
+    throw persist_error(
+        path +
+        ": manifest does not match this sweep grid (different scenario, "
+        "protocols, n axis, trials, seed, or dynamics) — refusing to merge");
+  }
+
+  // Header equality against the grid-derived bytes already pins every
+  // field; fill the contents from the grid rather than re-parsing.
+  ManifestContents contents;
+  contents.fingerprint = grid_fingerprint(grid);
+  contents.cells =
+      static_cast<std::uint32_t>(grid.ns.size() * grid.protocols.size());
+  contents.trials_per_cell = static_cast<std::uint32_t>(grid.trials);
+
+  std::size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordSize) {
+      contents.truncated_tail = true;
+      break;
+    }
+    const std::uint32_t stored = read_le32(data.data() + pos + kRecordPayload);
+    if (stored != crc32(data.data() + pos, kRecordPayload)) {
+      contents.truncated_tail = true;
+      break;
+    }
+    BinReader record(std::string_view(data).substr(pos, kRecordPayload),
+                     path);
+    const std::uint32_t cell = record.u32();
+    const std::uint32_t trial = record.u32();
+    sweep::TrialOutcome outcome;
+    outcome.rounds = record.f64();
+    outcome.converged = record.u8() != 0;
+    outcome.movers = record.i64();
+    outcome.potential = record.f64();
+    outcome.social_cost = record.f64();
+    if (cell >= contents.cells || trial >= contents.trials_per_cell) {
+      throw persist_error(path + ": manifest record (" +
+                          std::to_string(cell) + ", " +
+                          std::to_string(trial) + ") outside the grid");
+    }
+    contents.completed[{cell, trial}] = outcome;
+    ++contents.record_count;
+    pos += kRecordSize;
+  }
+  return contents;
+}
+
+ManifestWriter::ManifestWriter(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+ManifestWriter::ManifestWriter(ManifestWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(std::exchange(other.file_, nullptr)),
+      flush_every_(other.flush_every_),
+      since_flush_(other.since_flush_) {}
+
+ManifestWriter& ManifestWriter::operator=(ManifestWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = std::exchange(other.file_, nullptr);
+    flush_every_ = other.flush_every_;
+    since_flush_ = other.since_flush_;
+  }
+  return *this;
+}
+
+ManifestWriter::~ManifestWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ManifestWriter::check(bool ok, const char* what) const {
+  if (!ok) throw persist_error(path_ + ": manifest " + what + " failed");
+}
+
+ManifestWriter ManifestWriter::create(const std::string& path,
+                                      const sweep::SweepGrid& grid) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + path + "' for writing");
+  }
+  ManifestWriter writer(path, file);
+  const std::string header = header_bytes(grid);
+  writer.check(
+      std::fwrite(header.data(), 1, header.size(), file) == header.size() &&
+          std::fflush(file) == 0,
+      "header write");
+  return writer;
+}
+
+ManifestWriter ManifestWriter::open_for_append(const std::string& path,
+                                               const sweep::SweepGrid& grid) {
+  // Validate header/records (and locate any damaged tail) via the loader.
+  const ManifestContents contents = load_manifest(path, grid);
+  const std::size_t keep = kHeaderSize + contents.record_count * kRecordSize;
+  if (contents.truncated_tail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep, ec);
+    if (ec) {
+      throw persist_error(path + ": cannot drop damaged manifest tail: " +
+                          ec.message());
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + path + "' for appending");
+  }
+  return ManifestWriter(path, file);
+}
+
+void ManifestWriter::append(std::uint32_t cell, std::uint32_t trial,
+                            const sweep::TrialOutcome& outcome) {
+  check(file_ != nullptr, "append after close");
+  const std::string record = record_bytes(cell, trial, outcome);
+  check(std::fwrite(record.data(), 1, record.size(), file_) == record.size(),
+        "record write");
+  if (++since_flush_ >= flush_every_) {
+    flush();
+    since_flush_ = 0;
+  }
+}
+
+void ManifestWriter::flush() {
+  check(file_ != nullptr && std::fflush(file_) == 0, "flush");
+}
+
+void ManifestWriter::set_flush_every(std::int64_t every) {
+  check(every >= 1, "flush cadence must be >= 1; set");
+  flush_every_ = every;
+}
+
+void ManifestWriter::close() {
+  check(file_ != nullptr, "double close");
+  const bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  check(ok && closed, "close");
+}
+
+}  // namespace cid::persist

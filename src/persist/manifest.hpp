@@ -1,0 +1,101 @@
+// Resumable-sweep manifest.
+//
+// A sweep grid interrupted at cell 900/1000 must not restart from zero: as
+// each trial completes, the runner appends one checksummed record of its
+// (cell, trial) key and full TrialOutcome to the manifest; on restart the
+// runner loads the manifest, fills those outcomes in directly, and runs
+// only the missing trials. Because trial outcomes are a pure function of
+// the grid (streams derive serially from master_seed), the merged result —
+// and every per-trial output file written from it — is byte-identical to
+// an uninterrupted run's, at any thread count (tests/test_sweep_resume.cpp
+// proves both properties).
+//
+// The header binds the manifest to its grid with a fingerprint (a hash of
+// every grid field that influences outcomes); resuming with a different
+// grid fails loudly instead of stitching together incompatible results.
+// Doubles in records are bit-exact IEEE words, never decimal renderings —
+// byte-identity of resumed CSV/JSONL output depends on it.
+//
+//   magic "CIDMANI" version:u8 fingerprint:u64 cells:u32 trials:u32
+//   record*: cell:u32 trial:u32 rounds:f64 converged:u8 movers:i64
+//            potential:f64 social_cost:f64 crc32(record payload):u32
+//
+// Append order is completion order (scheduling-dependent); the manifest is
+// a set keyed by (cell, trial), so that nondeterminism never reaches the
+// merged results. A damaged tail record (killed writer) is dropped on
+// load, exactly like the event log.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sweep/runner.hpp"
+
+namespace cid::persist {
+
+inline constexpr char kManifestMagic[] = "CIDMANI";
+inline constexpr std::uint8_t kManifestVersion = 1;
+
+/// Hash of every SweepGrid field that influences trial outcomes (scenario
+/// name + params, protocol specs, ns, trials, master seed, dynamics). Two
+/// grids with equal fingerprints produce interchangeable trial results.
+std::uint64_t grid_fingerprint(const sweep::SweepGrid& grid);
+
+struct ManifestContents {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t cells = 0;
+  std::uint32_t trials_per_cell = 0;
+  /// Completed trials keyed by (cell, trial).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, sweep::TrialOutcome>
+      completed;
+  /// Raw intact records parsed (>= completed.size(); duplicates collapse).
+  std::size_t record_count = 0;
+  bool truncated_tail = false;
+};
+
+/// Loads a manifest; throws persist_error on a missing file, bad header,
+/// or a fingerprint/dimension mismatch against `grid`.
+ManifestContents load_manifest(const std::string& path,
+                               const sweep::SweepGrid& grid);
+
+/// Append-only manifest writer. NOT thread-safe: the sweep runner
+/// serializes appends behind its own mutex (workers complete trials
+/// concurrently, but record writes are rare relative to trial work).
+class ManifestWriter {
+ public:
+  /// Creates a fresh manifest for `grid` (truncating any existing file).
+  static ManifestWriter create(const std::string& path,
+                               const sweep::SweepGrid& grid);
+
+  /// Opens an existing manifest for appending; header must match `grid`.
+  static ManifestWriter open_for_append(const std::string& path,
+                                        const sweep::SweepGrid& grid);
+
+  ManifestWriter(ManifestWriter&& other) noexcept;
+  ManifestWriter& operator=(ManifestWriter&& other) noexcept;
+  ~ManifestWriter();
+
+  void append(std::uint32_t cell, std::uint32_t trial,
+              const sweep::TrialOutcome& outcome);
+
+  /// Flushes buffered records; append() flushes itself every
+  /// `flush_every`-th record (default 1: every record durable).
+  void flush();
+  void set_flush_every(std::int64_t every);
+
+  void close();
+
+ private:
+  ManifestWriter(std::string path, std::FILE* file);
+  void check(bool ok, const char* what) const;
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::int64_t flush_every_ = 1;
+  std::int64_t since_flush_ = 0;
+};
+
+}  // namespace cid::persist

@@ -1,0 +1,84 @@
+#include "persist/snapshot.hpp"
+
+#include <utility>
+
+#include "persist/binio.hpp"
+#include "persist/codec.hpp"
+
+namespace cid::persist {
+
+namespace {
+
+void encode_config(BinWriter& out, const SimConfig& config) {
+  out.str(config.protocol);
+  out.f64(config.lambda);
+  out.f64(config.p_explore);
+  out.u8(config.nu_cutoff ? 1 : 0);
+  out.u8(config.damping ? 1 : 0);
+  out.i64(config.virtual_agents);
+  out.u8(config.engine);
+  out.str(config.stop);
+}
+
+SimConfig decode_config(BinReader& in) {
+  SimConfig config;
+  config.protocol = in.str();
+  config.lambda = in.f64();
+  config.p_explore = in.f64();
+  config.nu_cutoff = in.u8() != 0;
+  config.damping = in.u8() != 0;
+  config.virtual_agents = in.i64();
+  config.engine = in.u8();
+  config.stop = in.str();
+  return config;
+}
+
+}  // namespace
+
+Snapshot make_snapshot(const CongestionGame& game, const State& x,
+                       const Rng& rng, std::int64_t round,
+                       const SimConfig& config) {
+  return Snapshot{round, config, rng.state(), game,
+                  {x.counts().begin(), x.counts().end()}};
+}
+
+std::string snapshot_payload(const Snapshot& snapshot) {
+  BinWriter out;
+  out.i64(snapshot.round);
+  encode_config(out, snapshot.config);
+  for (std::uint64_t word : snapshot.rng_state) out.u64(word);
+  encode_game(out, snapshot.game);
+  out.u32(static_cast<std::uint32_t>(snapshot.counts.size()));
+  for (std::int64_t c : snapshot.counts) out.i64(c);
+  return out.take();
+}
+
+void save_snapshot(const Snapshot& snapshot, const std::string& path) {
+  write_file_atomic(path, kSnapshotMagic, kSnapshotVersion,
+                    snapshot_payload(snapshot));
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  const FramedFile file =
+      read_file_checked(path, kSnapshotMagic, kSnapshotVersion);
+  BinReader in(file.payload, path);
+  const std::int64_t round = in.i64();
+  if (round < 0) in.fail("negative round counter");
+  SimConfig config = decode_config(in);
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) word = in.u64();
+  CongestionGame game = decode_game(in);
+  const std::uint32_t k = in.u32();
+  if (k != static_cast<std::uint32_t>(game.num_strategies())) {
+    in.fail("state dimension does not match embedded game");
+  }
+  std::vector<std::int64_t> counts(k);
+  for (auto& c : counts) c = in.i64();
+  in.expect_done();
+  Snapshot snapshot{round, std::move(config), rng_state, std::move(game),
+                    std::move(counts)};
+  snapshot.state();  // re-validate counts against the game before returning
+  return snapshot;
+}
+
+}  // namespace cid::persist

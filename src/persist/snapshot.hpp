@@ -1,0 +1,72 @@
+// Versioned binary simulation snapshots.
+//
+// A snapshot captures the full simulation tuple at a round boundary:
+//
+//   * the game itself (binary codec — the file is self-contained),
+//   * the state (per-strategy counts),
+//   * the number of completed rounds,
+//   * the protocol / engine / stop configuration, and
+//   * the exact 256-bit xoshiro256++ stream state.
+//
+// Restoring all five and continuing is bit-exact: the resumed run draws the
+// same variates, takes the same migrations, and ends in the same state as
+// the run that was never interrupted (tests/test_resume.cpp proves this
+// byte-for-byte). File framing is binio's magic/version/size/crc envelope
+// with magic "CIDSNAP" and version 1; snapshots are written atomically
+// (tmp + rename) so a crash mid-checkpoint preserves the previous one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/congestion_game.hpp"
+#include "game/state.hpp"
+#include "util/rng.hpp"
+
+namespace cid::persist {
+
+inline constexpr char kSnapshotMagic[] = "CIDSNAP";
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// The protocol / engine configuration a run was started with, persisted so
+/// a resume needs no CLI flags to reproduce the original setup. `stop` is
+/// the textual stop spec of the tools ("stable", "nash", "deltaeps:D,E").
+struct SimConfig {
+  std::string protocol = "imitation";  // imitation | exploration | combined
+  double lambda = 0.25;
+  double p_explore = 0.5;
+  bool nu_cutoff = true;
+  bool damping = true;
+  std::int64_t virtual_agents = 0;
+  std::uint8_t engine = 0;  // EngineMode underlying value
+  std::string stop = "stable";
+
+  friend bool operator==(const SimConfig&, const SimConfig&) = default;
+};
+
+struct Snapshot {
+  std::int64_t round = 0;  // completed rounds at capture time
+  SimConfig config;
+  std::array<std::uint64_t, 4> rng_state{};
+  CongestionGame game;
+  std::vector<std::int64_t> counts;  // per-strategy player counts
+
+  /// Reconstructs the state (re-validating every invariant).
+  State state() const { return State(game, counts); }
+};
+
+/// Captures the current simulation tuple. `x` must belong to `game`.
+Snapshot make_snapshot(const CongestionGame& game, const State& x,
+                       const Rng& rng, std::int64_t round,
+                       const SimConfig& config);
+
+void save_snapshot(const Snapshot& snapshot, const std::string& path);
+Snapshot load_snapshot(const std::string& path);
+
+/// Serialized payload (without the file envelope) — what the checksum
+/// covers; exposed for cid_replay's diff and the tests.
+std::string snapshot_payload(const Snapshot& snapshot);
+
+}  // namespace cid::persist

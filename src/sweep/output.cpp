@@ -15,6 +15,16 @@ std::ofstream open_or_throw(const std::string& path) {
   return out;
 }
 
+/// Every writer funnels its stream through here before returning: a full
+/// disk or yanked mount must fail loudly with the path, never hand the
+/// analysis pipeline a silently truncated file.
+void finish_or_throw(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write failed (disk full?) for '" + path + "'");
+  }
+}
+
 // Full-precision doubles: round-tripping matters more than prettiness in
 // machine-readable output (the determinism test diffs these files).
 std::string num(double v) {
@@ -55,6 +65,7 @@ void write_trials_csv(const std::string& path, const SweepResult& result) {
         << ',' << row.outcome.movers << ',' << num(row.outcome.potential)
         << ',' << num(row.outcome.social_cost) << '\n';
   }
+  finish_or_throw(out, path);
 }
 
 void write_cells_csv(const std::string& path, const SweepResult& result) {
@@ -71,6 +82,7 @@ void write_cells_csv(const std::string& path, const SweepResult& result) {
         << num(row.mean_potential) << ',' << num(row.mean_social_cost) << ','
         << num(row.mean_movers) << ',' << num(row.wall_seconds) << '\n';
   }
+  finish_or_throw(out, path);
 }
 
 void write_trials_jsonl(const std::string& path, const SweepResult& result) {
@@ -86,6 +98,7 @@ void write_trials_jsonl(const std::string& path, const SweepResult& result) {
         << num(row.outcome.potential) << ",\"social_cost\":"
         << num(row.outcome.social_cost) << "}\n";
   }
+  finish_or_throw(out, path);
 }
 
 void write_cells_jsonl(const std::string& path, const SweepResult& result) {
@@ -105,6 +118,7 @@ void write_cells_jsonl(const std::string& path, const SweepResult& result) {
         << num(row.mean_movers) << ",\"wall_seconds\":"
         << num(row.wall_seconds) << "}\n";
   }
+  finish_or_throw(out, path);
 }
 
 std::vector<std::string> write_sweep_outputs(const std::string& prefix,

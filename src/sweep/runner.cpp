@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "persist/manifest.hpp"
 #include "sweep/pool.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -164,26 +168,81 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
 
   SweepResult result;
   result.trials.resize(jobs.size());
+  // Keys are a pure function of the grid; fill them serially for every
+  // trial (run, resumed, or skipped by budget alike).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    TrialRow& row = result.trials[i];
+    const Job& job = jobs[i];
+    row.key.cell =
+        static_cast<std::int32_t>(job.n_index * num_protocols +
+                                  job.protocol_index);
+    row.key.scenario = grid.scenario.name;
+    row.key.protocol = grid.protocols[job.protocol_index].name;
+    row.key.n = grid.ns[job.n_index];
+    row.trial = static_cast<int>(i % trials_per_cell);
+  }
+
+  // Resumable mode: load previously completed trials from the manifest
+  // (fingerprint-checked against this grid) and append new completions.
+  std::optional<persist::ManifestWriter> manifest;
+  std::mutex manifest_mutex;
+  std::vector<char> done(jobs.size(), 0);
+  if (!options.manifest_path.empty()) {
+    if (std::filesystem::exists(options.manifest_path)) {
+      const persist::ManifestContents contents =
+          persist::load_manifest(options.manifest_path, grid);
+      for (const auto& [key, outcome] : contents.completed) {
+        const std::size_t i =
+            static_cast<std::size_t>(key.first) * trials_per_cell +
+            static_cast<std::size_t>(key.second);
+        result.trials[i].outcome = outcome;
+        done[i] = 1;
+        ++result.resumed_trials;
+      }
+      manifest.emplace(persist::ManifestWriter::open_for_append(
+          options.manifest_path, grid));
+    } else {
+      manifest.emplace(
+          persist::ManifestWriter::create(options.manifest_path, grid));
+    }
+    manifest->set_flush_every(options.manifest_flush_every);
+  }
+
+  // Pending jobs in deterministic grid order, truncated to the budget.
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!done[i]) pending.push_back(i);
+  }
+  if (options.max_new_trials >= 0 &&
+      pending.size() > static_cast<std::size_t>(options.max_new_trials)) {
+    pending.resize(static_cast<std::size_t>(options.max_new_trials));
+    result.complete = false;
+  }
+  result.ran_trials = pending.size();
+
   std::vector<double> wall(jobs.size(), 0.0);
-  parallel_for(static_cast<std::int64_t>(jobs.size()), options.threads,
-               [&](std::int64_t i) {
-                 Job& job = jobs[static_cast<std::size_t>(i)];
+  parallel_for(static_cast<std::int64_t>(pending.size()), options.threads,
+               [&](std::int64_t p) {
+                 const std::size_t i = pending[static_cast<std::size_t>(p)];
+                 Job& job = jobs[i];
                  const WallTimer timer;
                  const TrialOutcome outcome =
                      instances[job.n_index]->run_trial(
                          grid.protocols[job.protocol_index], grid.dynamics,
                          job.rng);
-                 wall[static_cast<std::size_t>(i)] = timer.seconds();
-                 TrialRow& row = result.trials[static_cast<std::size_t>(i)];
-                 const std::size_t cell =
-                     job.n_index * num_protocols + job.protocol_index;
-                 row.key.cell = static_cast<std::int32_t>(cell);
-                 row.key.scenario = grid.scenario.name;
-                 row.key.protocol = grid.protocols[job.protocol_index].name;
-                 row.key.n = grid.ns[job.n_index];
-                 row.trial = static_cast<int>(i % trials_per_cell);
+                 wall[i] = timer.seconds();
+                 TrialRow& row = result.trials[i];
                  row.outcome = outcome;
+                 if (manifest.has_value()) {
+                   const std::lock_guard<std::mutex> lock(manifest_mutex);
+                   manifest->append(
+                       static_cast<std::uint32_t>(row.key.cell),
+                       static_cast<std::uint32_t>(row.trial), outcome);
+                 }
                });
+  if (manifest.has_value()) manifest->close();
+  if (!result.complete) return result;  // cells left un-aggregated
 
   result.cells.reserve(num_cells);
   for (std::size_t cell = 0; cell < num_cells; ++cell) {

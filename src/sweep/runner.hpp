@@ -57,14 +57,39 @@ struct CellRow {
 struct SweepResult {
   std::vector<TrialRow> trials;  // cell-major, trial-minor
   std::vector<CellRow> cells;
+  /// False when a trial budget (SweepOptions::max_new_trials) exhausted
+  /// before every trial was either loaded from the manifest or run; the
+  /// missing trials hold default outcomes and cells are not aggregated.
+  bool complete = true;
+  std::size_t resumed_trials = 0;  // loaded from the manifest, not re-run
+  std::size_t ran_trials = 0;      // executed this invocation
 };
 
 struct SweepOptions {
   int threads = 1;  // 0 = one per hardware thread
+
+  /// When non-empty, the sweep is resumable: completed trials are appended
+  /// to this manifest as they finish, and if the file already exists its
+  /// trials are loaded (after a grid-fingerprint check) and skipped. The
+  /// merged result is byte-identical to an uninterrupted run's — outcomes
+  /// are a pure function of the grid, and the manifest stores them
+  /// bit-exactly (see src/persist/manifest.hpp).
+  std::string manifest_path;
+
+  /// fflush the manifest every K appended records (1 = every trial
+  /// durable; larger trades durability for syscall volume).
+  std::int64_t manifest_flush_every = 1;
+
+  /// When >= 0, run at most this many new trials this invocation, in
+  /// deterministic grid order, then return with complete = false. The
+  /// controlled-interruption hook for incremental sweeps and the resume
+  /// tests; -1 = unlimited.
+  std::int64_t max_new_trials = -1;
 };
 
-/// Runs the whole grid. Throws std::runtime_error on an unknown scenario,
-/// empty protocol/n axes, or trials < 1.
+/// Runs the whole grid (or, with a manifest, the part of it not already
+/// completed). Throws std::runtime_error on an unknown scenario, empty
+/// protocol/n axes, trials < 1, or a manifest from a different grid.
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options = {});
 
 /// Parses a sweep axis:

@@ -16,6 +16,7 @@
 // the tests verify statistically.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -52,6 +53,21 @@ class Xoshiro256pp {
   /// 2^128 jump: produces a generator whose stream is disjoint from the
   /// parent for 2^128 draws. Used to derive independent per-trial streams.
   void jump() noexcept;
+
+  /// The full 256-bit generator state. Together with set_state this makes
+  /// the stream durable: a saved state restored elsewhere continues the
+  /// exact draw sequence (the persistence subsystem checkpoints it).
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Restores a state previously obtained from state(). Precondition: the
+  /// words are not all zero (the all-zero state is a xoshiro fixed point);
+  /// enforced by clamping word 0 to 1 in that degenerate case.
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
  private:
   std::uint64_t s_[4];
@@ -91,6 +107,14 @@ class Rng {
   std::size_t categorical(std::span<const double> weights);
 
   Xoshiro256pp& generator() noexcept { return gen_; }
+
+  /// Durable stream state (see Xoshiro256pp::state): Rng carries no other
+  /// mutable state, so save/restore of these four words round-trips the
+  /// sampler streams exactly, mid-binomial or mid-multinomial included.
+  std::array<std::uint64_t, 4> state() const noexcept { return gen_.state(); }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    gen_.set_state(s);
+  }
 
  private:
   std::int64_t binomial_inversion(std::int64_t n, double p);

@@ -124,6 +124,8 @@ void Table::write_csv(const std::string& path) const {
   std::ofstream out(path);
   CID_ENSURE(out.good(), "cannot open CSV output path: " + path);
   out << to_csv();
+  out.flush();
+  CID_ENSURE(out.good(), "CSV write failed (disk full?) for: " + path);
 }
 
 }  // namespace cid

@@ -1,0 +1,305 @@
+// Unit tests for the persistence substrate (src/persist/): binary I/O
+// primitives, checksummed file framing, the game/state codecs, snapshot
+// round trips, the event log (including killed-writer tail recovery), and
+// the sweep manifest (including grid-fingerprint enforcement). The
+// end-to-end kill-and-resume guarantees live in test_resume.cpp and
+// test_sweep_resume.cpp; this file pins down the formats those rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "game/builders.hpp"
+#include "game/io.hpp"
+#include "latency/latency.hpp"
+#include "persist/binio.hpp"
+#include "persist/codec.hpp"
+#include "persist/eventlog.hpp"
+#include "persist/manifest.hpp"
+#include "persist/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace cid::persist {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32, MatchesReferenceVector) {
+  // The canonical CRC-32 check value for "123456789".
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926u);
+  // Piecewise checksumming continues from the seed.
+  const std::uint32_t part = crc32(data.data(), 4);
+  EXPECT_EQ(crc32(data.data() + 4, 5, part), 0xCBF43926u);
+}
+
+TEST(BinIo, PrimitiveRoundTrip) {
+  BinWriter out;
+  out.u8(0xAB);
+  out.u32(0xDEADBEEFu);
+  out.u64(0x0123456789ABCDEFull);
+  out.i64(-42);
+  out.f64(-0.1);  // not exactly representable — must round-trip bit-exactly
+  out.str("hello\0world");
+  BinReader in(out.buffer(), "test");
+  EXPECT_EQ(in.u8(), 0xAB);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.i64(), -42);
+  EXPECT_EQ(in.f64(), -0.1);
+  EXPECT_EQ(in.str(), std::string("hello"));
+  EXPECT_NO_THROW(in.expect_done());
+}
+
+TEST(BinIo, TruncatedReadThrows) {
+  BinWriter out;
+  out.u32(7);
+  BinReader in(out.buffer(), "test");
+  EXPECT_THROW(in.u64(), persist_error);
+}
+
+TEST(BinIo, FramedFileRoundTripAndCorruptionDetection) {
+  const std::string path = temp_path("framed.bin");
+  const std::string payload = "some payload bytes";
+  write_file_atomic(path, "CIDTEST", 1, payload);
+  const FramedFile file = read_file_checked(path, "CIDTEST", 1);
+  EXPECT_EQ(file.version, 1);
+  EXPECT_EQ(file.payload, payload);
+
+  // Wrong magic and future versions are rejected.
+  EXPECT_THROW(read_file_checked(path, "CIDSNAP", 1), persist_error);
+  EXPECT_THROW(read_file_checked(path, "CIDTEST", 0), persist_error);
+
+  // A single flipped payload byte must fail the checksum.
+  std::string data = slurp_file(path);
+  data[10] = static_cast<char>(data[10] ^ 0x01);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << data;
+  }
+  EXPECT_THROW(read_file_checked(path, "CIDTEST", 1), persist_error);
+  std::remove(path.c_str());
+}
+
+CongestionGame codec_exercise_game() {
+  // One latency of every serializable class.
+  std::vector<LatencyPtr> fns;
+  fns.push_back(make_constant(10.0));
+  fns.push_back(make_monomial(2.5, 3.0));
+  fns.push_back(make_polynomial({1.0, 0.0, 0.25}));
+  fns.push_back(make_exponential(2.0, 0.125));
+  fns.push_back(make_scaled(make_monomial(1.5, 2.0), 100));
+  std::vector<Strategy> strategies = {{0, 1}, {2, 3}, {1, 4}, {0}};
+  return CongestionGame(std::move(fns), std::move(strategies), 400);
+}
+
+TEST(Codec, GameRoundTripPreservesTextSerialization) {
+  const CongestionGame game = codec_exercise_game();
+  BinWriter out;
+  encode_game(out, game);
+  BinReader in(out.buffer(), "test");
+  const CongestionGame decoded = decode_game(in);
+  EXPECT_NO_THROW(in.expect_done());
+  // The text format is the canonical description; binary decode must agree
+  // with it exactly (doubles included — the codec stores IEEE words).
+  EXPECT_EQ(serialize_game(decoded), serialize_game(game));
+}
+
+TEST(Codec, StateRoundTrip) {
+  const CongestionGame game = codec_exercise_game();
+  Rng rng(5);
+  const State x = State::uniform_random(game, rng);
+  BinWriter out;
+  encode_state(out, x);
+  BinReader in(out.buffer(), "test");
+  const State decoded = decode_state(in, game);
+  EXPECT_TRUE(decoded == x);
+}
+
+TEST(Snapshot, RoundTripPreservesEveryField) {
+  const CongestionGame game = codec_exercise_game();
+  Rng rng(17);
+  const State x = State::uniform_random(game, rng);
+  SimConfig config;
+  config.protocol = "combined";
+  config.lambda = 0.5;
+  config.p_explore = 0.25;
+  config.nu_cutoff = false;
+  config.damping = true;
+  config.virtual_agents = 3;
+  config.engine = 1;
+  config.stop = "deltaeps:0.05,0.1";
+
+  const std::string path = temp_path("roundtrip.snap");
+  save_snapshot(make_snapshot(game, x, rng, 12345, config), path);
+  const Snapshot loaded = load_snapshot(path);
+  EXPECT_EQ(loaded.round, 12345);
+  EXPECT_EQ(loaded.config, config);
+  EXPECT_EQ(loaded.rng_state, rng.state());
+  EXPECT_EQ(serialize_game(loaded.game), serialize_game(game));
+  EXPECT_TRUE(loaded.state() == x);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoredRngContinuesTheExactStream) {
+  const CongestionGame game = codec_exercise_game();
+  Rng rng(99);
+  const State x = State::uniform_random(game, rng);
+  const std::string path = temp_path("rngcontinue.snap");
+  save_snapshot(make_snapshot(game, x, rng, 0, SimConfig{}), path);
+
+  // Continue the original and the restored stream side by side.
+  std::vector<std::uint64_t> original;
+  for (int i = 0; i < 64; ++i) original.push_back(rng.next_u64());
+  Rng restored;
+  restored.set_state(load_snapshot(path).rng_state);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(restored.next_u64(), original[i]);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, WriteReadRoundTrip) {
+  const std::string path = temp_path("roundtrip.elog");
+  {
+    EventLogWriter writer = EventLogWriter::create(path);
+    writer.append(0, std::vector<Migration>{{0, 1, 5}, {2, 0, 3}});
+    writer.append(1, std::vector<Migration>{});
+    writer.append(2, std::vector<Migration>{{1, 2, 1}});
+    writer.close();
+  }
+  const EventLog log = read_event_log(path);
+  EXPECT_EQ(log.version, kEventLogVersion);
+  EXPECT_FALSE(log.truncated_tail);
+  ASSERT_EQ(log.rounds.size(), 3u);
+  EXPECT_EQ(log.rounds[0].round, 0);
+  ASSERT_EQ(log.rounds[0].moves.size(), 2u);
+  EXPECT_EQ(log.rounds[0].moves[1].from, 2);
+  EXPECT_EQ(log.rounds[0].moves[1].count, 3);
+  EXPECT_TRUE(log.rounds[1].moves.empty());
+  EXPECT_EQ(log.rounds[2].round, 2);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, DamagedTailIsDetectedAndDroppedOnAppend) {
+  const std::string path = temp_path("damaged.elog");
+  {
+    EventLogWriter writer = EventLogWriter::create(path);
+    writer.append(0, std::vector<Migration>{{0, 1, 2}});
+    writer.append(1, std::vector<Migration>{{1, 0, 2}});
+    writer.close();
+  }
+  {  // Simulate a killed writer: half a record of garbage at the end.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "garbage!";
+  }
+  const EventLog damaged = read_event_log(path);
+  EXPECT_TRUE(damaged.truncated_tail);
+  ASSERT_EQ(damaged.rounds.size(), 2u);
+
+  // Appending at round 2 truncates the garbage and continues cleanly.
+  {
+    EventLogWriter writer = EventLogWriter::open_for_append(path, 2);
+    writer.append(2, std::vector<Migration>{{0, 1, 1}});
+    writer.close();
+  }
+  const EventLog repaired = read_event_log(path);
+  EXPECT_FALSE(repaired.truncated_tail);
+  ASSERT_EQ(repaired.rounds.size(), 3u);
+  EXPECT_EQ(repaired.rounds[2].round, 2);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, AppendDropsRecordsAtOrBeyondTheResumeRound) {
+  const std::string path = temp_path("truncate.elog");
+  {
+    EventLogWriter writer = EventLogWriter::create(path);
+    for (std::int64_t r = 0; r < 10; ++r) {
+      writer.append(r, std::vector<Migration>{{0, 1, r + 1}});
+    }
+    writer.close();
+  }
+  // Resume from a snapshot taken at round 6: rounds 6..9 must go.
+  {
+    EventLogWriter writer = EventLogWriter::open_for_append(path, 6);
+    writer.append(6, std::vector<Migration>{{1, 0, 100}});
+    writer.close();
+  }
+  const EventLog log = read_event_log(path);
+  ASSERT_EQ(log.rounds.size(), 7u);
+  EXPECT_EQ(log.rounds[5].moves[0].count, 6);
+  EXPECT_EQ(log.rounds[6].moves[0].count, 100);
+  std::remove(path.c_str());
+}
+
+sweep::SweepGrid manifest_grid() {
+  sweep::SweepGrid grid;
+  grid.scenario.name = "load-balancing";
+  grid.scenario.params = {{"m", 4.0}};
+  grid.protocols = sweep::parse_protocol_list("imitation");
+  grid.ns = {100, 200};
+  grid.trials = 3;
+  grid.master_seed = 7;
+  grid.dynamics.max_rounds = 50;
+  return grid;
+}
+
+TEST(Manifest, AppendLoadRoundTripIsBitExact) {
+  const std::string path = temp_path("roundtrip.manifest");
+  const sweep::SweepGrid grid = manifest_grid();
+  sweep::TrialOutcome outcome;
+  outcome.rounds = 17.0;
+  outcome.converged = true;
+  outcome.movers = 123456789012345ll;
+  outcome.potential = 0.1 + 0.2;  // a double with a messy bit pattern
+  outcome.social_cost = -3.25;
+  {
+    ManifestWriter writer = ManifestWriter::create(path, grid);
+    writer.append(1, 2, outcome);
+    writer.close();
+  }
+  const ManifestContents contents = load_manifest(path, grid);
+  EXPECT_EQ(contents.fingerprint, grid_fingerprint(grid));
+  EXPECT_EQ(contents.cells, 2u);
+  EXPECT_EQ(contents.trials_per_cell, 3u);
+  EXPECT_FALSE(contents.truncated_tail);
+  ASSERT_EQ(contents.completed.size(), 1u);
+  const sweep::TrialOutcome& loaded = contents.completed.at({1, 2});
+  EXPECT_EQ(loaded, outcome);  // bitwise on the doubles via operator==
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, RejectsADifferentGrid) {
+  const std::string path = temp_path("mismatch.manifest");
+  const sweep::SweepGrid grid = manifest_grid();
+  ManifestWriter::create(path, grid).close();
+
+  sweep::SweepGrid other = manifest_grid();
+  other.master_seed = 8;  // different streams => different outcomes
+  EXPECT_THROW(load_manifest(path, other), persist_error);
+  EXPECT_THROW(ManifestWriter::open_for_append(path, other), persist_error);
+  EXPECT_NO_THROW(load_manifest(path, grid));
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, FingerprintCoversOutcomeRelevantFields) {
+  const sweep::SweepGrid base = manifest_grid();
+  auto differs = [&](auto mutate) {
+    sweep::SweepGrid grid = manifest_grid();
+    mutate(grid);
+    return grid_fingerprint(grid) != grid_fingerprint(base);
+  };
+  EXPECT_TRUE(differs([](auto& g) { g.scenario.name = "singleton-uniform"; }));
+  EXPECT_TRUE(differs([](auto& g) { g.scenario.params["m"] = 5.0; }));
+  EXPECT_TRUE(differs([](auto& g) { g.protocols[0].lambda = 0.5; }));
+  EXPECT_TRUE(differs([](auto& g) { g.ns.push_back(300); }));
+  EXPECT_TRUE(differs([](auto& g) { g.trials = 4; }));
+  EXPECT_TRUE(differs([](auto& g) { g.master_seed = 123; }));
+  EXPECT_TRUE(differs([](auto& g) { g.dynamics.max_rounds = 60; }));
+  EXPECT_TRUE(differs([](auto& g) { g.dynamics.delta = 0.2; }));
+}
+
+}  // namespace
+}  // namespace cid::persist

@@ -230,5 +230,84 @@ TEST(Rng, SplitProducesDecorrelatedStreams) {
   EXPECT_EQ(agree, 0);
 }
 
+// ---- RNG durability (the persistence subsystem's contract) -----------------
+//
+// state()/set_state must make the stream durable: a generator saved at ANY
+// point and restored elsewhere continues the identical draw sequence. The
+// binomial sampler makes this non-trivial to state — it switches between
+// three regimes (Bernoulli summation, CDF inversion, BTRS rejection) that
+// consume different numbers of uniforms per variate, and BTRS consumes a
+// *data-dependent* number (rejection). Durability must hold mid-sequence
+// and across every regime boundary regardless.
+
+TEST(RngDurability, StateRoundTripContinuesTheRawStream) {
+  Xoshiro256pp gen(2024);
+  for (int i = 0; i < 1000; ++i) (void)gen();
+  const auto saved = gen.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 256; ++i) expected.push_back(gen());
+  Xoshiro256pp restored(1);  // deliberately different seed
+  restored.set_state(saved);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(restored(), expected[i]);
+}
+
+TEST(RngDurability, AllZeroStateIsClampedOffTheFixedPoint) {
+  Xoshiro256pp gen(1);
+  gen.set_state({0, 0, 0, 0});
+  // The all-zero state is a fixed point of xoshiro; set_state must not
+  // allow a (corrupt) snapshot to freeze the stream at zero forever.
+  bool nonzero = false;
+  for (int i = 0; i < 8; ++i) nonzero = nonzero || gen() != 0;
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(RngDurability, SaveRestoreMidBinomialSequenceAcrossAllRegimes) {
+  // A schedule that walks every sampler regime, including both sides of
+  // the BTRS/inversion boundary at mean = 12 (n * p around 12 with
+  // n > 32): inversion just below, BTRS just above.
+  const std::vector<std::pair<std::int64_t, double>> schedule = {
+      {8, 0.5},      // direct Bernoulli summation (n <= 32)
+      {1000, 0.005}, // inversion (mean 5 < 12)
+      {1000, 0.0119},// inversion, just below the boundary (mean 11.9)
+      {1000, 0.0121},// BTRS, just above the boundary (mean 12.1)
+      {1000, 0.3},   // BTRS, deep rejection territory
+      {50, 0.9},     // symmetry flip (p > 1/2) on top of BTRS/inversion
+  };
+  Rng rng(0xD00D);
+  // Burn in partway through the schedule, then save MID-sequence.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const auto& [n, p] : schedule) (void)rng.binomial(n, p);
+  }
+  const auto saved = rng.state();
+  Rng restored(1);
+  restored.set_state(saved);
+  // The continuation must be identical draw by draw, for many passes —
+  // long enough that any desynchronization (an off-by-one uniform in a
+  // rejection loop, say) would surface.
+  for (int repeat = 0; repeat < 50; ++repeat) {
+    for (const auto& [n, p] : schedule) {
+      EXPECT_EQ(restored.binomial(n, p), rng.binomial(n, p))
+          << "repeat " << repeat << " n=" << n << " p=" << p;
+    }
+  }
+  EXPECT_EQ(restored.state(), rng.state());
+}
+
+TEST(RngDurability, SaveRestoreMidMultinomialSequence) {
+  const std::vector<double> probs = {0.25, 0.125, 0.5, 0.0625};
+  Rng rng(777);
+  for (int i = 0; i < 10; ++i) (void)rng.multinomial(5000, probs);
+  const auto saved = rng.state();
+  Rng restored(1);
+  restored.set_state(saved);
+  for (int i = 0; i < 100; ++i) {
+    // Vary n so the conditional binomials cross regimes as mass depletes.
+    const std::int64_t n = 17 + 311 * i;
+    EXPECT_EQ(restored.multinomial(n, probs), rng.multinomial(n, probs))
+        << "draw " << i;
+  }
+  EXPECT_EQ(restored.state(), rng.state());
+}
+
 }  // namespace
 }  // namespace cid

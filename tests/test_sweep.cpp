@@ -35,6 +35,14 @@ SweepGrid small_grid() {
   return grid;
 }
 
+/// SweepOptions with only the thread count set (the designated-init
+/// shorthand would warn about the resumable-sweep fields added later).
+SweepOptions with_threads(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  return options;
+}
+
 void expect_identical(const SweepResult& a, const SweepResult& b) {
   ASSERT_EQ(a.trials.size(), b.trials.size());
   for (std::size_t i = 0; i < a.trials.size(); ++i) {
@@ -51,17 +59,17 @@ void expect_identical(const SweepResult& a, const SweepResult& b) {
 
 TEST(SweepDeterminism, ThreadCountInvariant) {
   const SweepGrid grid = small_grid();
-  const SweepResult serial = run_sweep(grid, {.threads = 1});
-  const SweepResult four = run_sweep(grid, {.threads = 4});
-  const SweepResult eight = run_sweep(grid, {.threads = 8});
+  const SweepResult serial = run_sweep(grid, with_threads(1));
+  const SweepResult four = run_sweep(grid, with_threads(4));
+  const SweepResult eight = run_sweep(grid, with_threads(8));
   expect_identical(serial, four);
   expect_identical(serial, eight);
 }
 
 TEST(SweepDeterminism, RepeatedRunsIdentical) {
   const SweepGrid grid = small_grid();
-  expect_identical(run_sweep(grid, {.threads = 3}),
-                   run_sweep(grid, {.threads = 3}));
+  expect_identical(run_sweep(grid, with_threads(3)),
+                   run_sweep(grid, with_threads(3)));
 }
 
 TEST(SweepDeterminism, AsymmetricAndThresholdScenarios) {
@@ -74,15 +82,15 @@ TEST(SweepDeterminism, AsymmetricAndThresholdScenarios) {
     grid.master_seed = 7;
     grid.dynamics.max_rounds = 5000;
     grid.dynamics.stop = StopRule::kImitationStable;
-    expect_identical(run_sweep(grid, {.threads = 1}),
-                     run_sweep(grid, {.threads = 4}));
+    expect_identical(run_sweep(grid, with_threads(1)),
+                     run_sweep(grid, with_threads(4)));
   }
 }
 
 TEST(SweepDeterminism, WrittenFilesIdenticalAcrossThreadCounts) {
   const SweepGrid grid = small_grid();
-  const SweepResult serial = run_sweep(grid, {.threads = 1});
-  const SweepResult parallel = run_sweep(grid, {.threads = 8});
+  const SweepResult serial = run_sweep(grid, with_threads(1));
+  const SweepResult parallel = run_sweep(grid, with_threads(8));
   auto slurp_trials = [](const SweepResult& result, const std::string& path) {
     write_trials_jsonl(path, result);
     std::ifstream in(path);
@@ -98,7 +106,7 @@ TEST(SweepDeterminism, WrittenFilesIdenticalAcrossThreadCounts) {
 
 TEST(SweepRunner, CellAggregatesMatchTrials) {
   const SweepGrid grid = small_grid();
-  const SweepResult result = run_sweep(grid, {.threads = 2});
+  const SweepResult result = run_sweep(grid, with_threads(2));
   ASSERT_EQ(result.cells.size(), grid.ns.size() * grid.protocols.size());
   ASSERT_EQ(result.trials.size(),
             result.cells.size() * static_cast<std::size_t>(grid.trials));
@@ -260,7 +268,7 @@ TEST(SweepScenarios, AsymmetricRejectsNonImitation) {
 
 TEST(SweepOutput, WritersProduceExpectedShape) {
   const SweepGrid grid = small_grid();
-  const SweepResult result = run_sweep(grid, {.threads = 2});
+  const SweepResult result = run_sweep(grid, with_threads(2));
   const std::string prefix = ::testing::TempDir() + "/cid_sweep_out";
   const auto paths = write_sweep_outputs(prefix, result);
   ASSERT_EQ(paths.size(), 4u);

@@ -1,0 +1,161 @@
+// Resumable-sweep guarantees: an interrupted grid, resumed from its
+// manifest, must produce output byte-identical to an uninterrupted run —
+// at every thread count (the acceptance criterion checks threads 1 and 4).
+// The interruption is driven through SweepOptions::max_new_trials, the
+// deterministic stand-in for a kill: the runner stops scheduling new
+// trials mid-grid, exactly like a process that died between trials.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "persist/binio.hpp"
+#include "persist/manifest.hpp"
+#include "sweep/output.hpp"
+#include "sweep/runner.hpp"
+
+namespace cid::sweep {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SweepGrid resume_grid() {
+  SweepGrid grid;
+  grid.scenario.name = "load-balancing";
+  grid.scenario.params = {{"m", 4.0}};
+  grid.protocols = parse_protocol_list("imitation,combined");
+  grid.ns = {200, 500};
+  grid.trials = 5;  // 4 cells x 5 = 20 trials
+  grid.master_seed = 99;
+  grid.dynamics.max_rounds = 2000;
+  return grid;
+}
+
+/// Serializes the deterministic per-trial output files to one string.
+std::string trial_output_bytes(const SweepResult& result) {
+  const std::string csv = temp_path("trials_bytes.csv");
+  const std::string jsonl = temp_path("trials_bytes.jsonl");
+  write_trials_csv(csv, result);
+  write_trials_jsonl(jsonl, result);
+  const std::string bytes =
+      cid::persist::slurp_file(csv) + cid::persist::slurp_file(jsonl);
+  std::remove(csv.c_str());
+  std::remove(jsonl.c_str());
+  return bytes;
+}
+
+TEST(SweepResume, InterruptedGridResumesByteIdenticalAtEveryThreadCount) {
+  const SweepGrid grid = resume_grid();
+  SweepOptions plain;
+  plain.threads = 1;
+  const std::string reference = trial_output_bytes(run_sweep(grid, plain));
+
+  for (const int threads : {1, 4}) {
+    const std::string manifest =
+        temp_path("resume_t" + std::to_string(threads) + ".manifest");
+
+    // Interrupted leg: die after 7 of 20 trials.
+    SweepOptions interrupted;
+    interrupted.threads = threads;
+    interrupted.manifest_path = manifest;
+    interrupted.max_new_trials = 7;
+    const SweepResult partial = run_sweep(grid, interrupted);
+    EXPECT_FALSE(partial.complete);
+    EXPECT_EQ(partial.ran_trials, 7u);
+    EXPECT_TRUE(partial.cells.empty());  // no aggregation of a partial grid
+
+    // Resumed leg: same manifest, no budget.
+    SweepOptions resumed;
+    resumed.threads = threads;
+    resumed.manifest_path = manifest;
+    const SweepResult complete = run_sweep(grid, resumed);
+    EXPECT_TRUE(complete.complete);
+    EXPECT_EQ(complete.resumed_trials, 7u);
+    EXPECT_EQ(complete.ran_trials, 20u - 7u);
+
+    EXPECT_EQ(trial_output_bytes(complete), reference)
+        << "threads=" << threads;
+
+    // A third invocation re-runs nothing and still matches.
+    const SweepResult idempotent = run_sweep(grid, resumed);
+    EXPECT_TRUE(idempotent.complete);
+    EXPECT_EQ(idempotent.resumed_trials, 20u);
+    EXPECT_EQ(idempotent.ran_trials, 0u);
+    EXPECT_EQ(trial_output_bytes(idempotent), reference);
+
+    std::remove(manifest.c_str());
+  }
+}
+
+TEST(SweepResume, CellAggregatesOfResumedRunMatchUninterrupted) {
+  const SweepGrid grid = resume_grid();
+  SweepOptions plain;
+  plain.threads = 2;
+  const SweepResult reference = run_sweep(grid, plain);
+
+  const std::string manifest = temp_path("cells.manifest");
+  SweepOptions interrupted;
+  interrupted.threads = 2;
+  interrupted.manifest_path = manifest;
+  interrupted.max_new_trials = 11;
+  run_sweep(grid, interrupted);
+  SweepOptions resumed;
+  resumed.threads = 2;
+  resumed.manifest_path = manifest;
+  const SweepResult complete = run_sweep(grid, resumed);
+
+  // Everything deterministic in the cell rows must agree exactly (wall
+  // time is per-invocation by design and excluded).
+  ASSERT_EQ(complete.cells.size(), reference.cells.size());
+  for (std::size_t c = 0; c < reference.cells.size(); ++c) {
+    const CellRow& a = reference.cells[c];
+    const CellRow& b = complete.cells[c];
+    EXPECT_EQ(a.key.cell, b.key.cell);
+    EXPECT_EQ(a.rounds.mean, b.rounds.mean);
+    EXPECT_EQ(a.rounds.median, b.rounds.median);
+    EXPECT_EQ(a.rounds_sem, b.rounds_sem);
+    EXPECT_EQ(a.fraction_converged, b.fraction_converged);
+    EXPECT_EQ(a.mean_potential, b.mean_potential);
+    EXPECT_EQ(a.mean_social_cost, b.mean_social_cost);
+    EXPECT_EQ(a.mean_movers, b.mean_movers);
+  }
+  std::remove(manifest.c_str());
+}
+
+TEST(SweepResume, ManifestFromDifferentGridIsRejected) {
+  const std::string manifest = temp_path("wronggrid.manifest");
+  const SweepGrid grid = resume_grid();
+  SweepOptions options;
+  options.threads = 1;
+  options.manifest_path = manifest;
+  options.max_new_trials = 3;
+  run_sweep(grid, options);
+
+  SweepGrid other = resume_grid();
+  other.dynamics.max_rounds = 12345;
+  EXPECT_THROW(run_sweep(other, options), cid::persist::persist_error);
+  std::remove(manifest.c_str());
+}
+
+TEST(SweepResume, ZeroBudgetRunsNothingButWritesTheManifestHeader) {
+  const std::string manifest = temp_path("zerobudget.manifest");
+  const SweepGrid grid = resume_grid();
+  SweepOptions options;
+  options.threads = 1;
+  options.manifest_path = manifest;
+  options.max_new_trials = 0;
+  const SweepResult result = run_sweep(grid, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.ran_trials, 0u);
+  const cid::persist::ManifestContents contents =
+      cid::persist::load_manifest(manifest, grid);
+  EXPECT_TRUE(contents.completed.empty());
+  std::remove(manifest.c_str());
+}
+
+}  // namespace
+}  // namespace cid::sweep

@@ -5,14 +5,27 @@
 //           [--rounds N] [--seed S] [--engine aggregate|perplayer]
 //           [--start uniform|even|all:K] [--stop stable|nash|deltaeps:D,E]
 //           [--trace-every K] [--csv PATH]
+//           [--checkpoint PATH [--checkpoint-every K]] [--resume PATH]
+//           [--event-log PATH] [--save-state PATH]
 //
 // Loads a game in the cid-game v1 text format (see src/game/io.hpp;
 // cid_gen writes such files), runs the chosen protocol, prints a trace
 // table and a final report, and optionally dumps the trace as CSV.
+//
+// Persistence (src/persist/): --checkpoint writes a binary snapshot of the
+// full simulation tuple — game, state, round counter, protocol config, and
+// exact RNG stream state — atomically to PATH at round 0, every
+// --checkpoint-every rounds, and at the end. --resume PATH continues such
+// a snapshot bit-exactly (no --game/protocol flags needed; --rounds stays
+// the TOTAL round cap). --event-log appends one checksummed record of each
+// round's migrations, so cid_replay can reconstruct any state without
+// re-running the dynamics.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cid/cid.hpp"
@@ -26,18 +39,28 @@ using namespace cid;
   std::fprintf(
       stderr,
       "usage: cid_sim --game FILE [options]\n"
+      "       cid_sim --resume SNAPSHOT [options]\n"
       "  --protocol P    imitation (default) | exploration | combined\n"
       "  --lambda L      migration scale, default 0.25\n"
       "  --no-nu         drop the nu gain cutoff (Theorem 9 regime)\n"
       "  --no-damping    drop the 1/d damping (overshoot ablation)\n"
       "  --virtual V     virtual agents per strategy (section 6)\n"
-      "  --rounds N      round cap, default 100000\n"
+      "  --rounds N      TOTAL round cap, default 100000\n"
       "  --seed S        RNG seed, default 1\n"
       "  --engine E      aggregate (default) | perplayer\n"
-      "  --start S       uniform (default) | even | all:K\n"
+      "  --start S       uniform (default) | even | all:K | state:PATH\n"
+      "                  (state:PATH loads a cid-state v1 file, e.g. a\n"
+      "                  previous run's --save-state output)\n"
       "  --stop C        stable (default) | nash | deltaeps:D,E\n"
       "  --trace-every K sample the trace every K rounds, default 10\n"
-      "  --csv PATH      also write the trace as CSV\n");
+      "  --csv PATH      also write the trace as CSV\n"
+      "  --checkpoint PATH    write binary snapshots to PATH (atomic)\n"
+      "  --checkpoint-every K snapshot cadence in rounds (default: only\n"
+      "                       round 0 and the final state)\n"
+      "  --resume PATH   continue bit-exactly from a snapshot (game,\n"
+      "                  protocol, engine, stop come from the snapshot)\n"
+      "  --event-log PATH     append per-round migration records\n"
+      "  --save-state PATH    write the final state (cid-state v1 text)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -55,6 +78,11 @@ struct Options {
   std::string stop = "stable";
   std::int64_t trace_every = 10;
   std::string csv_path;
+  std::string checkpoint_path;
+  std::int64_t checkpoint_every = 0;
+  std::string resume_path;
+  std::string event_log_path;
+  std::string save_state_path;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -85,11 +113,23 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--trace-every") {
       opt.trace_every = std::atoll(need_value(i));
     } else if (flag == "--csv") opt.csv_path = need_value(i);
+    else if (flag == "--checkpoint") opt.checkpoint_path = need_value(i);
+    else if (flag == "--checkpoint-every") {
+      opt.checkpoint_every = std::atoll(need_value(i));
+    } else if (flag == "--resume") opt.resume_path = need_value(i);
+    else if (flag == "--event-log") opt.event_log_path = need_value(i);
+    else if (flag == "--save-state") opt.save_state_path = need_value(i);
     else usage(("unknown flag: " + flag).c_str());
   }
-  if (opt.game_path.empty()) usage("--game is required");
+  if (opt.game_path.empty() == opt.resume_path.empty()) {
+    usage("exactly one of --game and --resume is required");
+  }
   if (opt.lambda <= 0.0 || opt.lambda > 1.0) usage("lambda out of (0,1]");
   if (opt.trace_every < 1) usage("--trace-every must be >= 1");
+  if (opt.checkpoint_every < 0) usage("--checkpoint-every must be >= 0");
+  if (opt.checkpoint_every > 0 && opt.checkpoint_path.empty()) {
+    usage("--checkpoint-every requires --checkpoint PATH");
+  }
   return opt;
 }
 
@@ -121,32 +161,24 @@ State build_start(const Options& opt, const CongestionGame& game, Rng& rng) {
     if (k < 0 || k >= game.num_strategies()) usage("all:K out of range");
     return State::all_on(game, k);
   }
+  if (opt.start.rfind("state:", 0) == 0) {
+    // Feed a finished run's --save-state output back in as the start.
+    return load_state(game, opt.start.substr(6));
+  }
   usage("unknown start");
 }
 
-StopPredicate build_stop(const Options& opt) {
-  if (opt.stop == "stable") {
-    return [](const CongestionGame& g, const State& s, std::int64_t) {
-      return is_imitation_stable(g, s, g.nu());
-    };
-  }
-  if (opt.stop == "nash") {
-    return [](const CongestionGame& g, const State& s, std::int64_t) {
-      return is_nash(g, s);
-    };
-  }
-  if (opt.stop.rfind("deltaeps:", 0) == 0) {
-    double delta = 0.1, eps = 0.1;
-    if (std::sscanf(opt.stop.c_str(), "deltaeps:%lf,%lf", &delta, &eps) !=
-        2) {
-      usage("expected --stop deltaeps:D,E");
-    }
-    return [delta, eps](const CongestionGame& g, const State& s,
-                        std::int64_t) {
-      return is_delta_eps_equilibrium(g, s, delta, eps);
-    };
-  }
-  usage("unknown stop condition");
+persist::SimConfig sim_config(const Options& opt) {
+  persist::SimConfig config;
+  config.protocol = opt.protocol;
+  config.lambda = opt.lambda;
+  config.p_explore = 0.5;
+  config.nu_cutoff = !opt.no_nu;
+  config.damping = !opt.no_damping;
+  config.virtual_agents = opt.virtual_agents;
+  config.engine = static_cast<std::uint8_t>(opt.engine);
+  config.stop = opt.stop;
+  return config;
 }
 
 }  // namespace
@@ -154,45 +186,112 @@ StopPredicate build_stop(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   try {
-    const CongestionGame game = load_game(opt.game_path);
-    std::printf("loaded %s\n", game.describe().c_str());
+    // Assemble the simulation tuple, fresh or from a snapshot.
+    std::unique_ptr<CongestionGame> game;
+    std::optional<State> x;
     Rng rng(opt.seed);
-    State x = build_start(opt, game, rng);
-    const auto protocol = build_protocol(opt);
+    std::unique_ptr<Protocol> protocol;
+    persist::SimConfig config;
+    std::int64_t start_round = 0;
+    EngineMode engine = opt.engine;
+
+    if (!opt.resume_path.empty()) {
+      persist::ResumedRun resumed = persist::resume_run(opt.resume_path);
+      game = std::move(resumed.game);
+      x.emplace(std::move(resumed.state));
+      rng = resumed.rng;
+      protocol = std::move(resumed.protocol);
+      config = resumed.config;
+      start_round = resumed.round;
+      engine = resumed.mode;
+      std::printf("resumed %s at round %lld: %s\n", opt.resume_path.c_str(),
+                  static_cast<long long>(start_round),
+                  game->describe().c_str());
+    } else {
+      game = std::make_unique<CongestionGame>(load_game(opt.game_path));
+      std::printf("loaded %s\n", game->describe().c_str());
+      x.emplace(build_start(opt, *game, rng));
+      protocol = build_protocol(opt);
+      config = sim_config(opt);
+    }
+    if (opt.rounds <= start_round && opt.rounds != 0) {
+      usage("--rounds (total cap) must exceed the snapshot's round");
+    }
     std::printf("protocol: %s, engine: %s, rounds cap: %lld\n\n",
                 protocol->name().c_str(),
-                opt.engine == EngineMode::kAggregate ? "aggregate"
-                                                     : "perplayer",
+                engine == EngineMode::kAggregate ? "aggregate" : "perplayer",
                 static_cast<long long>(opt.rounds));
 
-    TraceRecorder trace(game, x, opt.trace_every);
+    // Observers: trace + optional event log + optional checkpoint cadence.
+    TraceRecorder trace(*game, *x, opt.trace_every);
+    RoundObserver observer = trace.observer();
+
+    std::optional<persist::EventLogWriter> event_log;
+    if (!opt.event_log_path.empty()) {
+      if (!opt.resume_path.empty() &&
+          std::filesystem::exists(opt.event_log_path)) {
+        event_log.emplace(persist::EventLogWriter::open_for_append(
+            opt.event_log_path, start_round));
+      } else {
+        event_log.emplace(
+            persist::EventLogWriter::create(opt.event_log_path));
+      }
+      observer = persist::chain_observers(std::move(observer),
+                                          event_log->observer());
+    }
+
+    std::optional<persist::Checkpointer> checkpointer;
+    if (!opt.checkpoint_path.empty()) {
+      checkpointer.emplace(*game, rng,
+                           persist::CheckpointConfig{opt.checkpoint_path,
+                                                     opt.checkpoint_every},
+                           config);
+      // Round-0 (or resume-round) snapshot: captured before run_dynamics
+      // consumes any draws, so snapshot + event log replays the whole run.
+      checkpointer->write_now(*x, start_round);
+      observer = persist::chain_observers(std::move(observer),
+                                          checkpointer->observer());
+    }
+
     RunOptions run_options;
     run_options.max_rounds = opt.rounds;
-    run_options.mode = opt.engine;
-    const RunResult result = run_dynamics(game, x, *protocol, rng,
-                                          run_options, build_stop(opt),
-                                          trace.observer());
+    run_options.mode = engine;
+    run_options.start_round = start_round;
+    const RunResult result =
+        run_dynamics(*game, *x, *protocol, rng, run_options,
+                     persist::stop_from_spec(config.stop), observer);
+    if (event_log.has_value()) event_log->close();
 
     trace.to_table().print("trace (every " +
                            std::to_string(opt.trace_every) + " rounds)");
     std::printf(
-        "\nstopped after %lld rounds (converged: %s, total migrations "
-        "%lld)\n",
+        "\nstopped after %lld rounds (converged: %s, migrations this "
+        "invocation %lld)\n",
         static_cast<long long>(result.rounds),
         result.converged ? "yes" : "no",
         static_cast<long long>(result.total_movers));
-    const auto report = check_delta_eps_nu(game, x, 0.1, 0.1, game.nu());
+    const auto report = check_delta_eps_nu(*game, *x, 0.1, 0.1, game->nu());
     std::printf(
         "final: L_av=%.4f  L+_av=%.4f  makespan=%.4f  nash_gap=%.4f\n"
         "imitation-stable=%s  nash=%s  (0.1,0.1,nu)-eq=%s\n",
         report.average_latency, report.plus_average_latency,
-        makespan(game, x), nash_gap(game, x),
-        is_imitation_stable(game, x, game.nu()) ? "yes" : "no",
-        is_nash(game, x) ? "yes" : "no",
+        makespan(*game, *x), nash_gap(*game, *x),
+        is_imitation_stable(*game, *x, game->nu()) ? "yes" : "no",
+        is_nash(*game, *x) ? "yes" : "no",
         report.at_equilibrium ? "yes" : "no");
     if (!opt.csv_path.empty()) {
       trace.to_table().write_csv(opt.csv_path);
       std::printf("trace written to %s\n", opt.csv_path.c_str());
+    }
+    if (!opt.save_state_path.empty()) {
+      save_state(*x, opt.save_state_path);
+      std::printf("final state written to %s\n",
+                  opt.save_state_path.c_str());
+    }
+    if (!opt.checkpoint_path.empty()) {
+      std::printf("checkpoint written to %s (round %lld)\n",
+                  opt.checkpoint_path.c_str(),
+                  static_cast<long long>(result.rounds));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sim: %s\n", e.what());

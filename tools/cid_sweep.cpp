@@ -8,13 +8,23 @@
 //             [--engine aggregate|perplayer]
 //             [--param key=value ...] [--lambda L]
 //             [--out PREFIX] [--list]
+//             [--manifest PATH | --resume PATH] [--checkpoint-every K]
+//             [--max-new-trials N]
 //
 // Expands the grid scenario × protocol × n, runs every cell for --trials
 // independent repetitions across --threads workers (per-trial results are
 // bitwise identical for every thread count), prints the per-cell summary
 // table, and with --out writes PREFIX_{trials,cells}.{csv,jsonl}.
+//
+// Resumable sweeps (src/persist/manifest.hpp): with --manifest, each
+// completed trial is appended to a checksummed manifest; rerunning the
+// same grid with the same manifest skips completed trials and merges their
+// recorded outcomes, so an interrupted grid continues where it stopped and
+// the final outputs are byte-identical to an uninterrupted run's at every
+// thread count. --resume is --manifest that insists the file exists.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "cid/cid.hpp"
@@ -46,7 +56,14 @@ using namespace cid;
       "  --param K=V       scenario parameter (repeatable)\n"
       "  --lambda L        protocol migration scale, default 0.25\n"
       "  --out PREFIX      write PREFIX_{trials,cells}.{csv,jsonl}\n"
-      "  --list            list scenarios and exit\n");
+      "  --list            list scenarios and exit\n"
+      "  --manifest PATH   resumable sweep: record completed trials in a\n"
+      "                    checksummed manifest; skip them on rerun\n"
+      "  --resume PATH     like --manifest, but the file must exist\n"
+      "  --checkpoint-every K  flush the manifest every K trials\n"
+      "                    (default 1: every completed trial durable)\n"
+      "  --max-new-trials N    run at most N new trials, then exit\n"
+      "                    incomplete (resume later with --resume)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -61,6 +78,7 @@ struct Options {
   sweep::SweepGrid grid;
   sweep::SweepOptions run;
   std::string out_prefix;
+  bool resume_required = false;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -116,6 +134,15 @@ Options parse_args(int argc, char** argv) {
       else if (v == "perplayer") {
         opt.grid.dynamics.mode = EngineMode::kPerPlayer;
       } else usage("unknown engine");
+    } else if (flag == "--manifest") {
+      opt.run.manifest_path = need_value(i);
+    } else if (flag == "--resume") {
+      opt.run.manifest_path = need_value(i);
+      opt.resume_required = true;
+    } else if (flag == "--checkpoint-every") {
+      opt.run.manifest_flush_every = std::atoll(need_value(i));
+    } else if (flag == "--max-new-trials") {
+      opt.run.max_new_trials = std::atoll(need_value(i));
     } else if (flag == "--param") {
       const std::string kv = need_value(i);
       const auto eq = kv.find('=');
@@ -133,6 +160,14 @@ Options parse_args(int argc, char** argv) {
   }
   if (opt.grid.dynamics.max_rounds < 0) usage("--rounds must be >= 0");
   if (opt.run.threads < 0) usage("--threads must be >= 0");
+  if (opt.run.manifest_flush_every < 1) {
+    usage("--checkpoint-every must be >= 1");
+  }
+  if (opt.resume_required &&
+      !std::filesystem::exists(opt.run.manifest_path)) {
+    usage("--resume: manifest file does not exist (use --manifest to "
+          "start a fresh resumable sweep)");
+  }
   if (lambda <= 0.0 || lambda > 1.0) usage("lambda out of (0,1]");
   for (auto& protocol : opt.grid.protocols) protocol.lambda = lambda;
   return opt;
@@ -165,6 +200,20 @@ int main(int argc, char** argv) {
     const WallTimer timer;
     const sweep::SweepResult result = sweep::run_sweep(opt.grid, opt.run);
     const double elapsed = timer.seconds();
+
+    if (result.resumed_trials > 0) {
+      std::printf("resumed %zu completed trials from %s\n",
+                  result.resumed_trials, opt.run.manifest_path.c_str());
+    }
+    if (!result.complete) {
+      std::printf(
+          "ran %zu new trials in %.3f s; sweep INCOMPLETE "
+          "(%zu of %zu trials done) — continue with --resume %s\n",
+          result.ran_trials, elapsed,
+          result.resumed_trials + result.ran_trials, result.trials.size(),
+          opt.run.manifest_path.c_str());
+      return 0;
+    }
 
     Table table({"cell", "protocol", "n", "rounds", "converged",
                  "mean potential", "mean social cost", "wall s"});
