@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Gate CI on bench wall-clock: fail when the fresh BENCH_<name>.json is
+more than THRESHOLD (default 25%) slower than the checked-in baseline.
+
+Usage: check_bench_regression.py BASELINE.json CANDIDATE.json [THRESHOLD]
+
+Only wall-clock fields are gated — they are the one legitimately
+hardware-dependent output, and the threshold absorbs runner noise. The
+deterministic result fields (rounds_mean etc.) are compared too, but only
+WARN on drift: an intentional algorithm change may move them, and the
+reviewer should see that in the job log rather than silently.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load(sys.argv[1])
+    candidate = load(sys.argv[2])
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+
+    base_wall = float(baseline["wall_seconds"])
+    cand_wall = float(candidate["wall_seconds"])
+    ratio = cand_wall / base_wall if base_wall > 0 else float("inf")
+    print(f"bench {candidate.get('bench', '?')}: wall_seconds "
+          f"{base_wall:.4f} (baseline) -> {cand_wall:.4f} (candidate), "
+          f"ratio {ratio:.2f}x, threshold {1 + threshold:.2f}x")
+
+    # Deterministic-field drift is informational, not fatal.
+    base_cells = {c.get("n"): c for c in baseline.get("cells", []) if "n" in c}
+    cand_cells = {c.get("n"): c for c in candidate.get("cells", []) if "n" in c}
+    for n in sorted(set(base_cells) | set(cand_cells)):
+        if n not in base_cells or n not in cand_cells:
+            print(f"WARNING: cell n={n} present in only one report")
+            continue
+        for key in ("rounds_mean", "fraction_converged"):
+            b, c = base_cells[n].get(key), cand_cells[n].get(key)
+            if b != c:
+                print(f"WARNING: n={n} {key} drifted: {b} -> {c} "
+                      f"(intentional? update the baseline)")
+
+    if ratio > 1 + threshold:
+        print(f"FAIL: wall-clock regression {ratio:.2f}x exceeds "
+              f"{1 + threshold:.2f}x")
+        return 1
+    print("OK: within the wall-clock budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

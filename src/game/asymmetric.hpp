@@ -97,6 +97,12 @@ class AsymmetricState {
   std::int64_t count(std::int32_t c, StrategyId p) const;
   std::int64_t congestion(Resource e) const;
 
+  /// Per-class per-strategy counts, counts()[c][p] == count(c, p) — the
+  /// serialization view (src/persist/codec.hpp encodes states from it).
+  const std::vector<std::vector<std::int64_t>>& counts() const noexcept {
+    return counts_;
+  }
+
   /// Strategies of class c with positive count.
   std::vector<StrategyId> support(std::int32_t c) const;
 

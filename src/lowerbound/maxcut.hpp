@@ -34,6 +34,12 @@ class MaxCutInstance {
   int num_nodes() const noexcept { return n_; }
   double weight(int i, int j) const;
 
+  /// Full symmetric weight matrix — the serialization view
+  /// (src/persist/codec.hpp round-trips instances through it bit-exactly).
+  const std::vector<std::vector<double>>& weights() const noexcept {
+    return w_;
+  }
+
   /// Total weight of edges crossing the cut.
   double cut_value(std::uint32_t cut) const;
 

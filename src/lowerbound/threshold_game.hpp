@@ -86,6 +86,10 @@ class ThresholdState {
 
   bool plays_in(std::int32_t i) const;
   std::int64_t load(std::int32_t r) const;
+
+  /// Per-player strategy bits, in_bits()[i] == plays_in(i) — the
+  /// serialization view (src/persist/codec.hpp encodes states from it).
+  const std::vector<bool>& in_bits() const noexcept { return in_; }
   std::int32_t num_players() const noexcept {
     return static_cast<std::int32_t>(in_.size());
   }

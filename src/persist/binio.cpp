@@ -6,6 +6,7 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 namespace cid::persist {
@@ -75,6 +76,20 @@ void BinWriter::u64(std::uint64_t v) {
 
 void BinWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
+void BinWriter::vu64(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void BinWriter::vi64(std::int64_t v) {
+  // Zigzag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+  vu64((static_cast<std::uint64_t>(v) << 1) ^
+       static_cast<std::uint64_t>(v >> 63));
+}
+
 void BinWriter::str(const std::string& s) {
   if (s.size() > 0xFFFFFFFFull) {
     throw persist_error("string too large to serialize");
@@ -112,6 +127,25 @@ std::uint64_t BinReader::u64() {
 
 double BinReader::f64() { return std::bit_cast<double>(u64()); }
 
+std::uint64_t BinReader::vu64() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte holds the top single bit; anything above overflows.
+      if (shift == 63 && (byte & 0x7E) != 0) fail("varint overflows u64");
+      return v;
+    }
+  }
+  fail("varint longer than 10 bytes");
+}
+
+std::int64_t BinReader::vi64() {
+  const std::uint64_t z = vu64();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
 std::string BinReader::str() {
   const std::uint32_t size = u32();
   const char* p = static_cast<const char*>(take(size));
@@ -126,6 +160,58 @@ void BinReader::expect_done() const {
 
 void BinReader::fail(const std::string& message) const {
   throw persist_error(context_ + ": " + message);
+}
+
+void write_section(BinWriter& out, std::uint16_t tag, std::string_view body) {
+  if (body.size() > 0xFFFFFFFFull) {
+    throw persist_error("section " + std::to_string(tag) +
+                        " too large to serialize");
+  }
+  out.u8(static_cast<std::uint8_t>(tag & 0xFF));
+  out.u8(static_cast<std::uint8_t>(tag >> 8));
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.raw(body.data(), body.size());
+}
+
+SectionScan::SectionScan(std::string_view payload, std::string context)
+    : context_(std::move(context)) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    if (payload.size() - pos < 2 + 4) {
+      throw persist_error(context_ + ": truncated section header");
+    }
+    const auto tag = static_cast<std::uint16_t>(
+        static_cast<unsigned char>(payload[pos]) |
+        (static_cast<unsigned char>(payload[pos + 1]) << 8));
+    const std::uint32_t length = read_le32(payload.data() + pos + 2);
+    pos += 2 + 4;
+    if (payload.size() - pos < length) {
+      throw persist_error(context_ + ": section " + std::to_string(tag) +
+                          " body truncated (wants " + std::to_string(length) +
+                          " bytes, " + std::to_string(payload.size() - pos) +
+                          " left)");
+    }
+    sections_.push_back(Section{tag, payload.substr(pos, length)});
+    pos += length;
+  }
+}
+
+std::optional<std::string_view> SectionScan::find(
+    std::uint16_t tag) const noexcept {
+  for (const Section& s : sections_) {
+    if (s.tag == tag) return s.body;
+  }
+  return std::nullopt;
+}
+
+std::string_view SectionScan::require(std::uint16_t tag,
+                                      const char* name) const {
+  const auto body = find(tag);
+  if (!body.has_value()) {
+    throw persist_error(context_ + ": missing required section " + name +
+                        " (tag " + std::to_string(tag) + ")");
+  }
+  return *body;
 }
 
 void write_file_atomic(const std::string& path, const std::string& magic,
@@ -178,6 +264,33 @@ std::string slurp_file(const std::string& path) {
                    std::istreambuf_iterator<char>());
   if (in.bad()) throw persist_error("read failed for '" + path + "'");
   return data;
+}
+
+std::string chain_segment_path(const std::string& path, std::uint32_t seq) {
+  return path + "." + std::to_string(seq);
+}
+
+std::vector<std::string> chain_segments(const std::string& path) {
+  std::vector<std::string> segments;
+  for (std::uint32_t seq = 1;; ++seq) {
+    std::string segment = chain_segment_path(path, seq);
+    if (!std::filesystem::exists(segment)) break;
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+std::uint32_t chain_last_seq(const std::string& path) {
+  std::uint32_t last = 0;
+  while (std::filesystem::exists(chain_segment_path(path, last + 1))) ++last;
+  return last;
+}
+
+void remove_chain(const std::string& path) {
+  for (std::uint32_t seq = 1;; ++seq) {
+    std::error_code ec;
+    if (!std::filesystem::remove(chain_segment_path(path, seq), ec)) break;
+  }
 }
 
 FramedFile read_file_checked(const std::string& path,

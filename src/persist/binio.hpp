@@ -20,9 +20,11 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace cid::persist {
 
@@ -57,6 +59,13 @@ class BinWriter {
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   /// Bit-exact: the IEEE-754 word, not a decimal rendering.
   void f64(double v);
+  /// LEB128 varint: 7 value bits per byte, high bit = continuation. The
+  /// workhorse of the v2 event-log record encoding (round deltas and
+  /// migration fields are tiny in steady state — one byte, not eight).
+  void vu64(std::uint64_t v);
+  /// Zigzag-mapped varint for signed deltas (small magnitudes of either
+  /// sign stay one byte).
+  void vi64(std::int64_t v);
   /// Length-prefixed (u32) byte string.
   void str(const std::string& s);
   void raw(const void* data, std::size_t size);
@@ -84,6 +93,8 @@ class BinReader {
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64();
+  std::uint64_t vu64();
+  std::int64_t vi64();
   std::string str();
 
   std::size_t remaining() const noexcept {
@@ -105,6 +116,48 @@ class BinReader {
   std::size_t position_ = 0;
 };
 
+// ---- TLV section framing (format v2+) ---------------------------------------
+//
+// Since v2, every artifact payload is a flat sequence of sections:
+//
+//   section*: tag:u16 length:u32 body[length]
+//
+// Readers locate the sections they understand by tag and SKIP unknown tags,
+// so a v(N+1) writer can add sections without locking out v(N) readers —
+// the schema-evolution policy that replaces v1's "refuse anything newer".
+// Removing or renumbering an existing tag is still a breaking change and
+// requires a major-version bump.
+
+struct Section {
+  std::uint16_t tag = 0;
+  std::string_view body;  // borrowed from the scanned payload
+};
+
+/// Appends one TLV section to `out`. Bodies are limited to 4 GiB (u32
+/// length); persist_error beyond that.
+void write_section(BinWriter& out, std::uint16_t tag, std::string_view body);
+
+/// Parses a whole payload as a TLV section sequence, eagerly and with hard
+/// bounds checks (a truncated section throws persist_error naming
+/// `context`). The payload must outlive the scan (bodies are views).
+class SectionScan {
+ public:
+  SectionScan(std::string_view payload, std::string context);
+
+  /// First section with `tag`, or nullopt when absent (the caller decides
+  /// whether absence is an error — optional sections default).
+  std::optional<std::string_view> find(std::uint16_t tag) const noexcept;
+
+  /// Like find, but throws persist_error naming the missing section.
+  std::string_view require(std::uint16_t tag, const char* name) const;
+
+  const std::vector<Section>& sections() const noexcept { return sections_; }
+
+ private:
+  std::vector<Section> sections_;
+  std::string context_;
+};
+
 /// Writes magic+version+payload+crc to `path` via tmp-file + rename.
 /// Throws persist_error (naming the path) on any write or rename failure.
 void write_file_atomic(const std::string& path, const std::string& magic,
@@ -115,14 +168,41 @@ struct FramedFile {
   std::string payload;
 };
 
+/// Accept-any-version sentinel for read_file_checked: TLV-era readers
+/// (format v2+) tolerate newer versions by skipping unknown sections, so
+/// they pass this instead of a hard ceiling.
+inline constexpr std::uint8_t kAnyVersion = 0xFF;
+
 /// Reads and validates a framed file: magic must match, version must be in
-/// [1, max_version] (the forward-compatibility policy: readers refuse
-/// versions newer than they understand), size and CRC must agree.
+/// [1, max_version], size and CRC must agree. Pre-TLV formats pass their
+/// own version as the ceiling (refuse-newer); TLV formats pass kAnyVersion
+/// and branch on FramedFile::version themselves.
 FramedFile read_file_checked(const std::string& path,
                              const std::string& magic,
                              std::uint8_t max_version);
 
 /// Reads a whole file into memory; throws persist_error when unreadable.
 std::string slurp_file(const std::string& path);
+
+// ---- Rotation chains --------------------------------------------------------
+//
+// Rotating writers (event logs, manifests) rename the active file to
+// "<path>.<seq>" segments, 1-based and contiguous; the active tail stays
+// at "<path>". These helpers are the ONE place the naming scheme lives —
+// writers, readers, and the tools' summaries all go through them.
+
+/// Path of segment `seq` of `path`'s rotation chain.
+std::string chain_segment_path(const std::string& path, std::uint32_t seq);
+
+/// Existing rotated segments of `path`, in rotation order (oldest first).
+/// Does not include the active file itself.
+std::vector<std::string> chain_segments(const std::string& path);
+
+/// Highest existing segment index; 0 when the chain is empty.
+std::uint32_t chain_last_seq(const std::string& path);
+
+/// Deletes every rotated segment of `path` (a freshly created artifact
+/// owns its chain — stale segments would pollute later chain reads).
+void remove_chain(const std::string& path);
 
 }  // namespace cid::persist

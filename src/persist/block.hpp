@@ -1,0 +1,48 @@
+// Cheap, dependency-free block compression for persistence artifacts.
+//
+// An LZ4-style byte-oriented LZ77 codec: greedy single-probe hash matching
+// over a 64 KiB window, token = (literal_len, match_len) nibbles with
+// 255-run length extensions, u16 little-endian match offsets. Overlapping
+// matches (offset < length) make it an RLE superset, so runs of empty
+// event-log rounds collapse to a few bytes. Compression is deterministic —
+// a pure function of the input block — which the event log's resume
+// byte-identity depends on (re-compressing the same rounds after a
+// kill/resume must reproduce the same bytes).
+//
+// compress_block never fails; when the input is incompressible the caller
+// should store it raw instead (kBlockRaw) — decompress_block validates
+// every token against hard bounds and throws persist_error on malformed
+// input, so a corrupt block surfaces as a diagnosable error, not UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cid::persist {
+
+/// Block codec ids, stored in the block header byte.
+enum BlockCodec : std::uint8_t {
+  kBlockRaw = 0,  // stored bytes are the raw bytes
+  kBlockLz = 1,   // stored bytes are an LZ token stream
+};
+
+/// Compresses `input` into an LZ token stream. Deterministic.
+std::string lz_compress(std::string_view input);
+
+/// Inverts lz_compress. `raw_size` is the expected decompressed size (from
+/// the block header); any mismatch or malformed token stream throws
+/// persist_error naming `context`.
+std::string lz_decompress(std::string_view input, std::size_t raw_size,
+                          const std::string& context);
+
+/// Picks the smaller encoding: returns kBlockLz and the token stream when
+/// compression wins, else kBlockRaw and a copy of the input.
+std::pair<std::uint8_t, std::string> encode_block(std::string_view input);
+
+/// Inverts encode_block for either codec id.
+std::string decode_block(std::uint8_t codec, std::string_view stored,
+                         std::size_t raw_size, const std::string& context);
+
+}  // namespace cid::persist

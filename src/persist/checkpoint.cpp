@@ -1,7 +1,10 @@
 #include "persist/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <utility>
+#include <vector>
 
 #include "dynamics/equilibrium.hpp"
 #include "persist/binio.hpp"
@@ -10,6 +13,37 @@
 #include "protocols/imitation.hpp"
 
 namespace cid::persist {
+
+namespace {
+
+/// Enumerates the "<path>.r<round>" checkpoint set as (round, path) pairs.
+std::vector<std::pair<std::int64_t, std::string>> list_checkpoint_set(
+    const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path full(path);
+  const fs::path dir =
+      full.parent_path().empty() ? fs::path(".") : full.parent_path();
+  const std::string stem = full.filename().string() + ".r";
+
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= stem.size() || name.compare(0, stem.size(), stem) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(stem.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.emplace_back(std::stoll(digits), entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
 
 Checkpointer::Checkpointer(const CongestionGame& game, const Rng& rng,
                            CheckpointConfig checkpoint, SimConfig sim)
@@ -23,11 +57,20 @@ Checkpointer::Checkpointer(const CongestionGame& game, const Rng& rng,
   if (checkpoint_.every < 0) {
     throw persist_error("checkpoint cadence must be >= 0");
   }
+  if (checkpoint_.keep_last < 0) {
+    throw persist_error("checkpoint keep_last must be >= 0");
+  }
 }
 
 void Checkpointer::write_now(const State& x, std::int64_t round) const {
-  save_snapshot(make_snapshot(game_, x, rng_, round, sim_),
-                checkpoint_.path);
+  const std::string path =
+      checkpoint_.keep_last >= 1
+          ? checkpoint_.path + ".r" + std::to_string(round)
+          : checkpoint_.path;
+  save_snapshot(make_snapshot(game_, x, rng_, round, sim_), path);
+  if (checkpoint_.keep_last >= 1) {
+    prune_checkpoints(checkpoint_.path, checkpoint_.keep_last);
+  }
 }
 
 RoundObserver Checkpointer::observer() const {
@@ -86,6 +129,30 @@ StopPredicate stop_from_spec(const std::string& spec) {
   }
   throw persist_error("unknown stop spec '" + spec +
                       "' (expected stable|nash|deltaeps:D,E)");
+}
+
+std::string find_latest_checkpoint(const std::string& path) {
+  if (std::filesystem::exists(path)) return path;
+  const auto set = list_checkpoint_set(path);
+  if (set.empty()) {
+    throw persist_error("no checkpoint at '" + path +
+                        "' (and no '" + path + ".r<round>' set either)");
+  }
+  return set.back().second;
+}
+
+std::size_t prune_checkpoints(const std::string& path,
+                              std::int64_t keep_last) {
+  if (keep_last < 1) return 0;
+  auto set = list_checkpoint_set(path);
+  std::size_t removed = 0;
+  const std::size_t keep = static_cast<std::size_t>(keep_last);
+  if (set.size() <= keep) return 0;
+  for (std::size_t i = 0; i + keep < set.size(); ++i) {
+    std::error_code ec;
+    if (std::filesystem::remove(set[i].second, ec)) ++removed;
+  }
+  return removed;
 }
 
 ResumedRun resume_run(const std::string& snapshot_path) {

@@ -31,6 +31,11 @@ struct CheckpointConfig {
   /// Write a snapshot every `every` completed rounds; 0 = only the final
   /// observer call (still useful: the finished run's tuple on disk).
   std::int64_t every = 0;
+  /// Snapshot GC. 0 (default) = overwrite one file at `path` — the
+  /// historical behavior. K >= 1 = write "<path>.r<round>" per cadence
+  /// point and prune all but the newest K (so a multi-day run keeps a
+  /// bounded history of restart points instead of one or millions).
+  std::int64_t keep_last = 0;
 };
 
 class Checkpointer {
@@ -74,6 +79,17 @@ struct ResumedRun {
 /// Loads a snapshot and rebuilds the live simulation tuple. Throws
 /// persist_error on an unknown protocol name or engine byte.
 ResumedRun resume_run(const std::string& snapshot_path);
+
+/// Resolves a --resume argument against keep-last-K checkpoint sets: when
+/// `path` itself exists it wins; otherwise the "<path>.r<round>" sibling
+/// with the highest round is returned. Throws persist_error when neither
+/// exists.
+std::string find_latest_checkpoint(const std::string& path);
+
+/// Deletes all but the newest `keep_last` files of the "<path>.r<round>"
+/// set (no-op when keep_last < 1). Returns the number of files removed.
+std::size_t prune_checkpoints(const std::string& path,
+                              std::int64_t keep_last);
 
 /// Builds the stop predicate a SimConfig::stop spec describes ("stable",
 /// "nash", "deltaeps:D,E"); shared by cid_sim and resume paths.

@@ -173,4 +173,173 @@ State decode_state(BinReader& in, const CongestionGame& game) {
   return State(game, std::move(counts));
 }
 
+// ---- Asymmetric games -------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kMaxClasses = 1u << 16;
+}
+
+void encode_asymmetric_game(BinWriter& out, const AsymmetricGame& game) {
+  if (static_cast<std::uint32_t>(game.num_resources()) > kMaxResources ||
+      static_cast<std::uint32_t>(game.num_classes()) > kMaxClasses) {
+    throw persist_error("asymmetric game too large for the snapshot format");
+  }
+  out.u32(static_cast<std::uint32_t>(game.num_resources()));
+  for (Resource e = 0; e < game.num_resources(); ++e) {
+    encode_latency(out, game.latency(e));
+  }
+  out.u32(static_cast<std::uint32_t>(game.num_classes()));
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    const PlayerClass& cls = game.player_class(c);
+    if (cls.strategies.size() > kMaxStrategies) {
+      throw persist_error("asymmetric class too large for the snapshot format");
+    }
+    out.i64(cls.num_players);
+    out.u32(static_cast<std::uint32_t>(cls.strategies.size()));
+    for (const Strategy& st : cls.strategies) {
+      out.u32(static_cast<std::uint32_t>(st.size()));
+      for (Resource e : st) out.i32(e);
+    }
+  }
+}
+
+AsymmetricGame decode_asymmetric_game(BinReader& in) {
+  const std::uint32_t resources = in.u32();
+  if (resources < 1 || resources > kMaxResources) {
+    in.fail("bad resource count");
+  }
+  std::vector<LatencyPtr> latencies;
+  latencies.reserve(resources);
+  for (std::uint32_t e = 0; e < resources; ++e) {
+    latencies.push_back(decode_latency(in));
+  }
+  const std::uint32_t num_classes = in.u32();
+  if (num_classes < 1 || num_classes > kMaxClasses) {
+    in.fail("bad class count");
+  }
+  std::vector<PlayerClass> classes;
+  classes.reserve(num_classes);
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    PlayerClass cls;
+    cls.num_players = in.i64();
+    const std::uint32_t num_strategies = in.u32();
+    if (num_strategies < 1 || num_strategies > kMaxStrategies) {
+      in.fail("bad class strategy count");
+    }
+    cls.strategies.reserve(num_strategies);
+    for (std::uint32_t s = 0; s < num_strategies; ++s) {
+      const std::uint32_t len = in.u32();
+      if (len > resources) in.fail("strategy longer than the resource set");
+      Strategy st(len);
+      for (auto& e : st) e = in.i32();
+      cls.strategies.push_back(std::move(st));
+    }
+    classes.push_back(std::move(cls));
+  }
+  return AsymmetricGame(std::move(latencies), std::move(classes));
+}
+
+void encode_asymmetric_state(BinWriter& out, const AsymmetricState& x) {
+  const auto& counts = x.counts();
+  out.u32(static_cast<std::uint32_t>(counts.size()));
+  for (const auto& cls : counts) {
+    out.u32(static_cast<std::uint32_t>(cls.size()));
+    for (std::int64_t c : cls) out.i64(c);
+  }
+}
+
+AsymmetricState decode_asymmetric_state(BinReader& in,
+                                        const AsymmetricGame& game) {
+  const std::uint32_t num_classes = in.u32();
+  if (num_classes != static_cast<std::uint32_t>(game.num_classes())) {
+    in.fail("state class count does not match game");
+  }
+  std::vector<std::vector<std::int64_t>> counts(num_classes);
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    const std::uint32_t k = in.u32();
+    const auto& cls = game.player_class(static_cast<std::int32_t>(c));
+    if (k != static_cast<std::uint32_t>(cls.strategies.size())) {
+      in.fail("state dimension does not match class strategy space");
+    }
+    counts[c].resize(k);
+    for (auto& v : counts[c]) v = in.i64();
+  }
+  // The AsymmetricState constructor re-validates per-class totals.
+  return AsymmetricState(game, std::move(counts));
+}
+
+// ---- Threshold lower-bound games --------------------------------------------
+
+namespace {
+constexpr std::uint32_t kMaxMaxCutNodes = 1024;
+}
+
+void encode_maxcut(BinWriter& out, const MaxCutInstance& inst) {
+  if (static_cast<std::uint32_t>(inst.num_nodes()) > kMaxMaxCutNodes) {
+    throw persist_error("MaxCut instance too large for the snapshot format");
+  }
+  const int n = inst.num_nodes();
+  out.u32(static_cast<std::uint32_t>(n));
+  // Upper triangle only: the matrix is symmetric with a zero diagonal
+  // (constructor-enforced), so the rest is redundant.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) out.f64(inst.weight(i, j));
+  }
+}
+
+MaxCutInstance decode_maxcut(BinReader& in) {
+  const std::uint32_t n = in.u32();
+  if (n < 1 || n > kMaxMaxCutNodes) in.fail("bad MaxCut node count");
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      w[i][j] = w[j][i] = in.f64();
+    }
+  }
+  return MaxCutInstance(std::move(w));
+}
+
+void encode_packed_bits(BinWriter& out, const std::vector<bool>& bits) {
+  out.u32(static_cast<std::uint32_t>(bits.size()));
+  // Bit-packed: tripled games have 3n players, still tiny, but packing
+  // keeps the encoding byte-stable however vector<bool> is implemented.
+  std::uint8_t byte = 0;
+  int filled = 0;
+  for (bool b : bits) {
+    byte = static_cast<std::uint8_t>(byte | ((b ? 1 : 0) << filled));
+    if (++filled == 8) {
+      out.u8(byte);
+      byte = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) out.u8(byte);
+}
+
+std::vector<bool> decode_packed_bits(BinReader& in, std::uint32_t max_bits) {
+  const std::uint32_t n = in.u32();
+  if (n > max_bits) in.fail("bit vector longer than its bound");
+  std::vector<bool> bits(n);
+  std::uint8_t byte = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) byte = in.u8();
+    bits[i] = ((byte >> (i % 8)) & 1) != 0;
+  }
+  return bits;
+}
+
+void encode_threshold_state(BinWriter& out, const ThresholdState& s) {
+  encode_packed_bits(out, s.in_bits());
+}
+
+ThresholdState decode_threshold_state(BinReader& in,
+                                      const ThresholdGame& game) {
+  std::vector<bool> bits = decode_packed_bits(
+      in, static_cast<std::uint32_t>(game.num_players()));
+  if (bits.size() != static_cast<std::size_t>(game.num_players())) {
+    in.fail("state player count does not match threshold game");
+  }
+  return ThresholdState(game, std::move(bits));
+}
+
 }  // namespace cid::persist

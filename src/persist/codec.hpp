@@ -10,8 +10,11 @@
 // primitives so callers compose them into larger payloads (snapshots).
 #pragma once
 
+#include "game/asymmetric.hpp"
 #include "game/congestion_game.hpp"
 #include "game/state.hpp"
+#include "lowerbound/maxcut.hpp"
+#include "lowerbound/threshold_game.hpp"
 #include "persist/binio.hpp"
 
 namespace cid::persist {
@@ -25,5 +28,39 @@ CongestionGame decode_game(BinReader& in);
 /// Appends the per-strategy counts; decode validates against `game`.
 void encode_state(BinWriter& out, const State& x);
 State decode_state(BinReader& in, const CongestionGame& game);
+
+// ---- Asymmetric (multi-commodity) games -------------------------------------
+//
+// Same latency-class coverage as the symmetric codec; classes are encoded
+// as (player count, strategy list) pairs. Decoding reconstructs through
+// the AsymmetricGame / AsymmetricState constructors, so every invariant
+// (sorted in-range strategies, per-class player totals) is re-checked.
+
+void encode_asymmetric_game(BinWriter& out, const AsymmetricGame& game);
+AsymmetricGame decode_asymmetric_game(BinReader& in);
+
+void encode_asymmetric_state(BinWriter& out, const AsymmetricState& x);
+AsymmetricState decode_asymmetric_state(BinReader& in,
+                                        const AsymmetricGame& game);
+
+// ---- Threshold lower-bound games (paper §3.2) -------------------------------
+//
+// ThresholdGame latencies are opaque callables, so the serializable unit
+// is the MaxCut instance the quadratic/tripled constructions derive from
+// (both are pure functions of it — rebuilding bit-exactly reproduces the
+// game). States are the per-player strategy bits.
+
+void encode_maxcut(BinWriter& out, const MaxCutInstance& inst);
+MaxCutInstance decode_maxcut(BinReader& in);
+
+void encode_threshold_state(BinWriter& out, const ThresholdState& s);
+ThresholdState decode_threshold_state(BinReader& in,
+                                      const ThresholdGame& game);
+
+/// Length-prefixed bit-packed bool vector — the shared wire form of the
+/// threshold codecs and the threshold snapshot section. decode rejects
+/// lengths above `max_bits` before allocating.
+void encode_packed_bits(BinWriter& out, const std::vector<bool>& bits);
+std::vector<bool> decode_packed_bits(BinReader& in, std::uint32_t max_bits);
 
 }  // namespace cid::persist

@@ -1,18 +1,30 @@
 #include "persist/eventlog.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
 #include "persist/binio.hpp"
+#include "persist/block.hpp"
 
 namespace cid::persist {
 
 namespace {
 
-constexpr std::size_t kHeaderSize = 7 + 1;  // magic + version
+constexpr std::size_t kV1HeaderSize = 7 + 1;  // magic + version
+// codec:u8 raw:u32 stored:u32 first_round:u64 round_count:u32
+constexpr std::size_t kBlockHeaderSize = 1 + 4 + 4 + 8 + 4;
+constexpr std::uint16_t kElogSecParams = 1;
+constexpr std::uint32_t kMaxMovesPerRound = 1u << 26;
 
-std::string encode_record(std::int64_t round,
-                          std::span<const Migration> moves) {
+/// The fixed-width v1 size of one round record — the "uncompressed
+/// baseline" the observability counters compare against.
+std::uint64_t v1_record_bytes(std::size_t moves) noexcept {
+  return 8 + 4 + static_cast<std::uint64_t>(moves) * (4 + 4 + 8) + 4;
+}
+
+std::string encode_v1_record(std::int64_t round,
+                             std::span<const Migration> moves) {
   BinWriter out;
   out.u64(static_cast<std::uint64_t>(round));
   out.u32(static_cast<std::uint32_t>(moves.size()));
@@ -27,11 +39,11 @@ std::string encode_record(std::int64_t round,
   return framed.take();
 }
 
-/// Parses one record starting at `pos`, in place (no copies — logs of
+/// Parses one v1 record starting at `pos`, in place (no copies — logs of
 /// million-round runs are scanned on every resume); returns false when
 /// the remaining bytes are not one intact record.
-bool parse_record(const std::string& data, std::size_t pos,
-                  std::size_t& next_pos, RoundEvents& events) {
+bool parse_v1_record(const std::string& data, std::size_t pos,
+                     std::size_t& next_pos, RoundEvents& events) {
   constexpr std::size_t kFixed = 8 + 4;  // round + move_count
   if (data.size() - pos < kFixed + 4) return false;
   const std::uint32_t move_count = read_le32(data.data() + pos + 8);
@@ -55,54 +67,275 @@ bool parse_record(const std::string& data, std::size_t pos,
   return true;
 }
 
+// ---- v2 block encoding ------------------------------------------------------
+
+/// Delta + varint encoding of a run of consecutive rounds. The delta
+/// context (previous round's move list) starts empty so blocks decode
+/// independently of one another.
+std::string encode_block_rounds(std::span<const RoundEvents> rounds) {
+  BinWriter raw;
+  static const std::vector<Migration> kNoMoves;
+  const std::vector<Migration>* prev = &kNoMoves;
+  for (const RoundEvents& r : rounds) {
+    raw.vu64(r.moves.size());
+    for (std::size_t j = 0; j < r.moves.size(); ++j) {
+      const Migration base =
+          j < prev->size() ? (*prev)[j] : Migration{0, 0, 0};
+      raw.vi64(static_cast<std::int64_t>(r.moves[j].from) - base.from);
+      raw.vi64(static_cast<std::int64_t>(r.moves[j].to) - base.to);
+      raw.vi64(r.moves[j].count - base.count);
+    }
+    prev = &r.moves;
+  }
+  return raw.take();
+}
+
+std::string frame_block(std::span<const RoundEvents> rounds) {
+  const std::string raw = encode_block_rounds(rounds);
+  auto [codec, stored] = encode_block(raw);
+  if (raw.size() > 0xFFFFFFFFull || stored.size() > 0xFFFFFFFFull) {
+    // The u32 header fields would wrap and the block would be unreadable;
+    // fail at write time like BinWriter::str and write_section do.
+    throw persist_error("event log block exceeds 4 GiB (" +
+                        std::to_string(raw.size()) +
+                        " raw bytes) — lower block_rounds");
+  }
+  BinWriter out;
+  out.u8(codec);
+  out.u32(static_cast<std::uint32_t>(raw.size()));
+  out.u32(static_cast<std::uint32_t>(stored.size()));
+  out.u64(static_cast<std::uint64_t>(rounds.front().round));
+  out.u32(static_cast<std::uint32_t>(rounds.size()));
+  out.raw(stored.data(), stored.size());
+  const std::uint32_t crc = crc32(out.buffer().data(), out.buffer().size());
+  out.u32(crc);
+  return out.take();
+}
+
+/// Parses one v2 block at `pos`, appending its rounds to `out`; returns
+/// false when the remaining bytes are not one intact block (truncated or
+/// checksum-damaged tail — `out` is untouched in that case).
+bool parse_block(const std::string& data, std::size_t pos,
+                 std::size_t& next_pos, std::vector<RoundEvents>& out,
+                 const std::string& context) {
+  if (data.size() - pos < kBlockHeaderSize + 4) return false;
+  const std::uint8_t codec =
+      static_cast<std::uint8_t>(static_cast<unsigned char>(data[pos]));
+  const std::uint32_t raw_size = read_le32(data.data() + pos + 1);
+  const std::uint32_t stored_size = read_le32(data.data() + pos + 5);
+  const std::uint64_t first_round = read_le64(data.data() + pos + 9);
+  const std::uint32_t round_count = read_le32(data.data() + pos + 17);
+  const std::size_t framed = kBlockHeaderSize + stored_size;
+  if (data.size() - pos < framed + 4) return false;
+  const std::uint32_t stored_crc = read_le32(data.data() + pos + framed);
+  if (stored_crc != crc32(data.data() + pos, framed)) return false;
+
+  // Past the CRC the block is known-intact: structural violations from
+  // here on are real corruption (or a format bug) and throw.
+  const std::string raw = decode_block(
+      codec,
+      std::string_view(data).substr(pos + kBlockHeaderSize, stored_size),
+      raw_size, context);
+  BinReader in(raw, context);
+  // Decode straight into `out`, referencing the previous round by index —
+  // no per-round copy of the delta context (this runs over every block of
+  // a possibly million-round log on each read/resume).
+  const std::size_t base_index = out.size();
+  static const std::vector<Migration> kNoMoves;
+  for (std::uint32_t i = 0; i < round_count; ++i) {
+    RoundEvents events;
+    events.round = static_cast<std::int64_t>(first_round + i);
+    const std::uint64_t move_count = in.vu64();
+    if (move_count > kMaxMovesPerRound) in.fail("absurd move count");
+    events.moves.resize(static_cast<std::size_t>(move_count));
+    const std::vector<Migration>& prev =
+        i == 0 ? kNoMoves : out[base_index + i - 1].moves;
+    for (std::size_t j = 0; j < events.moves.size(); ++j) {
+      const Migration base = j < prev.size() ? prev[j] : Migration{0, 0, 0};
+      events.moves[j].from =
+          static_cast<std::int32_t>(base.from + in.vi64());
+      events.moves[j].to = static_cast<std::int32_t>(base.to + in.vi64());
+      events.moves[j].count = base.count + in.vi64();
+    }
+    out.push_back(std::move(events));
+  }
+  in.expect_done();
+  next_pos = pos + framed + 4;
+  return true;
+}
+
+/// Rotated segments carry the chain's running totals in their header, so
+/// a resume never has to decompress immutable history: `prior_v1_bytes`
+/// is the v1-equivalent size of every earlier segment's rounds (0 for a
+/// fresh, chainless log) and `prior_end_round` is the round the previous
+/// segment ended before (0 = no prior chain).
+std::string encode_v2_header(const EventLogOptions& options,
+                             std::uint64_t prior_v1_bytes,
+                             std::int64_t prior_end_round) {
+  BinWriter params;
+  params.u32(static_cast<std::uint32_t>(options.block_rounds));
+  params.u64(prior_v1_bytes);
+  params.u64(static_cast<std::uint64_t>(prior_end_round));
+  BinWriter sections;
+  write_section(sections, kElogSecParams, params.buffer());
+  BinWriter header;
+  header.raw(kEventLogMagic, 7);
+  header.u8(kEventLogVersion);
+  header.u32(static_cast<std::uint32_t>(sections.buffer().size()));
+  header.raw(sections.buffer().data(), sections.buffer().size());
+  return header.take();
+}
+
+struct V2Header {
+  std::size_t size = 0;           // bytes up to the first block
+  std::int64_t block_rounds = 0;  // 0 when the params section is absent
+  std::uint64_t prior_v1_bytes = 0;
+  std::int64_t prior_end_round = 0;  // 0 = no rotated chain before this
+};
+
+V2Header parse_v2_header(const std::string& data, const std::string& path) {
+  if (data.size() < kV1HeaderSize + 4) {
+    throw persist_error(path + ": truncated event log header");
+  }
+  const std::uint32_t sections_len = read_le32(data.data() + kV1HeaderSize);
+  if (data.size() - kV1HeaderSize - 4 < sections_len) {
+    throw persist_error(path + ": event log header sections truncated");
+  }
+  V2Header header;
+  header.size = kV1HeaderSize + 4 + sections_len;
+  const SectionScan scan(
+      std::string_view(data).substr(kV1HeaderSize + 4, sections_len), path);
+  if (const auto params = scan.find(kElogSecParams)) {
+    BinReader in(*params, path);
+    header.block_rounds = static_cast<std::int64_t>(in.u32());
+    // Field-granular forward compatibility: later writers may extend the
+    // params section — read what we know, ignore the rest.
+    if (in.remaining() >= 16) {
+      header.prior_v1_bytes = in.u64();
+      header.prior_end_round = static_cast<std::int64_t>(in.u64());
+    }
+  }
+  return header;
+}
+
+std::uint8_t sniff_version(const std::string& data, const std::string& path) {
+  if (data.size() < kV1HeaderSize ||
+      data.compare(0, 7, kEventLogMagic) != 0) {
+    throw persist_error(path + ": not a CIDELOG event log");
+  }
+  const auto version =
+      static_cast<std::uint8_t>(static_cast<unsigned char>(data[7]));
+  if (version < 1) {
+    throw persist_error(path + ": bad event log version 0");
+  }
+  // Versions newer than ours are still readable as long as the block
+  // framing parses — the TLV header carries anything they add.
+  return version;
+}
+
 }  // namespace
 
 EventLog read_event_log(const std::string& path) {
   const std::string data = slurp_file(path);
-  if (data.size() < kHeaderSize ||
-      data.compare(0, 7, kEventLogMagic) != 0) {
-    throw persist_error(path + ": not a CIDELOG event log");
-  }
   EventLog log;
-  log.version = static_cast<std::uint8_t>(
-      static_cast<unsigned char>(data[7]));
-  if (log.version < 1 || log.version > kEventLogVersion) {
-    throw persist_error(path + ": unsupported event log version " +
-                        std::to_string(log.version));
-  }
-  std::size_t pos = kHeaderSize;
+  log.version = sniff_version(data, path);
+  log.file_bytes = data.size();
+  std::size_t pos = kV1HeaderSize;
+  if (log.version >= 2) pos = parse_v2_header(data, path).size;
+
   while (pos < data.size()) {
-    RoundEvents events;
     std::size_t next_pos = pos;
-    if (!parse_record(data, pos, next_pos, events)) {
-      log.truncated_tail = true;
-      break;
+    if (log.version == 1) {
+      RoundEvents events;
+      if (!parse_v1_record(data, pos, next_pos, events)) {
+        log.truncated_tail = true;
+        break;
+      }
+      log.rounds.push_back(std::move(events));
+    } else {
+      if (!parse_block(data, pos, next_pos, log.rounds,
+                       path + ": event log block")) {
+        log.truncated_tail = true;
+        break;
+      }
     }
-    log.rounds.push_back(std::move(events));
     pos = next_pos;
   }
+  for (const RoundEvents& events : log.rounds) {
+    log.v1_equivalent_bytes += v1_record_bytes(events.moves.size());
+  }
+  log.v1_equivalent_bytes += kV1HeaderSize;
   return log;
 }
 
-EventLogWriter::EventLogWriter(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
+EventLog read_event_log_series(const std::string& path) {
+  std::vector<std::string> segments = chain_segments(path);
+  segments.push_back(path);
+
+  EventLog merged;
+  for (const std::string& segment : segments) {
+    EventLog log = read_event_log(segment);
+    merged.version = log.version;
+    merged.truncated_tail = merged.truncated_tail || log.truncated_tail;
+    merged.file_bytes += log.file_bytes;
+    merged.v1_equivalent_bytes += log.v1_equivalent_bytes;
+    for (RoundEvents& events : log.rounds) {
+      merged.rounds.push_back(std::move(events));
+    }
+  }
+  return merged;
+}
+
+EventLogWriter::EventLogWriter(std::string path, std::FILE* file,
+                               EventLogOptions options)
+    : path_(std::move(path)), file_(file), options_(options) {}
 
 EventLogWriter::EventLogWriter(EventLogWriter&& other) noexcept
     : path_(std::move(other.path_)),
-      file_(std::exchange(other.file_, nullptr)) {}
+      file_(std::exchange(other.file_, nullptr)),
+      options_(other.options_),
+      bytes_written_(other.bytes_written_),
+      rotated_disk_bytes_(other.rotated_disk_bytes_),
+      v1_equivalent_bytes_(other.v1_equivalent_bytes_),
+      next_expected_(other.next_expected_),
+      pending_(std::move(other.pending_)),
+      rotate_seq_(other.rotate_seq_) {}
 
 EventLogWriter& EventLogWriter::operator=(EventLogWriter&& other) noexcept {
   if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
+    close_quietly();  // preserves a buffered partial block, like the dtor
     path_ = std::move(other.path_);
     file_ = std::exchange(other.file_, nullptr);
+    options_ = other.options_;
+    bytes_written_ = other.bytes_written_;
+    rotated_disk_bytes_ = other.rotated_disk_bytes_;
+    v1_equivalent_bytes_ = other.v1_equivalent_bytes_;
+    next_expected_ = other.next_expected_;
+    pending_ = std::move(other.pending_);
+    rotate_seq_ = other.rotate_seq_;
   }
   return *this;
 }
 
-EventLogWriter::~EventLogWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+void EventLogWriter::close_quietly() noexcept {
+  // Best effort: persist the partial block, then close. Errors are
+  // swallowed (this runs from the destructor and move-assignment, where
+  // throwing is not an option); close() is the reporting path.
+  if (file_ == nullptr) return;
+  if (!pending_.empty()) {
+    try {
+      const std::string block = frame_block(pending_);
+      std::fwrite(block.data(), 1, block.size(), file_);
+    } catch (...) {
+      // Unencodable pending block (allocation failure, >4 GiB): the tail
+      // is lost, exactly as a hard kill would lose it.
+    }
+  }
+  std::fclose(file_);
+  file_ = nullptr;
 }
+
+EventLogWriter::~EventLogWriter() { close_quietly(); }
 
 void EventLogWriter::check(bool ok, const char* what) const {
   if (!ok) {
@@ -110,42 +343,196 @@ void EventLogWriter::check(bool ok, const char* what) const {
   }
 }
 
-EventLogWriter EventLogWriter::create(const std::string& path) {
+void EventLogWriter::write_raw(const std::string& bytes, const char* what) {
+  check(file_ != nullptr, what);
+  check(std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
+        what);
+  bytes_written_ += bytes.size();
+}
+
+EventLogWriter EventLogWriter::create(const std::string& path,
+                                      const EventLogOptions& options) {
+  if (options.block_rounds < 1) {
+    throw persist_error(path + ": event log block_rounds must be >= 1");
+  }
+  // A fresh log owns its rotation chain: stale segments from an earlier
+  // run at the same path would otherwise pollute read_event_log_series.
+  remove_chain(path);
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     throw persist_error("cannot open '" + path + "' for writing");
   }
-  EventLogWriter writer(path, file);
-  BinWriter header;
-  header.raw(kEventLogMagic, 7);
-  header.u8(kEventLogVersion);
-  writer.check(std::fwrite(header.buffer().data(), 1, header.buffer().size(),
-                           file) == header.buffer().size(),
-               "header write");
+  EventLogWriter writer(path, file, options);
+  writer.v1_equivalent_bytes_ = kV1HeaderSize;
+  if (options.compress) {
+    writer.write_raw(encode_v2_header(options, 0, 0), "header write");
+  } else {
+    BinWriter header;
+    header.raw(kEventLogMagic, 7);
+    header.u8(1);  // v1: fixed-width records
+    writer.write_raw(header.buffer(), "header write");
+  }
   return writer;
 }
 
 EventLogWriter EventLogWriter::open_for_append(const std::string& path,
-                                               std::int64_t next_round) {
-  // Scan the existing file for the byte offset of the first record at or
-  // beyond next_round (or the first damaged record), then truncate there.
+                                               std::int64_t next_round,
+                                               const EventLogOptions& options) {
   const std::string data = slurp_file(path);
-  if (data.size() < kHeaderSize ||
-      data.compare(0, 7, kEventLogMagic) != 0) {
-    throw persist_error(path + ": not a CIDELOG event log");
-  }
-  std::size_t keep = kHeaderSize;
-  std::size_t pos = kHeaderSize;
-  while (pos < data.size()) {
-    RoundEvents events;
-    std::size_t next_pos = pos;
-    if (!parse_record(data, pos, next_pos, events) ||
-        events.round >= next_round) {
+  const std::uint8_t version = sniff_version(data, path);
+
+  EventLogOptions effective = options;
+  effective.compress = version >= 2;
+
+  std::size_t keep = kV1HeaderSize;
+  std::vector<RoundEvents> rebuffer;
+  std::int64_t last_retained = -1;
+  bool any_retained = false;
+  std::int64_t first_round_in_file = -1;
+  std::uint64_t retained_v1_bytes = 0;
+
+  if (version == 1) {
+    std::size_t pos = kV1HeaderSize;
+    while (pos < data.size()) {
+      RoundEvents events;
+      std::size_t next_pos = pos;
+      if (!parse_v1_record(data, pos, next_pos, events)) break;
+      if (first_round_in_file < 0) first_round_in_file = events.round;
+      if (events.round >= next_round) break;
+      keep = next_pos;
+      last_retained = events.round;
+      any_retained = true;
+      retained_v1_bytes += v1_record_bytes(events.moves.size());
+      pos = next_pos;
+    }
+  } else {
+    const V2Header header = parse_v2_header(data, path);
+    if (header.block_rounds >= 1) {
+      // The file's own block cadence wins: mixed cadences would make the
+      // resumed framing diverge from the uninterrupted run's.
+      effective.block_rounds = header.block_rounds;
+    }
+    if (effective.block_rounds < 1) effective.block_rounds = 256;
+    keep = header.size;
+    std::size_t pos = header.size;
+    while (pos < data.size()) {
+      std::vector<RoundEvents> block;
+      std::size_t next_pos = pos;
+      if (!parse_block(data, pos, next_pos, block,
+                       path + ": event log block")) {
+        break;
+      }
+      if (block.empty()) break;  // defensive: zero-round blocks end scan
+      if (first_round_in_file < 0) first_round_in_file = block.front().round;
+      const std::int64_t block_end = block.back().round + 1;
+      const bool complete = block_end % effective.block_rounds == 0;
+      if (complete && block_end <= next_round) {
+        keep = next_pos;
+        last_retained = block.back().round;
+        any_retained = true;
+        for (const RoundEvents& events : block) {
+          retained_v1_bytes += v1_record_bytes(events.moves.size());
+        }
+        pos = next_pos;
+        continue;
+      }
+      // Boundary-spanning or partial tail block: re-buffer the rounds the
+      // resume keeps so the next flush reproduces the uninterrupted
+      // run's framing, then stop (everything beyond is dropped).
+      for (RoundEvents& events : block) {
+        if (events.round >= next_round) break;
+        last_retained = events.round;
+        any_retained = true;
+        retained_v1_bytes += v1_record_bytes(events.moves.size());
+        rebuffer.push_back(std::move(events));
+      }
       break;
     }
-    keep = next_pos;
-    pos = next_pos;
   }
+
+  // Rotated-chain bookkeeping: segment sizes and round range feed the
+  // observability counters AND the cross-segment resume guards (an active
+  // segment that is still header-only after a rotation would otherwise
+  // skip both checks below and silently duplicate the chain's rounds).
+  // Immutable history is never decompressed here: v2 segments carry the
+  // chain totals in the active header, disk sizes come from stat, and
+  // only a v1 chain (whose rounds ARE their bytes) falls back to decoding
+  // its final segment for the last round number.
+  const std::vector<std::string> segments = chain_segments(path);
+  const std::uint32_t last_seq = static_cast<std::uint32_t>(segments.size());
+  std::uint64_t rotated_disk_bytes = 0;
+  for (const std::string& segment : segments) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(segment, ec);
+    if (!ec) rotated_disk_bytes += size;
+  }
+  std::uint64_t rotated_v1_bytes = 0;
+  std::int64_t chain_last_round = -1;
+  if (!segments.empty()) {
+    if (version >= 2) {
+      const V2Header header = parse_v2_header(data, path);
+      rotated_v1_bytes = header.prior_v1_bytes;
+      chain_last_round = header.prior_end_round - 1;
+    } else {
+      // v1 is the uncompressed format: a segment's record bytes ARE its
+      // v1-equivalent bytes (minus the 8-byte header each).
+      rotated_v1_bytes = rotated_disk_bytes -
+                         static_cast<std::uint64_t>(segments.size()) *
+                             kV1HeaderSize;
+      for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+        const EventLog seg = read_event_log(*it);
+        if (!seg.rounds.empty()) {
+          chain_last_round = seg.rounds.back().round;
+          break;
+        }
+      }
+    }
+  }
+
+  if (first_round_in_file >= 0 && first_round_in_file > next_round) {
+    throw persist_error(
+        path + ": resume round " + std::to_string(next_round) +
+        " predates this log segment (first recorded round is " +
+        std::to_string(first_round_in_file) +
+        "); rotated segments are immutable");
+  }
+  if (first_round_in_file < 0 && chain_last_round >= 0) {
+    // Active segment holds no rounds yet; the chain's rotated segments
+    // define the continuation point instead.
+    if (next_round <= chain_last_round) {
+      throw persist_error(
+          path + ": resume round " + std::to_string(next_round) +
+          " lands inside a rotated segment (chain ends at round " +
+          std::to_string(chain_last_round) +
+          "); rotated segments are immutable");
+    }
+    if (next_round > chain_last_round + 1) {
+      throw persist_error(
+          path + ": rotated chain ends at round " +
+          std::to_string(chain_last_round) +
+          " but the resume starts at round " + std::to_string(next_round) +
+          " — refusing to leave a gap");
+    }
+  }
+  if (any_retained && last_retained + 1 < next_round) {
+    throw persist_error(
+        path + ": event log ends at round " + std::to_string(last_retained) +
+        " but the resume starts at round " + std::to_string(next_round) +
+        " — refusing to leave a gap (was the log written with a larger "
+        "checkpoint cadence, or hard-killed with a block still buffered?)");
+  }
+  if (!any_retained && first_round_in_file < 0 && chain_last_round < 0 &&
+      next_round > 0) {
+    // Nothing anywhere proves rounds [0, next_round) exist: the log is
+    // empty or its first block is damaged. Appending would leave a
+    // permanent hole in the replay record — delete the file to start a
+    // fresh log instead.
+    throw persist_error(
+        path + ": log holds no intact rounds before resume round " +
+        std::to_string(next_round) +
+        " — refusing to leave a gap (delete the log to restart it)");
+  }
+
   std::error_code ec;
   std::filesystem::resize_file(path, keep, ec);
   if (ec) {
@@ -156,15 +543,86 @@ EventLogWriter EventLogWriter::open_for_append(const std::string& path,
   if (file == nullptr) {
     throw persist_error("cannot open '" + path + "' for appending");
   }
-  return EventLogWriter(path, file);
+  EventLogWriter writer(path, file, effective);
+  writer.bytes_written_ = keep;
+  writer.next_expected_ = next_round;
+  writer.pending_ = std::move(rebuffer);
+  writer.rotate_seq_ = last_seq;
+  writer.rotated_disk_bytes_ = rotated_disk_bytes;
+  // v2 chain totals already include the one-header base; otherwise add it.
+  writer.v1_equivalent_bytes_ =
+      (version >= 2 && !segments.empty() ? rotated_v1_bytes
+                                         : kV1HeaderSize + rotated_v1_bytes) +
+      retained_v1_bytes;
+  return writer;
 }
 
 void EventLogWriter::append(std::int64_t round,
                             std::span<const Migration> moves) {
   check(file_ != nullptr, "append after close");
-  const std::string record = encode_record(round, moves);
-  check(std::fwrite(record.data(), 1, record.size(), file_) == record.size(),
-        "record write");
+  if (next_expected_ >= 0 && round != next_expected_) {
+    throw persist_error(path_ + ": event log rounds must be gapless (got " +
+                        std::to_string(round) + ", expected " +
+                        std::to_string(next_expected_) + ")");
+  }
+  next_expected_ = round + 1;
+  v1_equivalent_bytes_ += v1_record_bytes(moves.size());
+  if (!options_.compress) {
+    write_raw(encode_v1_record(round, moves), "record write");
+    maybe_rotate();
+    return;
+  }
+  RoundEvents events;
+  events.round = round;
+  events.moves.assign(moves.begin(), moves.end());
+  pending_.push_back(std::move(events));
+  // Deterministic boundary: a pure function of the round number, so kill
+  // and resume cannot perturb the block framing.
+  if ((round + 1) % options_.block_rounds == 0) flush_block();
+}
+
+void EventLogWriter::flush_block() {
+  if (pending_.empty()) return;
+  write_raw(frame_block(pending_), "block write");
+  pending_.clear();
+  maybe_rotate();
+}
+
+void EventLogWriter::maybe_rotate() {
+  if (options_.rotate_bytes == 0 ||
+      bytes_written_ < options_.rotate_bytes) {
+    return;
+  }
+  check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
+            std::fclose(file_) == 0,
+        "pre-rotation flush");
+  file_ = nullptr;
+  rotated_disk_bytes_ += bytes_written_;
+  const std::string segment = chain_segment_path(path_, rotate_seq_ + 1);
+  if (std::rename(path_.c_str(), segment.c_str()) != 0) {
+    throw persist_error(path_ + ": cannot rotate event log to '" + segment +
+                        "'");
+  }
+  ++rotate_seq_;
+  std::FILE* file = std::fopen(path_.c_str(), "wb");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + path_ +
+                        "' for writing after rotation");
+  }
+  file_ = file;
+  bytes_written_ = 0;
+  if (options_.compress) {
+    // The fresh segment's header carries the chain's running totals so a
+    // later resume never decodes the immutable history (open_for_append).
+    write_raw(encode_v2_header(options_, v1_equivalent_bytes_,
+                               next_expected_),
+              "post-rotation header write");
+  } else {
+    BinWriter header;
+    header.raw(kEventLogMagic, 7);
+    header.u8(1);
+    write_raw(header.buffer(), "post-rotation header write");
+  }
 }
 
 void EventLogWriter::flush() {
@@ -173,6 +631,7 @@ void EventLogWriter::flush() {
 
 void EventLogWriter::close() {
   check(file_ != nullptr, "double close");
+  if (!pending_.empty()) flush_block();
   const bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
   const bool closed = std::fclose(file_) == 0;
   file_ = nullptr;

@@ -7,18 +7,53 @@
 // draws; the log alone (from round 0) is a complete, compact audit trail
 // of a run.
 //
-// File layout:
+// Format v2 (default) — delta-encoded, block-compressed:
 //
-//   magic "CIDELOG" version:u8
+//   magic "CIDELOG" version:u8=2
+//   header_len:u32 header_sections[header_len]      (TLV, binio.hpp; tag 1
+//                                                    = params: block_rounds)
+//   block*: codec:u8 raw_size:u32 stored_size:u32
+//           first_round:u64 round_count:u32
+//           stored[stored_size] crc32(block header + stored):u32
+//
+// Inside a block (before compression) each round is `move_count:vu64` then
+// per move zigzag varints of the (from, to, count) DELTAS against the same
+// move index of the previous round (absent moves delta against zero; the
+// context resets at each block boundary so blocks decode independently).
+// Steady-state rounds — no movers, or the same few cohorts shuffling — thus
+// cost a byte or two before the LZ pass (persist/block.hpp) collapses the
+// repetition; long runs shrink well over 5x against the v1 encoding.
+//
+// Blocks are flushed at DETERMINISTIC round boundaries ((round + 1) %
+// block_rounds == 0), never at kill points, so a resumed file is
+// byte-identical to the one an uninterrupted run would have written
+// (tests/test_resume.cpp): open_for_append re-buffers the partial tail
+// block and re-compresses it later with exactly the content the
+// uninterrupted run would have used.
+//
+// Format v1 (still read, and written with EventLogOptions::compress =
+// false) is one independently-checksummed fixed-width record per round:
+//
+//   magic "CIDELOG" version:u8=1
 //   record*: round:u64 move_count:u32 (from:i32 to:i32 count:i64)*
 //            crc32(record payload):u32
 //
-// Records are individually checksummed, so the log survives the one
-// corruption mode an append-only file actually has — a truncated tail from
-// a killed writer. open_for_append scans existing records, truncates the
-// file back to the last intact record whose round precedes the resume
-// round, and continues; the resumed file is byte-identical to the one an
-// uninterrupted run would have written (tests/test_resume.cpp).
+// Both versions survive the one corruption mode an append-only file
+// actually has — a truncated tail from a killed writer: per-record CRCs
+// (v1) or per-block CRCs (v2) let the reader drop the damaged tail and
+// open_for_append truncate back to the last intact prefix.
+//
+// Rotation (EventLogOptions::rotate_bytes): once the active file exceeds
+// the limit at a block boundary it is renamed to "<path>.<seq>" and a
+// fresh segment continues at "<path>"; read_event_log_series() reads the
+// whole chain back in order. Segments are immutable once rotated —
+// resuming at a round that predates the active segment fails loudly, and
+// each segment's header carries the chain's running totals so a resume
+// never decompresses the immutable history. Rotation points are
+// byte-size-driven (a graceful close flushes a partial block), so for
+// ROTATED chains the kill/resume guarantee is decoded-content identity
+// (replay reconstructs the same states), not framing-level byte
+// identity; single-file logs keep the byte-identical guarantee above.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +68,7 @@
 namespace cid::persist {
 
 inline constexpr char kEventLogMagic[] = "CIDELOG";
-inline constexpr std::uint8_t kEventLogVersion = 1;
+inline constexpr std::uint8_t kEventLogVersion = 2;
 
 struct RoundEvents {
   std::int64_t round = 0;
@@ -43,43 +78,79 @@ struct RoundEvents {
 struct EventLog {
   std::uint8_t version = 0;
   std::vector<RoundEvents> rounds;
-  /// True when the file ended in a partial or corrupt record (the intact
-  /// prefix is still returned — a killed writer is an expected condition).
+  /// True when the file ended in a partial or corrupt record/block (the
+  /// intact prefix is still returned — a killed writer is an expected
+  /// condition).
   bool truncated_tail = false;
+  /// Bytes the log occupies on disk, and the bytes the same rounds would
+  /// occupy in the fixed-width v1 encoding — the compression observability
+  /// pair cid_replay reports (for a v1 file the two are equal).
+  std::uint64_t file_bytes = 0;
+  std::uint64_t v1_equivalent_bytes = 0;
 };
 
-/// Reads and validates a whole log. Throws persist_error on a missing file
-/// or bad header; a damaged tail sets truncated_tail instead of throwing.
+struct EventLogOptions {
+  /// Write the v2 delta + block-compressed format; false writes v1
+  /// fixed-width records (the uncompressed baseline, and a file v1-era
+  /// readers still accept).
+  bool compress = true;
+  /// Rounds per v2 block. Larger blocks compress better but buffer more
+  /// in memory and lose more tail on a hard kill (a partial block becomes
+  /// durable only at close or at the next boundary).
+  std::int64_t block_rounds = 256;
+  /// When > 0, rotate the active file to "<path>.<seq>" once it exceeds
+  /// this many bytes (checked at block/record granularity). 0 = off.
+  std::uint64_t rotate_bytes = 0;
+};
+
+/// Reads and validates a whole log (either version). Throws persist_error
+/// on a missing file or bad header; a damaged tail sets truncated_tail
+/// instead of throwing.
 EventLog read_event_log(const std::string& path);
+
+/// Reads a rotated chain: "<path>.1", "<path>.2", ..., then "<path>"
+/// itself, concatenated in that order (a plain un-rotated log degenerates
+/// to just "<path>"). Byte counters are summed; version/truncated_tail
+/// come from the active segment.
+EventLog read_event_log_series(const std::string& path);
 
 /// Streaming writer. All write errors throw persist_error naming the path.
 class EventLogWriter {
  public:
   /// Creates (truncating) a fresh log.
-  static EventLogWriter create(const std::string& path);
+  static EventLogWriter create(const std::string& path,
+                               const EventLogOptions& options = {});
 
   /// Opens an existing log to continue at `next_round`: validates the
-  /// header, scans records, and truncates the file after the last intact
-  /// record with round < next_round (dropping any tail a killed writer left
-  /// beyond the snapshot being resumed from). The file must already exist.
+  /// header, scans records/blocks, truncates the file after the last
+  /// intact data below `next_round` (dropping any tail a killed writer
+  /// left beyond the snapshot being resumed from), and re-buffers a v2
+  /// partial tail block so future boundaries stay deterministic. The file
+  /// must already exist; a log that ends more than zero rounds BEFORE
+  /// `next_round` throws (resuming over a gap would corrupt replay).
   static EventLogWriter open_for_append(const std::string& path,
-                                        std::int64_t next_round);
+                                        std::int64_t next_round,
+                                        const EventLogOptions& options = {});
 
   EventLogWriter(EventLogWriter&& other) noexcept;
   EventLogWriter& operator=(EventLogWriter&& other) noexcept;
   ~EventLogWriter();
 
-  /// Appends one round record. Rounds must be appended in increasing order;
-  /// empty rounds (no movers) are recorded too, so round numbering in the
-  /// log is gapless and replay needs no bookkeeping.
+  /// Appends one round record. Rounds must be appended gaplessly in
+  /// increasing order (enforced since v2); empty rounds (no movers) are
+  /// recorded too, so round numbering in the log is gapless and replay
+  /// needs no bookkeeping.
   void append(std::int64_t round, std::span<const Migration> moves);
 
-  /// Flushes buffered records to the OS. Called automatically on close.
+  /// Flushes completed blocks/records to the OS. A v2 partial block stays
+  /// buffered until its deterministic boundary or close() — flushing it
+  /// early would make block framing depend on kill timing.
   void flush();
 
-  /// Flushes and closes; throws on any pending stream error. The
-  /// destructor closes too but swallows errors (destructors must not
-  /// throw) — call close() explicitly where durability matters.
+  /// Writes any partial block, flushes, and closes; throws on any pending
+  /// stream error. The destructor closes too but swallows errors
+  /// (destructors must not throw) — call close() explicitly where
+  /// durability matters.
   void close();
 
   /// RoundObserver adapter: appends every non-final observer call (the
@@ -87,13 +158,43 @@ class EventLogWriter {
   /// the run.
   RoundObserver observer();
 
+  /// Bytes written to the ACTIVE segment so far (flushed blocks only).
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+  /// On-disk bytes across the whole rotation chain (rotated segments plus
+  /// the active one). Valid after close() too — the summary lines of the
+  /// tools read these counters instead of re-reading the files.
+  std::uint64_t disk_bytes() const noexcept {
+    return rotated_disk_bytes_ + bytes_written_;
+  }
+
+  /// What the chain's rounds would occupy in the fixed-width v1 encoding
+  /// (the uncompressed baseline). Initialized from retained content on
+  /// open_for_append, then maintained per append.
+  std::uint64_t v1_equivalent_bytes() const noexcept {
+    return v1_equivalent_bytes_;
+  }
+
  private:
-  EventLogWriter(std::string path, std::FILE* file);
+  EventLogWriter(std::string path, std::FILE* file, EventLogOptions options);
 
   void check(bool ok, const char* what) const;
+  void write_raw(const std::string& bytes, const char* what);
+  void flush_block();
+  void maybe_rotate();
+  /// Best-effort pending-block write + close for the dtor and
+  /// move-assignment (never throws; close() is the reporting path).
+  void close_quietly() noexcept;
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  EventLogOptions options_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t rotated_disk_bytes_ = 0;
+  std::uint64_t v1_equivalent_bytes_ = 0;
+  std::int64_t next_expected_ = -1;  // -1 = first append sets the base
+  std::vector<RoundEvents> pending_;  // v2: rounds of the open block
+  std::uint32_t rotate_seq_ = 0;      // last segment index written
 };
 
 /// Replays `log` rounds in [from_round, to_round) onto `x` (mutating it),

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 #include "persist/binio.hpp"
 
@@ -10,9 +11,10 @@ namespace cid::persist {
 
 namespace {
 
-constexpr std::size_t kHeaderSize = 7 + 1 + 8 + 4 + 4;
+constexpr std::size_t kV1HeaderSize = 7 + 1 + 8 + 4 + 4;
 constexpr std::size_t kRecordPayload = 4 + 4 + 8 + 1 + 8 + 8 + 8;
 constexpr std::size_t kRecordSize = kRecordPayload + 4;
+constexpr std::uint16_t kManiSecGrid = 1;
 
 std::uint64_t fnv1a(const std::string& bytes) {
   std::uint64_t h = 0xCBF29CE484222325ull;
@@ -23,13 +25,31 @@ std::uint64_t fnv1a(const std::string& bytes) {
   return h;
 }
 
-std::string header_bytes(const sweep::SweepGrid& grid) {
-  const std::size_t num_cells = grid.ns.size() * grid.protocols.size();
+std::uint32_t grid_cells(const sweep::SweepGrid& grid) {
+  return static_cast<std::uint32_t>(grid.ns.size() * grid.protocols.size());
+}
+
+std::string header_bytes_v2(const sweep::SweepGrid& grid) {
+  BinWriter body;
+  body.u64(grid_fingerprint(grid));
+  body.u32(grid_cells(grid));
+  body.u32(static_cast<std::uint32_t>(grid.trials));
+  BinWriter sections;
+  write_section(sections, kManiSecGrid, body.buffer());
   BinWriter out;
   out.raw(kManifestMagic, 7);
   out.u8(kManifestVersion);
+  out.u32(static_cast<std::uint32_t>(sections.buffer().size()));
+  out.raw(sections.buffer().data(), sections.buffer().size());
+  return out.take();
+}
+
+std::string header_bytes_v1(const sweep::SweepGrid& grid) {
+  BinWriter out;
+  out.raw(kManifestMagic, 7);
+  out.u8(1);
   out.u64(grid_fingerprint(grid));
-  out.u32(static_cast<std::uint32_t>(num_cells));
+  out.u32(grid_cells(grid));
   out.u32(static_cast<std::uint32_t>(grid.trials));
   return out.take();
 }
@@ -48,6 +68,109 @@ std::string record_bytes(std::uint32_t cell, std::uint32_t trial,
   framed.raw(out.buffer().data(), out.buffer().size());
   framed.u32(crc32(out.buffer().data(), out.buffer().size()));
   return framed.take();
+}
+
+[[noreturn]] void grid_mismatch(const std::string& path) {
+  throw persist_error(
+      path +
+      ": manifest does not match this sweep grid (different scenario, "
+      "protocols, n axis, trials, seed, or dynamics) — refusing to merge");
+}
+
+/// Validates one segment's header against the grid; returns the byte
+/// offset of the first record and the file's version.
+std::pair<std::size_t, std::uint8_t> check_header(
+    const std::string& data, const std::string& path,
+    const sweep::SweepGrid& grid) {
+  if (data.size() < 7 + 1 || data.compare(0, 7, kManifestMagic) != 0) {
+    throw persist_error(path + ": not a CIDMANI sweep manifest");
+  }
+  const auto version =
+      static_cast<std::uint8_t>(static_cast<unsigned char>(data[7]));
+  if (version < 1) {
+    throw persist_error(path + ": bad manifest version 0");
+  }
+  if (version == 1) {
+    // v1: the whole fixed header must equal the grid-derived bytes.
+    if (data.size() < kV1HeaderSize ||
+        data.compare(0, kV1HeaderSize, header_bytes_v1(grid)) != 0) {
+      grid_mismatch(path);
+    }
+    return {kV1HeaderSize, version};
+  }
+  // v2+: TLV header — find the grid section, skip anything else (a newer
+  // writer may have added sections; that must not lock this reader out).
+  if (data.size() < 7 + 1 + 4) {
+    throw persist_error(path + ": truncated manifest header");
+  }
+  const std::uint32_t sections_len = read_le32(data.data() + 8);
+  if (data.size() - 12 < sections_len) {
+    throw persist_error(path + ": manifest header sections truncated");
+  }
+  const SectionScan scan(std::string_view(data).substr(12, sections_len),
+                         path);
+  BinReader in(scan.require(kManiSecGrid, "grid"), path + ": grid section");
+  const std::uint64_t fingerprint = in.u64();
+  const std::uint32_t cells = in.u32();
+  const std::uint32_t trials = in.u32();
+  if (fingerprint != grid_fingerprint(grid) || cells != grid_cells(grid) ||
+      trials != static_cast<std::uint32_t>(grid.trials)) {
+    grid_mismatch(path);
+  }
+  return {12 + static_cast<std::size_t>(sections_len), version};
+}
+
+struct SegmentScan {
+  std::size_t header_size = 0;
+  std::uint8_t version = 0;
+  std::size_t record_count = 0;  // intact records in THIS segment
+  bool truncated_tail = false;
+};
+
+/// Parses one segment's records into `contents`; returns the layout facts
+/// open_for_append needs to truncate a damaged tail.
+SegmentScan load_segment(const std::string& path,
+                         const sweep::SweepGrid& grid,
+                         ManifestContents& contents) {
+  const std::string data = slurp_file(path);
+  SegmentScan scan;
+  const auto [header_size, version] = check_header(data, path, grid);
+  scan.header_size = header_size;
+  scan.version = version;
+  contents.file_bytes += data.size();
+
+  std::size_t pos = scan.header_size;
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordSize) {
+      scan.truncated_tail = true;
+      break;
+    }
+    const std::uint32_t stored = read_le32(data.data() + pos + kRecordPayload);
+    if (stored != crc32(data.data() + pos, kRecordPayload)) {
+      scan.truncated_tail = true;
+      break;
+    }
+    BinReader record(std::string_view(data).substr(pos, kRecordPayload),
+                     path);
+    const std::uint32_t cell = record.u32();
+    const std::uint32_t trial = record.u32();
+    sweep::TrialOutcome outcome;
+    outcome.rounds = record.f64();
+    outcome.converged = record.u8() != 0;
+    outcome.movers = record.i64();
+    outcome.potential = record.f64();
+    outcome.social_cost = record.f64();
+    if (cell >= contents.cells || trial >= contents.trials_per_cell) {
+      throw persist_error(path + ": manifest record (" +
+                          std::to_string(cell) + ", " +
+                          std::to_string(trial) + ") outside the grid");
+    }
+    contents.completed[{cell, trial}] = outcome;
+    ++contents.record_count;
+    ++scan.record_count;
+    pos += kRecordSize;
+  }
+  return scan;
 }
 
 }  // namespace
@@ -84,74 +207,42 @@ std::uint64_t grid_fingerprint(const sweep::SweepGrid& grid) {
 
 ManifestContents load_manifest(const std::string& path,
                                const sweep::SweepGrid& grid) {
-  const std::string data = slurp_file(path);
-  const std::string expected = header_bytes(grid);
-  if (data.size() < kHeaderSize ||
-      data.compare(0, 7, kManifestMagic) != 0) {
-    throw persist_error(path + ": not a CIDMANI sweep manifest");
-  }
-  const auto version =
-      static_cast<std::uint8_t>(static_cast<unsigned char>(data[7]));
-  if (version < 1 || version > kManifestVersion) {
-    throw persist_error(path + ": unsupported manifest version " +
-                        std::to_string(version));
-  }
-  if (data.compare(0, kHeaderSize, expected) != 0) {
-    throw persist_error(
-        path +
-        ": manifest does not match this sweep grid (different scenario, "
-        "protocols, n axis, trials, seed, or dynamics) — refusing to merge");
-  }
-
-  // Header equality against the grid-derived bytes already pins every
-  // field; fill the contents from the grid rather than re-parsing.
   ManifestContents contents;
   contents.fingerprint = grid_fingerprint(grid);
-  contents.cells =
-      static_cast<std::uint32_t>(grid.ns.size() * grid.protocols.size());
+  contents.cells = grid_cells(grid);
   contents.trials_per_cell = static_cast<std::uint32_t>(grid.trials);
 
-  std::size_t pos = kHeaderSize;
-  while (pos < data.size()) {
-    if (data.size() - pos < kRecordSize) {
+  std::vector<std::string> chain = chain_segments(path);
+  chain.push_back(path);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const SegmentScan scan = load_segment(chain[i], grid, contents);
+    // Only the active (last) segment may legitimately end mid-record — a
+    // rotated segment was closed cleanly, so damage there is corruption
+    // worth surfacing, but its intact prefix still merges.
+    if (i + 1 == chain.size()) {
+      contents.truncated_tail = scan.truncated_tail;
+    } else if (scan.truncated_tail) {
       contents.truncated_tail = true;
-      break;
     }
-    const std::uint32_t stored = read_le32(data.data() + pos + kRecordPayload);
-    if (stored != crc32(data.data() + pos, kRecordPayload)) {
-      contents.truncated_tail = true;
-      break;
-    }
-    BinReader record(std::string_view(data).substr(pos, kRecordPayload),
-                     path);
-    const std::uint32_t cell = record.u32();
-    const std::uint32_t trial = record.u32();
-    sweep::TrialOutcome outcome;
-    outcome.rounds = record.f64();
-    outcome.converged = record.u8() != 0;
-    outcome.movers = record.i64();
-    outcome.potential = record.f64();
-    outcome.social_cost = record.f64();
-    if (cell >= contents.cells || trial >= contents.trials_per_cell) {
-      throw persist_error(path + ": manifest record (" +
-                          std::to_string(cell) + ", " +
-                          std::to_string(trial) + ") outside the grid");
-    }
-    contents.completed[{cell, trial}] = outcome;
-    ++contents.record_count;
-    pos += kRecordSize;
   }
   return contents;
 }
 
-ManifestWriter::ManifestWriter(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
+ManifestWriter::ManifestWriter(std::string path, std::FILE* file,
+                               const sweep::SweepGrid* grid)
+    : path_(std::move(path)), file_(file) {
+  if (grid != nullptr) segment_header_ = header_bytes_v2(*grid);
+}
 
 ManifestWriter::ManifestWriter(ManifestWriter&& other) noexcept
     : path_(std::move(other.path_)),
       file_(std::exchange(other.file_, nullptr)),
       flush_every_(other.flush_every_),
-      since_flush_(other.since_flush_) {}
+      since_flush_(other.since_flush_),
+      rotate_bytes_(other.rotate_bytes_),
+      bytes_written_(other.bytes_written_),
+      rotate_seq_(other.rotate_seq_),
+      segment_header_(std::move(other.segment_header_)) {}
 
 ManifestWriter& ManifestWriter::operator=(ManifestWriter&& other) noexcept {
   if (this != &other) {
@@ -160,6 +251,10 @@ ManifestWriter& ManifestWriter::operator=(ManifestWriter&& other) noexcept {
     file_ = std::exchange(other.file_, nullptr);
     flush_every_ = other.flush_every_;
     since_flush_ = other.since_flush_;
+    rotate_bytes_ = other.rotate_bytes_;
+    bytes_written_ = other.bytes_written_;
+    rotate_seq_ = other.rotate_seq_;
+    segment_header_ = std::move(other.segment_header_);
   }
   return *this;
 }
@@ -174,25 +269,36 @@ void ManifestWriter::check(bool ok, const char* what) const {
 
 ManifestWriter ManifestWriter::create(const std::string& path,
                                       const sweep::SweepGrid& grid) {
+  // A fresh manifest owns its rotation chain (stale segments would merge
+  // into future loads).
+  remove_chain(path);
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     throw persist_error("cannot open '" + path + "' for writing");
   }
-  ManifestWriter writer(path, file);
-  const std::string header = header_bytes(grid);
+  ManifestWriter writer(path, file, &grid);
+  const std::string& header = writer.segment_header_;
   writer.check(
       std::fwrite(header.data(), 1, header.size(), file) == header.size() &&
           std::fflush(file) == 0,
       "header write");
+  writer.bytes_written_ = header.size();
   return writer;
 }
 
 ManifestWriter ManifestWriter::open_for_append(const std::string& path,
                                                const sweep::SweepGrid& grid) {
-  // Validate header/records (and locate any damaged tail) via the loader.
-  const ManifestContents contents = load_manifest(path, grid);
-  const std::size_t keep = kHeaderSize + contents.record_count * kRecordSize;
-  if (contents.truncated_tail) {
+  // Validate the ACTIVE segment's header/records and locate any damaged
+  // tail (rotated segments are immutable; the full-chain merge happens in
+  // load_manifest).
+  ManifestContents probe;
+  probe.fingerprint = grid_fingerprint(grid);
+  probe.cells = grid_cells(grid);
+  probe.trials_per_cell = static_cast<std::uint32_t>(grid.trials);
+  const SegmentScan scan = load_segment(path, grid, probe);
+  const std::size_t keep =
+      scan.header_size + scan.record_count * kRecordSize;
+  if (scan.truncated_tail) {
     std::error_code ec;
     std::filesystem::resize_file(path, keep, ec);
     if (ec) {
@@ -204,7 +310,14 @@ ManifestWriter ManifestWriter::open_for_append(const std::string& path,
   if (file == nullptr) {
     throw persist_error("cannot open '" + path + "' for appending");
   }
-  return ManifestWriter(path, file);
+  ManifestWriter writer(path, file, &grid);
+  // Post-rotation segments keep the ACTIVE file's version: continuing a
+  // v1 manifest must stay v1 end to end (manifest.hpp's contract), so a
+  // PR2-era reader can still read the whole chain.
+  if (scan.version == 1) writer.segment_header_ = header_bytes_v1(grid);
+  writer.bytes_written_ = keep;
+  writer.rotate_seq_ = chain_last_seq(path);
+  return writer;
 }
 
 void ManifestWriter::append(std::uint32_t cell, std::uint32_t trial,
@@ -213,10 +326,37 @@ void ManifestWriter::append(std::uint32_t cell, std::uint32_t trial,
   const std::string record = record_bytes(cell, trial, outcome);
   check(std::fwrite(record.data(), 1, record.size(), file_) == record.size(),
         "record write");
+  bytes_written_ += record.size();
   if (++since_flush_ >= flush_every_) {
     flush();
     since_flush_ = 0;
   }
+  maybe_rotate();
+}
+
+void ManifestWriter::maybe_rotate() {
+  if (rotate_bytes_ == 0 || bytes_written_ < rotate_bytes_) return;
+  check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
+            std::fclose(file_) == 0,
+        "pre-rotation flush");
+  file_ = nullptr;
+  const std::string segment = chain_segment_path(path_, rotate_seq_ + 1);
+  if (std::rename(path_.c_str(), segment.c_str()) != 0) {
+    throw persist_error(path_ + ": cannot rotate manifest to '" + segment +
+                        "'");
+  }
+  ++rotate_seq_;
+  std::FILE* file = std::fopen(path_.c_str(), "wb");
+  if (file == nullptr) {
+    throw persist_error("cannot open '" + path_ +
+                        "' for writing after rotation");
+  }
+  file_ = file;
+  check(std::fwrite(segment_header_.data(), 1, segment_header_.size(),
+                    file_) == segment_header_.size() &&
+            std::fflush(file_) == 0,
+        "post-rotation header write");
+  bytes_written_ = segment_header_.size();
 }
 
 void ManifestWriter::flush() {
@@ -226,6 +366,10 @@ void ManifestWriter::flush() {
 void ManifestWriter::set_flush_every(std::int64_t every) {
   check(every >= 1, "flush cadence must be >= 1; set");
   flush_every_ = every;
+}
+
+void ManifestWriter::set_rotate_bytes(std::uint64_t bytes) {
+  rotate_bytes_ = bytes;
 }
 
 void ManifestWriter::close() {

@@ -16,7 +16,18 @@
 // Doubles in records are bit-exact IEEE words, never decimal renderings —
 // byte-identity of resumed CSV/JSONL output depends on it.
 //
-//   magic "CIDMANI" version:u8 fingerprint:u64 cells:u32 trials:u32
+// Format v2 header (TLV, binio.hpp — readers skip unknown sections):
+//
+//   magic "CIDMANI" version:u8=2 header_len:u32
+//   section grid(1): fingerprint:u64 cells:u32 trials:u32
+//
+// Format v1 header (still read AND still appended-to — records are
+// identical across versions, so continuing a v1 manifest keeps it v1):
+//
+//   magic "CIDMANI" version:u8=1 fingerprint:u64 cells:u32 trials:u32
+//
+// Records (both versions):
+//
 //   record*: cell:u32 trial:u32 rounds:f64 converged:u8 movers:i64
 //            potential:f64 social_cost:f64 crc32(record payload):u32
 //
@@ -24,6 +35,12 @@
 // a set keyed by (cell, trial), so that nondeterminism never reaches the
 // merged results. A damaged tail record (killed writer) is dropped on
 // load, exactly like the event log.
+//
+// Rotation (`rotate_bytes`): once the active file exceeds the limit it is
+// renamed to "<path>.<seq>" and a fresh segment (with its own header)
+// continues at "<path>". load_manifest merges the whole chain — segments
+// of one sweep are disjoint by construction, and the (cell, trial) keying
+// makes the merge order-insensitive.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +54,7 @@
 namespace cid::persist {
 
 inline constexpr char kManifestMagic[] = "CIDMANI";
-inline constexpr std::uint8_t kManifestVersion = 1;
+inline constexpr std::uint8_t kManifestVersion = 2;
 
 /// Hash of every SweepGrid field that influences trial outcomes (scenario
 /// name + params, protocol specs, ns, trials, master seed, dynamics). Two
@@ -54,10 +71,13 @@ struct ManifestContents {
   /// Raw intact records parsed (>= completed.size(); duplicates collapse).
   std::size_t record_count = 0;
   bool truncated_tail = false;
+  /// Bytes across every segment of the chain (observability).
+  std::uint64_t file_bytes = 0;
 };
 
-/// Loads a manifest; throws persist_error on a missing file, bad header,
-/// or a fingerprint/dimension mismatch against `grid`.
+/// Loads a manifest chain ("<path>.1", ..., then "<path>"); throws
+/// persist_error on a missing active file, bad header, or a
+/// fingerprint/dimension mismatch against `grid` in any segment.
 ManifestContents load_manifest(const std::string& path,
                                const sweep::SweepGrid& grid);
 
@@ -66,11 +86,13 @@ ManifestContents load_manifest(const std::string& path,
 /// concurrently, but record writes are rare relative to trial work).
 class ManifestWriter {
  public:
-  /// Creates a fresh manifest for `grid` (truncating any existing file).
+  /// Creates a fresh manifest for `grid` (truncating any existing file and
+  /// deleting any stale rotation chain at the same path).
   static ManifestWriter create(const std::string& path,
                                const sweep::SweepGrid& grid);
 
-  /// Opens an existing manifest for appending; header must match `grid`.
+  /// Opens an existing manifest for appending; the active file's header
+  /// must match `grid` (either version — a v1 manifest stays v1).
   static ManifestWriter open_for_append(const std::string& path,
                                         const sweep::SweepGrid& grid);
 
@@ -86,16 +108,28 @@ class ManifestWriter {
   void flush();
   void set_flush_every(std::int64_t every);
 
+  /// When > 0, rotate the active file to "<path>.<seq>" once it exceeds
+  /// this many bytes (checked after each append).
+  void set_rotate_bytes(std::uint64_t bytes);
+
   void close();
 
  private:
-  ManifestWriter(std::string path, std::FILE* file);
+  ManifestWriter(std::string path, std::FILE* file,
+                 const sweep::SweepGrid* grid);
   void check(bool ok, const char* what) const;
+  void maybe_rotate();
 
   std::string path_;
   std::FILE* file_ = nullptr;
   std::int64_t flush_every_ = 1;
   std::int64_t since_flush_ = 0;
+  std::uint64_t rotate_bytes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint32_t rotate_seq_ = 0;
+  /// Header template for post-rotation segments (owned copy of the bytes,
+  /// not the grid — the grid reference does not outlive the factories).
+  std::string segment_header_;
 };
 
 }  // namespace cid::persist

@@ -17,12 +17,14 @@ std::ofstream open_or_throw(const std::string& path) {
 
 /// Every writer funnels its stream through here before returning: a full
 /// disk or yanked mount must fail loudly with the path, never hand the
-/// analysis pipeline a silently truncated file.
-void finish_or_throw(std::ofstream& out, const std::string& path) {
+/// analysis pipeline a silently truncated file. Returns the bytes written.
+std::uint64_t finish_or_throw(std::ofstream& out, const std::string& path) {
   out.flush();
   if (!out) {
     throw std::runtime_error("write failed (disk full?) for '" + path + "'");
   }
+  const auto pos = out.tellp();
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
 }
 
 // Full-precision doubles: round-tripping matters more than prettiness in
@@ -54,7 +56,8 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
-void write_trials_csv(const std::string& path, const SweepResult& result) {
+std::uint64_t write_trials_csv(const std::string& path,
+                               const SweepResult& result) {
   auto out = open_or_throw(path);
   out << "cell,scenario,protocol,n,trial,rounds,converged,movers,potential,"
          "social_cost\n";
@@ -65,10 +68,11 @@ void write_trials_csv(const std::string& path, const SweepResult& result) {
         << ',' << row.outcome.movers << ',' << num(row.outcome.potential)
         << ',' << num(row.outcome.social_cost) << '\n';
   }
-  finish_or_throw(out, path);
+  return finish_or_throw(out, path);
 }
 
-void write_cells_csv(const std::string& path, const SweepResult& result) {
+std::uint64_t write_cells_csv(const std::string& path,
+                              const SweepResult& result) {
   auto out = open_or_throw(path);
   out << "cell,scenario,protocol,n,trials,rounds_mean,rounds_sem,"
          "rounds_median,rounds_min,rounds_max,fraction_converged,"
@@ -82,10 +86,11 @@ void write_cells_csv(const std::string& path, const SweepResult& result) {
         << num(row.mean_potential) << ',' << num(row.mean_social_cost) << ','
         << num(row.mean_movers) << ',' << num(row.wall_seconds) << '\n';
   }
-  finish_or_throw(out, path);
+  return finish_or_throw(out, path);
 }
 
-void write_trials_jsonl(const std::string& path, const SweepResult& result) {
+std::uint64_t write_trials_jsonl(const std::string& path,
+                                 const SweepResult& result) {
   auto out = open_or_throw(path);
   for (const TrialRow& row : result.trials) {
     out << "{\"cell\":" << row.key.cell << ",\"scenario\":\""
@@ -98,10 +103,11 @@ void write_trials_jsonl(const std::string& path, const SweepResult& result) {
         << num(row.outcome.potential) << ",\"social_cost\":"
         << num(row.outcome.social_cost) << "}\n";
   }
-  finish_or_throw(out, path);
+  return finish_or_throw(out, path);
 }
 
-void write_cells_jsonl(const std::string& path, const SweepResult& result) {
+std::uint64_t write_cells_jsonl(const std::string& path,
+                                const SweepResult& result) {
   auto out = open_or_throw(path);
   for (const CellRow& row : result.cells) {
     out << "{\"cell\":" << row.key.cell << ",\"scenario\":\""
@@ -118,19 +124,21 @@ void write_cells_jsonl(const std::string& path, const SweepResult& result) {
         << num(row.mean_movers) << ",\"wall_seconds\":"
         << num(row.wall_seconds) << "}\n";
   }
-  finish_or_throw(out, path);
+  return finish_or_throw(out, path);
 }
 
-std::vector<std::string> write_sweep_outputs(const std::string& prefix,
+std::vector<WrittenFile> write_sweep_outputs(const std::string& prefix,
                                              const SweepResult& result) {
-  const std::vector<std::string> paths = {
-      prefix + "_trials.csv", prefix + "_cells.csv", prefix + "_trials.jsonl",
-      prefix + "_cells.jsonl"};
-  write_trials_csv(paths[0], result);
-  write_cells_csv(paths[1], result);
-  write_trials_jsonl(paths[2], result);
-  write_cells_jsonl(paths[3], result);
-  return paths;
+  std::vector<WrittenFile> files;
+  files.push_back({prefix + "_trials.csv", 0});
+  files.back().bytes = write_trials_csv(files.back().path, result);
+  files.push_back({prefix + "_cells.csv", 0});
+  files.back().bytes = write_cells_csv(files.back().path, result);
+  files.push_back({prefix + "_trials.jsonl", 0});
+  files.back().bytes = write_trials_jsonl(files.back().path, result);
+  files.push_back({prefix + "_cells.jsonl", 0});
+  files.back().bytes = write_cells_jsonl(files.back().path, result);
+  return files;
 }
 
 }  // namespace cid::sweep

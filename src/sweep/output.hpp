@@ -4,6 +4,7 @@
 // statistics and wall time.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,14 +12,26 @@
 
 namespace cid::sweep {
 
-void write_trials_csv(const std::string& path, const SweepResult& result);
-void write_cells_csv(const std::string& path, const SweepResult& result);
-void write_trials_jsonl(const std::string& path, const SweepResult& result);
-void write_cells_jsonl(const std::string& path, const SweepResult& result);
+/// Each writer returns the bytes it wrote — cid_sweep's summary line
+/// reports them next to the (binary, compressed-representation) manifest
+/// size so the cost of every artifact of a sweep is visible.
+std::uint64_t write_trials_csv(const std::string& path,
+                               const SweepResult& result);
+std::uint64_t write_cells_csv(const std::string& path,
+                              const SweepResult& result);
+std::uint64_t write_trials_jsonl(const std::string& path,
+                                 const SweepResult& result);
+std::uint64_t write_cells_jsonl(const std::string& path,
+                                const SweepResult& result);
+
+struct WrittenFile {
+  std::string path;
+  std::uint64_t bytes = 0;
+};
 
 /// Writes all four files as PREFIX_trials.csv, PREFIX_cells.csv,
-/// PREFIX_trials.jsonl, PREFIX_cells.jsonl; returns the paths written.
-std::vector<std::string> write_sweep_outputs(const std::string& prefix,
+/// PREFIX_trials.jsonl, PREFIX_cells.jsonl; returns paths + byte counts.
+std::vector<WrittenFile> write_sweep_outputs(const std::string& prefix,
                                              const SweepResult& result);
 
 }  // namespace cid::sweep

@@ -206,6 +206,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
           persist::ManifestWriter::create(options.manifest_path, grid));
     }
     manifest->set_flush_every(options.manifest_flush_every);
+    manifest->set_rotate_bytes(options.manifest_rotate_bytes);
   }
 
   // Pending jobs in deterministic grid order, truncated to the budget.

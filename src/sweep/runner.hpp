@@ -80,6 +80,11 @@ struct SweepOptions {
   /// durable; larger trades durability for syscall volume).
   std::int64_t manifest_flush_every = 1;
 
+  /// When > 0, rotate the manifest to "<path>.<seq>" segments once the
+  /// active file exceeds this many bytes (multi-day sweeps keep bounded
+  /// file sizes; load/resume reads the whole chain back). 0 = off.
+  std::uint64_t manifest_rotate_bytes = 0;
+
   /// When >= 0, run at most this many new trials this invocation, in
   /// deterministic grid order, then return with complete = false. The
   /// controlled-interruption hook for incremental sweeps and the resume

@@ -9,10 +9,14 @@
 #include "dynamics/equilibrium.hpp"
 #include "game/asymmetric.hpp"
 #include "game/builders.hpp"
+#include "game/io.hpp"
 #include "game/singleton.hpp"
 #include "game/state.hpp"
 #include "graph/generators.hpp"
 #include "lowerbound/threshold_game.hpp"
+#include "persist/binio.hpp"
+#include "persist/codec.hpp"
+#include "persist/snapshot.hpp"
 #include "protocols/combined.hpp"
 #include "protocols/exploration.hpp"
 #include "protocols/imitation.hpp"
@@ -84,6 +88,34 @@ StartKind start_kind(const ScenarioSpec& spec) {
   return static_cast<StartKind>(s);
 }
 
+/// The SimConfig a scenario trial persists into its checkpoints — enough
+/// for cid_replay inspect to tell what produced the file (resume_trial
+/// takes the live (protocol, dynamics) pair from the caller instead).
+persist::SimConfig trial_config(const ProtocolSpec& protocol,
+                                const DynamicsConfig& dynamics) {
+  persist::SimConfig config;
+  config.protocol = protocol.name;
+  config.lambda = protocol.lambda;
+  config.p_explore = protocol.p_explore;
+  config.nu_cutoff = protocol.nu_cutoff;
+  config.damping = protocol.damping;
+  config.virtual_agents = protocol.virtual_agents;
+  config.engine = static_cast<std::uint8_t>(dynamics.mode);
+  switch (dynamics.stop) {
+    case StopRule::kImitationStable:
+      config.stop = "stable";
+      break;
+    case StopRule::kNash:
+      config.stop = "nash";
+      break;
+    case StopRule::kDeltaEps:
+      config.stop = "deltaeps:" + std::to_string(dynamics.delta) + "," +
+                    std::to_string(dynamics.eps);
+      break;
+  }
+  return config;
+}
+
 StopPredicate make_stop(const DynamicsConfig& dynamics) {
   switch (dynamics.stop) {
     case StopRule::kImitationStable:
@@ -119,24 +151,91 @@ class SymmetricInstance final : public ScenarioInstance {
   TrialOutcome run_trial(const ProtocolSpec& protocol,
                          const DynamicsConfig& dynamics,
                          Rng& rng) const override {
-    const auto proto = build_protocol(protocol);
     State x = make_start(rng);
+    return run_from(protocol, dynamics, rng, x, 0, 0, nullptr);
+  }
+
+  TrialOutcome run_trial_checkpointed(
+      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
+      const TrialCheckpoint& checkpoint) const override {
+    State x = make_start(rng);
+    return run_from(protocol, dynamics, rng, x, 0, 0, &checkpoint);
+  }
+
+  TrialOutcome resume_trial(const ProtocolSpec& protocol,
+                            const DynamicsConfig& dynamics,
+                            const std::string& snapshot_path) const override {
+    persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
+    if (serialize_game(snapshot.game) != serialize_game(game_)) {
+      throw persist::persist_error(
+          snapshot_path + ": snapshot game does not match scenario '" +
+          label_ + "' — was it written by a different scenario or n?");
+    }
+    // Bind the state to OUR game (stable address for the whole run).
+    State x(game_, std::move(snapshot.counts));
+    Rng rng;
+    rng.set_state(snapshot.rng_state);
+    return run_from(protocol, dynamics, rng, x, snapshot.round,
+                    snapshot.movers, nullptr);
+  }
+
+ private:
+  /// The shared trial body: runs [start_round, dynamics.max_rounds) on
+  /// `x`, optionally checkpointing. Checkpoint writes draw no RNG, so
+  /// checkpointed, resumed, and plain trials are bitwise interchangeable.
+  TrialOutcome run_from(const ProtocolSpec& protocol,
+                        const DynamicsConfig& dynamics, Rng& rng, State& x,
+                        std::int64_t start_round, std::int64_t base_movers,
+                        const TrialCheckpoint* checkpoint) const {
+    const auto proto = build_protocol(protocol);
     RunOptions options;
     options.max_rounds = dynamics.max_rounds;
     options.check_interval = dynamics.check_interval;
     options.mode = dynamics.mode;
-    const RunResult rr =
-        run_dynamics(game_, x, *proto, rng, options, make_stop(dynamics));
+    options.start_round = start_round;
+
+    RoundObserver observer = nullptr;
+    std::int64_t movers = base_movers;
+    if (checkpoint != nullptr) {
+      const persist::SimConfig config = trial_config(protocol, dynamics);
+      observer = [this, checkpoint, config, &rng, &movers](
+                     const CongestionGame& game, const State& pre,
+                     std::span<const Migration> moves, std::int64_t round,
+                     bool final) {
+        if (final) {
+          persist::Snapshot snap =
+              persist::make_snapshot(game_, pre, rng, round, config);
+          snap.movers = movers;
+          persist::save_snapshot(snap, checkpoint->path);
+          return;
+        }
+        for (const Migration& m : moves) movers += m.count;
+        if (checkpoint->every <= 0 || (round + 1) % checkpoint->every != 0) {
+          return;
+        }
+        // The observer fires with the PRE-round state after the round's
+        // draws: post-round state at counter round+1 is the consistent
+        // tuple (same pairing as persist::Checkpointer).
+        State after = pre;
+        after.apply(game, moves);
+        persist::Snapshot snap =
+            persist::make_snapshot(game_, after, rng, round + 1, config);
+        snap.movers = movers;
+        persist::save_snapshot(snap, checkpoint->path);
+      };
+    }
+
+    const RunResult rr = run_dynamics(game_, x, *proto, rng, options,
+                                      make_stop(dynamics), observer);
     TrialOutcome out;
     out.rounds = static_cast<double>(rr.rounds);
     out.converged = rr.converged;
-    out.movers = rr.total_movers;
+    out.movers = base_movers + rr.total_movers;
     out.potential = game_.potential(x);
     out.social_cost = social_cost(game_, x);
     return out;
   }
 
- private:
   State make_start(Rng& rng) const {
     switch (start_) {
       case StartKind::kUniformRandom:
@@ -226,6 +325,46 @@ class AsymmetricInstance final : public ScenarioInstance {
   TrialOutcome run_trial(const ProtocolSpec& protocol,
                          const DynamicsConfig& dynamics,
                          Rng& rng) const override {
+    AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
+    return run_loop(protocol, dynamics, rng, x, 0, 0, nullptr);
+  }
+
+  TrialOutcome run_trial_checkpointed(
+      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
+      const TrialCheckpoint& checkpoint) const override {
+    AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
+    return run_loop(protocol, dynamics, rng, x, 0, 0, &checkpoint);
+  }
+
+  TrialOutcome resume_trial(const ProtocolSpec& protocol,
+                            const DynamicsConfig& dynamics,
+                            const std::string& snapshot_path) const override {
+    persist::AsymmetricSnapshot snapshot =
+        persist::load_asymmetric_snapshot(snapshot_path);
+    persist::BinWriter ours, theirs;
+    persist::encode_asymmetric_game(ours, game_);
+    persist::encode_asymmetric_game(theirs, snapshot.game);
+    if (ours.buffer() != theirs.buffer()) {
+      throw persist::persist_error(
+          snapshot_path + ": snapshot game does not match scenario '" +
+          label_ + "' — was it written by a different scenario or n?");
+    }
+    AsymmetricState x(game_, std::move(snapshot.counts));
+    Rng rng;
+    rng.set_state(snapshot.rng_state);
+    return run_loop(protocol, dynamics, rng, x, snapshot.round,
+                    snapshot.movers, nullptr);
+  }
+
+ private:
+  /// The shared trial body over [start_round, dynamics.max_rounds).
+  /// Stop checks use absolute round numbers, so a resumed loop replays
+  /// the uninterrupted check cadence exactly.
+  TrialOutcome run_loop(const ProtocolSpec& protocol,
+                        const DynamicsConfig& dynamics, Rng& rng,
+                        AsymmetricState& x, std::int64_t start_round,
+                        std::int64_t base_movers,
+                        const TrialCheckpoint* checkpoint) const {
     if (protocol.name != "imitation") {
       throw std::runtime_error(
           "asymmetric scenarios support only the imitation protocol "
@@ -242,24 +381,38 @@ class AsymmetricInstance final : public ScenarioInstance {
     // No Definition-1 evaluation exists for asymmetric games, so kDeltaEps
     // deliberately falls back to the stricter class-wise nu-stability
     // (documented on StopRule in scenario.hpp).
-    auto stopped = [&](const AsymmetricState& x) {
+    auto stopped = [&](const AsymmetricState& s) {
       return dynamics.stop == StopRule::kNash
-                 ? is_asymmetric_nash(game_, x)
-                 : is_asymmetric_imitation_stable(game_, x, game_.nu());
+                 ? is_asymmetric_nash(game_, s)
+                 : is_asymmetric_imitation_stable(game_, s, game_.nu());
+    };
+    const persist::SimConfig config =
+        checkpoint != nullptr ? trial_config(protocol, dynamics)
+                              : persist::SimConfig{};
+    auto snapshot_now = [&](std::int64_t round, std::int64_t movers) {
+      persist::AsymmetricSnapshot snap{round,  config,     rng.state(),
+                                       game_,  x.counts(), movers};
+      persist::save_asymmetric_snapshot(snap, checkpoint->path);
     };
 
-    AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
     TrialOutcome out;
-    std::int64_t round = 0;
+    std::int64_t movers = base_movers;
+    std::int64_t round = start_round;
     for (; round < dynamics.max_rounds; ++round) {
+      if (checkpoint != nullptr && checkpoint->every > 0 &&
+          round % checkpoint->every == 0) {
+        snapshot_now(round, movers);
+      }
       if (round % dynamics.check_interval == 0 && stopped(x)) {
         out.converged = true;
         break;
       }
-      out.movers += step_asymmetric_round(game_, x, params, rng).movers;
+      movers += step_asymmetric_round(game_, x, params, rng).movers;
     }
     if (!out.converged && stopped(x)) out.converged = true;
+    if (checkpoint != nullptr) snapshot_now(round, movers);
     out.rounds = static_cast<double>(round);
+    out.movers = movers;
     out.potential = game_.potential(x);
     double cost = 0.0;
     for (std::int32_t c = 0; c < game_.num_classes(); ++c) {
@@ -270,7 +423,6 @@ class AsymmetricInstance final : public ScenarioInstance {
     return out;
   }
 
- private:
   std::string label_;
   AsymmetricGame game_;
 };
@@ -348,32 +500,108 @@ class ThresholdInstance final : public ScenarioInstance {
                          Rng& rng) const override {
     const auto cut = static_cast<std::uint32_t>(
         rng.uniform_int(std::uint64_t{1} << nodes_));
-    TrialOutcome out;
-    if (protocol.name == "imitation") {
-      const TripledGame tg = triple_quadratic_threshold(inst_);
-      ThresholdState s = tripled_initial_state(tg, cut);
-      const ThresholdRun run =
-          run_tripled_imitation(tg, s, dynamics.max_rounds);
-      out.rounds = static_cast<double>(run.steps);
-      out.movers = run.steps;
-      out.converged = run.converged;
-      out.potential = tg.game.potential(s);
-      out.social_cost = total_latency(tg.game, s);
-    } else {
-      const QuadraticThresholdGame qt = make_quadratic_threshold(inst_);
-      ThresholdState s = state_from_cut(qt.game, cut);
-      const ThresholdRun run =
-          run_threshold_best_response(qt.game, s, dynamics.max_rounds);
-      out.rounds = static_cast<double>(run.steps);
-      out.movers = run.steps;
-      out.converged = run.converged;
-      out.potential = qt.game.potential(s);
-      out.social_cost = total_latency(qt.game, s);
+    const bool tripled = protocol.name == "imitation";
+    ThresholdState s = initial_state(tripled, cut);
+    return run_steps(tripled, dynamics, rng, s, 0, nullptr);
+  }
+
+  TrialOutcome run_trial_checkpointed(
+      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
+      const TrialCheckpoint& checkpoint) const override {
+    const auto cut = static_cast<std::uint32_t>(
+        rng.uniform_int(std::uint64_t{1} << nodes_));
+    const bool tripled = protocol.name == "imitation";
+    ThresholdState s = initial_state(tripled, cut);
+    return run_steps(tripled, dynamics, rng, s, 0, &checkpoint);
+  }
+
+  TrialOutcome resume_trial(const ProtocolSpec& protocol,
+                            const DynamicsConfig& dynamics,
+                            const std::string& snapshot_path) const override {
+    persist::ThresholdSnapshot snapshot =
+        persist::load_threshold_snapshot(snapshot_path);
+    const bool tripled = protocol.name == "imitation";
+    if (snapshot.tripled != tripled ||
+        snapshot.instance.weights() != inst_.weights()) {
+      throw persist::persist_error(
+          snapshot_path +
+          ": snapshot does not match this threshold-lb instance "
+          "(different MaxCut weights or dynamics kind)");
     }
-    return out;
+    const ThresholdGame game = tripled
+                                   ? triple_quadratic_threshold(inst_).game
+                                   : make_quadratic_threshold(inst_).game;
+    ThresholdState s(game, std::move(snapshot.in_bits));
+    Rng rng;
+    rng.set_state(snapshot.rng_state);
+    return run_steps(tripled, dynamics, rng, s, snapshot.round, nullptr);
   }
 
  private:
+  ThresholdState initial_state(bool tripled, std::uint32_t cut) const {
+    if (tripled) {
+      return tripled_initial_state(triple_quadratic_threshold(inst_), cut);
+    }
+    return state_from_cut(make_quadratic_threshold(inst_).game, cut);
+  }
+
+  /// Shared sequential-dynamics body, chunked at the checkpoint cadence.
+  /// Both dynamics are memoryless (each step is a pure function of the
+  /// current state), so chunked execution equals one long run and a
+  /// resumed trial continues bit-exactly from a snapshot's strategy bits.
+  TrialOutcome run_steps(bool tripled, const DynamicsConfig& dynamics,
+                         const Rng& rng, ThresholdState& s,
+                         std::int64_t done_steps,
+                         const TrialCheckpoint* checkpoint) const {
+    // Rebuilt per invocation (cheap: O(nodes^2)); pure function of inst_.
+    const TripledGame tg =
+        tripled ? triple_quadratic_threshold(inst_)
+                : TripledGame{make_quadratic_threshold(inst_).game, 0};
+    const ThresholdGame& game = tg.game;
+    const persist::SimConfig config;  // sequential dynamics: defaults only
+
+    auto snapshot_now = [&](std::int64_t steps) {
+      persist::ThresholdSnapshot snap{
+          steps,   config,       rng.state(),
+          inst_,   tripled,      s.in_bits(),
+          steps};  // movers == steps for sequential dynamics
+      persist::save_threshold_snapshot(snap, checkpoint->path);
+    };
+
+    std::int64_t steps = done_steps;
+    bool converged = false;
+    bool snapshotted = false;
+    while (steps < dynamics.max_rounds) {
+      std::int64_t budget = dynamics.max_rounds - steps;
+      if (checkpoint != nullptr && checkpoint->every > 0) {
+        budget = std::min(budget, checkpoint->every);
+      }
+      const ThresholdRun run =
+          tripled ? run_tripled_imitation(tg, s, budget)
+                  : run_threshold_best_response(game, s, budget);
+      steps += run.steps;
+      if (checkpoint != nullptr) {
+        snapshot_now(steps);
+        snapshotted = true;
+      }
+      if (run.converged) {
+        converged = true;
+        break;
+      }
+      if (run.steps < budget) break;  // defensive: no progress, no verdict
+    }
+    // Covers the loop never running (budget already exhausted on entry);
+    // every other exit wrote its snapshot inside the loop.
+    if (checkpoint != nullptr && !snapshotted) snapshot_now(steps);
+
+    TrialOutcome out;
+    out.rounds = static_cast<double>(steps);
+    out.movers = steps;
+    out.converged = converged;
+    out.potential = game.potential(s);
+    out.social_cost = total_latency(game, s);
+    return out;
+  }
   static double total_latency(const ThresholdGame& game,
                               const ThresholdState& s) {
     double cost = 0.0;

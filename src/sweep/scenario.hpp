@@ -116,6 +116,15 @@ struct TrialOutcome {
   friend bool operator==(const TrialOutcome&, const TrialOutcome&) = default;
 };
 
+/// Checkpoint cadence for run_trial_checkpointed: a CIDSNAP of the full
+/// trial tuple (game, state, RNG stream, round, cumulative movers) is
+/// written atomically to `path` every `every` rounds and at exit; 0 =
+/// exit only.
+struct TrialCheckpoint {
+  std::string path;
+  std::int64_t every = 0;
+};
+
 class ScenarioInstance {
  public:
   virtual ~ScenarioInstance() = default;
@@ -128,6 +137,26 @@ class ScenarioInstance {
   virtual TrialOutcome run_trial(const ProtocolSpec& protocol,
                                  const DynamicsConfig& dynamics,
                                  Rng& rng) const = 0;
+
+  /// run_trial plus checkpointing: behaviorally identical (zero extra RNG
+  /// draws), but persists restart points per `checkpoint`. Every scenario
+  /// family implements this against its own snapshot codec — symmetric
+  /// games, asymmetric multi-commodity games, and threshold lower-bound
+  /// games all produce CIDSNAP files (src/persist/snapshot.hpp).
+  virtual TrialOutcome run_trial_checkpointed(
+      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
+      const TrialCheckpoint& checkpoint) const = 0;
+
+  /// Continues a trial from a snapshot written by run_trial_checkpointed
+  /// against THIS instance with THIS (protocol, dynamics) pair, to the
+  /// full dynamics.max_rounds budget. The returned outcome is bitwise
+  /// identical to what the uninterrupted run_trial would have produced
+  /// (tests/test_resume_families.cpp proves it for every registry
+  /// scenario). Throws persist_error when the snapshot's embedded game
+  /// does not match this instance (wrong file / wrong scenario).
+  virtual TrialOutcome resume_trial(const ProtocolSpec& protocol,
+                                    const DynamicsConfig& dynamics,
+                                    const std::string& snapshot_path) const = 0;
 };
 
 using ScenarioFactory =

@@ -8,13 +8,18 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "game/asymmetric.hpp"
 #include "game/builders.hpp"
 #include "game/io.hpp"
 #include "latency/latency.hpp"
+#include "lowerbound/maxcut.hpp"
+#include "lowerbound/threshold_game.hpp"
 #include "persist/binio.hpp"
+#include "persist/block.hpp"
 #include "persist/codec.hpp"
 #include "persist/eventlog.hpp"
 #include "persist/manifest.hpp"
@@ -60,6 +65,102 @@ TEST(BinIo, TruncatedReadThrows) {
   out.u32(7);
   BinReader in(out.buffer(), "test");
   EXPECT_THROW(in.u64(), persist_error);
+}
+
+TEST(BinIo, VarintRoundTripAcrossTheRange) {
+  const std::uint64_t unsigned_cases[] = {
+      0, 1, 127, 128, 300, 0xFFFF, 0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull};
+  const std::int64_t signed_cases[] = {
+      0, 1, -1, 63, -64, 64, -65, 1'000'000, -1'000'000,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  BinWriter out;
+  for (std::uint64_t v : unsigned_cases) out.vu64(v);
+  for (std::int64_t v : signed_cases) out.vi64(v);
+  BinReader in(out.buffer(), "test");
+  for (std::uint64_t v : unsigned_cases) EXPECT_EQ(in.vu64(), v);
+  for (std::int64_t v : signed_cases) EXPECT_EQ(in.vi64(), v);
+  EXPECT_NO_THROW(in.expect_done());
+
+  // Small magnitudes of either sign are one byte — the property the v2
+  // event-log size depends on.
+  BinWriter small;
+  small.vi64(-1);
+  EXPECT_EQ(small.buffer().size(), 1u);
+}
+
+TEST(BinIo, VarintRejectsOverlongAndOverflowingEncodings) {
+  // 11 continuation bytes: longer than any valid u64 varint.
+  const std::string overlong(11, '\x80');
+  BinReader in(overlong, "test");
+  EXPECT_THROW(in.vu64(), persist_error);
+  // 10 bytes whose top byte overflows 64 bits.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x7F');
+  BinReader in2(overflow, "test");
+  EXPECT_THROW(in2.vu64(), persist_error);
+}
+
+TEST(BinIo, SectionScanFindsKnownAndSkipsUnknownTags) {
+  BinWriter payload;
+  write_section(payload, 1, "alpha");
+  write_section(payload, 999, "from-the-future");
+  write_section(payload, 2, "beta");
+  const SectionScan scan(payload.buffer(), "test");
+  ASSERT_EQ(scan.sections().size(), 3u);
+  EXPECT_EQ(scan.require(1, "alpha"), "alpha");
+  EXPECT_EQ(scan.require(2, "beta"), "beta");
+  EXPECT_EQ(scan.find(999).value(), "from-the-future");
+  EXPECT_FALSE(scan.find(3).has_value());
+  EXPECT_THROW(scan.require(3, "gamma"), persist_error);
+
+  // Truncated section bodies throw instead of mis-parsing.
+  const std::string& bytes = payload.buffer();
+  EXPECT_THROW(SectionScan(std::string_view(bytes).substr(0, 8), "test"),
+               persist_error);
+}
+
+TEST(BlockCodec, RoundTripsStructuredAndRandomData) {
+  Rng rng(11);
+  // Repetitive (event-log-like), constant (RLE), and random inputs.
+  std::string repetitive;
+  for (int i = 0; i < 2000; ++i) {
+    repetitive += "round";
+    repetitive.push_back(static_cast<char>(i % 7));
+  }
+  std::string constant(4096, '\0');
+  std::string random;
+  for (int i = 0; i < 1000; ++i) {
+    random.push_back(static_cast<char>(rng.uniform_int(256)));
+  }
+  for (const std::string& input : {repetitive, constant, random,
+                                   std::string(), std::string("abc")}) {
+    const auto [codec, stored] = encode_block(input);
+    EXPECT_EQ(decode_block(codec, stored, input.size(), "test"), input);
+  }
+  // The compressible cases must actually compress.
+  EXPECT_LT(encode_block(repetitive).second.size(), repetitive.size() / 4);
+  EXPECT_LT(encode_block(constant).second.size(), 64u);
+}
+
+TEST(BlockCodec, MalformedStreamsThrowInsteadOfCorrupting) {
+  const std::string input(1000, 'x');
+  auto [codec, stored] = encode_block(input);
+  ASSERT_EQ(codec, kBlockLz);
+  // Truncation at every prefix either throws or (never) returns wrong data.
+  for (std::size_t cut = 0; cut < stored.size(); ++cut) {
+    try {
+      const std::string out = decode_block(
+          codec, std::string_view(stored).substr(0, cut), input.size(),
+          "test");
+      EXPECT_EQ(out, input);  // only acceptable non-throw outcome
+    } catch (const persist_error&) {
+    }
+  }
+  // Declared-size mismatch throws.
+  EXPECT_THROW(decode_block(codec, stored, input.size() + 1, "test"),
+               persist_error);
+  EXPECT_THROW(decode_block(2, stored, input.size(), "test"), persist_error);
 }
 
 TEST(BinIo, FramedFileRoundTripAndCorruptionDetection) {
@@ -234,6 +335,379 @@ TEST(EventLog, AppendDropsRecordsAtOrBeyondTheResumeRound) {
   std::remove(path.c_str());
 }
 
+TEST(EventLog, CompressedBlocksShrinkLongQuietRuns) {
+  const std::string v2 = temp_path("quiet.elog");
+  const std::string v1 = temp_path("quiet_v1.elog");
+  EventLogOptions uncompressed;
+  uncompressed.compress = false;
+  {
+    EventLogWriter w2 = EventLogWriter::create(v2);
+    EventLogWriter w1 = EventLogWriter::create(v1, uncompressed);
+    // A realistic long tail: a few active rounds, then near-silence.
+    for (std::int64_t r = 0; r < 5000; ++r) {
+      std::vector<Migration> moves;
+      if (r < 10) moves = {{0, 1, 5 + r}, {2, 0, 3}};
+      if (r % 97 == 0) moves.push_back({1, 2, 1});
+      w2.append(r, moves);
+      w1.append(r, moves);
+    }
+    w2.close();
+    w1.close();
+  }
+  const EventLog compressed = read_event_log(v2);
+  const EventLog baseline = read_event_log(v1);
+  ASSERT_EQ(compressed.rounds.size(), 5000u);
+  ASSERT_EQ(baseline.rounds.size(), 5000u);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(compressed.rounds[i].round, baseline.rounds[i].round);
+    ASSERT_EQ(compressed.rounds[i].moves.size(),
+              baseline.rounds[i].moves.size());
+    for (std::size_t m = 0; m < compressed.rounds[i].moves.size(); ++m) {
+      EXPECT_EQ(compressed.rounds[i].moves[m].from,
+                baseline.rounds[i].moves[m].from);
+      EXPECT_EQ(compressed.rounds[i].moves[m].to,
+                baseline.rounds[i].moves[m].to);
+      EXPECT_EQ(compressed.rounds[i].moves[m].count,
+                baseline.rounds[i].moves[m].count);
+    }
+  }
+  // The acceptance bar is >= 5x on long runs; this mostly-quiet log
+  // should beat it comfortably. v1_equivalent_bytes mirrors the v1 file.
+  EXPECT_EQ(compressed.v1_equivalent_bytes, baseline.file_bytes);
+  EXPECT_GE(baseline.file_bytes, 5 * compressed.file_bytes);
+  std::remove(v2.c_str());
+  std::remove(v1.c_str());
+}
+
+TEST(EventLog, TruncatedCompressedBlockTailIsRecovered) {
+  const std::string path = temp_path("blocktail.elog");
+  {
+    EventLogWriter writer = EventLogWriter::create(path);
+    // 600 rounds = 2 full blocks (256) + one partial (88).
+    for (std::int64_t r = 0; r < 600; ++r) {
+      writer.append(r, std::vector<Migration>{{0, 1, r % 5}});
+    }
+    writer.close();
+  }
+  const std::string intact = slurp_file(path);
+  const EventLog full = read_event_log(path);
+  ASSERT_EQ(full.rounds.size(), 600u);
+  EXPECT_FALSE(full.truncated_tail);
+
+  // Cut the file mid-way through the final block (a killed writer whose
+  // last fwrite landed partially): the intact prefix must survive.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << intact.substr(0, intact.size() - 20);
+  }
+  const EventLog damaged = read_event_log(path);
+  EXPECT_TRUE(damaged.truncated_tail);
+  ASSERT_EQ(damaged.rounds.size(), 512u);  // the two full blocks
+
+  // ...and a bit-flip INSIDE an intact-length block must fail its CRC,
+  // not decode garbage.
+  std::string corrupt = intact;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  const EventLog crc_damaged = read_event_log(path);
+  EXPECT_TRUE(crc_damaged.truncated_tail);
+  EXPECT_LT(crc_damaged.rounds.size(), 600u);
+
+  // open_for_append on the truncated file drops the tail and continues;
+  // the repaired file must equal an uninterrupted writer's output.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << intact.substr(0, intact.size() - 20);
+  }
+  {
+    EventLogWriter writer = EventLogWriter::open_for_append(path, 512);
+    for (std::int64_t r = 512; r < 600; ++r) {
+      writer.append(r, std::vector<Migration>{{0, 1, r % 5}});
+    }
+    writer.close();
+  }
+  EXPECT_EQ(slurp_file(path), intact);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, ResumeBoundariesAreDeterministic) {
+  // Killing at an arbitrary round and resuming must reproduce the
+  // uninterrupted file bytes — block framing is a pure function of round
+  // numbers, not kill points.
+  const std::string reference_path = temp_path("boundary_ref.elog");
+  auto moves_for = [](std::int64_t r) {
+    std::vector<Migration> moves;
+    if (r % 3 == 0) moves.push_back({0, 1, r + 1});
+    if (r % 7 == 0) moves.push_back({1, 0, 2});
+    return moves;
+  };
+  {
+    EventLogWriter writer = EventLogWriter::create(reference_path);
+    for (std::int64_t r = 0; r < 700; ++r) writer.append(r, moves_for(r));
+    writer.close();
+  }
+  const std::string reference = slurp_file(reference_path);
+  for (std::int64_t kill : {1, 255, 256, 257, 511, 650}) {
+    const std::string path = temp_path("boundary_kill.elog");
+    {
+      EventLogWriter writer = EventLogWriter::create(path);
+      for (std::int64_t r = 0; r < kill; ++r) writer.append(r, moves_for(r));
+      writer.close();
+    }
+    {
+      EventLogWriter writer = EventLogWriter::open_for_append(path, kill);
+      for (std::int64_t r = kill; r < 700; ++r) {
+        writer.append(r, moves_for(r));
+      }
+      writer.close();
+    }
+    EXPECT_EQ(slurp_file(path), reference) << "kill at round " << kill;
+    std::remove(path.c_str());
+  }
+  std::remove(reference_path.c_str());
+}
+
+TEST(EventLog, GaplessAppendIsEnforced) {
+  const std::string path = temp_path("gapless.elog");
+  EventLogWriter writer = EventLogWriter::create(path);
+  writer.append(0, std::vector<Migration>{});
+  writer.append(1, std::vector<Migration>{});
+  EXPECT_THROW(writer.append(3, std::vector<Migration>{}), persist_error);
+  writer.close();
+
+  // Resuming past the end of a log refuses to leave a gap.
+  EXPECT_THROW(EventLogWriter::open_for_append(path, 5), persist_error);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, RotationSplitsAndSeriesReadReassembles) {
+  const std::string path = temp_path("rotate.elog");
+  EventLogOptions options;
+  options.rotate_bytes = 200;  // tiny: force several segments
+  options.block_rounds = 16;
+  {
+    EventLogWriter writer = EventLogWriter::create(path, options);
+    for (std::int64_t r = 0; r < 400; ++r) {
+      writer.append(r, std::vector<Migration>{{0, 1, r}});
+    }
+    writer.close();
+  }
+  EXPECT_TRUE(std::ifstream(path + ".1").good());
+  const EventLog merged = read_event_log_series(path);
+  ASSERT_EQ(merged.rounds.size(), 400u);
+  for (std::int64_t r = 0; r < 400; ++r) {
+    EXPECT_EQ(merged.rounds[static_cast<std::size_t>(r)].round, r);
+  }
+  // A fresh create() at the same path owns the chain again.
+  EventLogWriter::create(path, options).close();
+  EXPECT_FALSE(std::ifstream(path + ".1").good());
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, ResumeIntoAFreshlyRotatedSegmentCannotDuplicateRounds) {
+  // Right after a rotation the active segment is header-only; resuming at
+  // a round the rotated chain already holds must fail loudly (silently
+  // re-appending would duplicate rounds and corrupt replay), resuming at
+  // the chain's continuation point must work, and resuming beyond it must
+  // be rejected as a gap.
+  const std::string path = temp_path("rotate_resume.elog");
+  EventLogOptions options;
+  options.block_rounds = 8;
+  options.rotate_bytes = 1;  // rotate after every flushed block
+  {
+    EventLogWriter writer = EventLogWriter::create(path, options);
+    for (std::int64_t r = 0; r < 8; ++r) {
+      writer.append(r, std::vector<Migration>{{0, 1, r}});
+    }
+    writer.close();  // block [0,8) flushed and rotated; active = header
+  }
+  ASSERT_TRUE(std::ifstream(path + ".1").good());
+
+  EXPECT_THROW(EventLogWriter::open_for_append(path, 6, options),
+               persist_error);
+  EXPECT_THROW(EventLogWriter::open_for_append(path, 10, options),
+               persist_error);
+  {
+    EventLogWriter writer = EventLogWriter::open_for_append(path, 8, options);
+    for (std::int64_t r = 8; r < 12; ++r) {
+      writer.append(r, std::vector<Migration>{{1, 0, r}});
+    }
+    writer.close();
+  }
+  const EventLog merged = read_event_log_series(path);
+  ASSERT_EQ(merged.rounds.size(), 12u);
+  for (std::int64_t r = 0; r < 12; ++r) {
+    EXPECT_EQ(merged.rounds[static_cast<std::size_t>(r)].round, r);
+  }
+  std::remove((path + ".1").c_str());
+  std::remove((path + ".2").c_str());
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, UnknownHeaderSectionsAreSkipped) {
+  // Old-reader/new-file: a future writer adds a header section; today's
+  // reader must still parse the blocks.
+  const std::string path = temp_path("future.elog");
+  {
+    EventLogWriter writer = EventLogWriter::create(path);
+    writer.append(0, std::vector<Migration>{{0, 1, 2}});
+    writer.close();
+  }
+  std::string data = slurp_file(path);
+  // Rebuild the header with an extra unknown section appended.
+  const std::uint32_t old_len = read_le32(data.data() + 8);
+  const std::string blocks = data.substr(12 + old_len);
+  BinWriter extra;
+  write_section(extra, 4242, "hover-board calibration");
+  const std::string sections =
+      data.substr(12, old_len) + extra.buffer();
+  BinWriter rebuilt;
+  rebuilt.raw(data.data(), 8);  // magic + version
+  rebuilt.u32(static_cast<std::uint32_t>(sections.size()));
+  rebuilt.raw(sections.data(), sections.size());
+  rebuilt.raw(blocks.data(), blocks.size());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << rebuilt.buffer();
+  }
+  const EventLog log = read_event_log(path);
+  EXPECT_FALSE(log.truncated_tail);
+  ASSERT_EQ(log.rounds.size(), 1u);
+  EXPECT_EQ(log.rounds[0].moves[0].count, 2);
+  std::remove(path.c_str());
+}
+
+// ---- Family codecs and snapshots --------------------------------------------
+
+AsymmetricGame codec_exercise_asymmetric() {
+  std::vector<LatencyPtr> fns;
+  fns.push_back(make_linear(0.5));
+  fns.push_back(make_monomial(1.0, 2.0));
+  fns.push_back(make_linear(2.0));
+  std::vector<PlayerClass> classes(2);
+  classes[0].strategies = {{0}, {1}};
+  classes[0].num_players = 40;
+  classes[1].strategies = {{0}, {2}, {1, 2}};
+  classes[1].num_players = 60;
+  return AsymmetricGame(std::move(fns), std::move(classes));
+}
+
+TEST(Codec, AsymmetricGameAndStateRoundTrip) {
+  const AsymmetricGame game = codec_exercise_asymmetric();
+  BinWriter out;
+  encode_asymmetric_game(out, game);
+  BinReader in(out.buffer(), "test");
+  const AsymmetricGame decoded = decode_asymmetric_game(in);
+  EXPECT_NO_THROW(in.expect_done());
+  EXPECT_EQ(decoded.describe(), game.describe());
+  ASSERT_EQ(decoded.num_classes(), game.num_classes());
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    EXPECT_EQ(decoded.player_class(c).num_players,
+              game.player_class(c).num_players);
+    EXPECT_EQ(decoded.player_class(c).strategies,
+              game.player_class(c).strategies);
+  }
+
+  Rng rng(3);
+  const AsymmetricState x = AsymmetricState::uniform_random(game, rng);
+  BinWriter sout;
+  encode_asymmetric_state(sout, x);
+  BinReader sin(sout.buffer(), "test");
+  const AsymmetricState loaded = decode_asymmetric_state(sin, game);
+  EXPECT_EQ(loaded.counts(), x.counts());
+}
+
+TEST(Codec, MaxCutAndThresholdStateRoundTrip) {
+  Rng rng(5);
+  const MaxCutInstance inst = MaxCutInstance::random(8, 0.5, 64, rng);
+  BinWriter out;
+  encode_maxcut(out, inst);
+  BinReader in(out.buffer(), "test");
+  const MaxCutInstance decoded = decode_maxcut(in);
+  EXPECT_NO_THROW(in.expect_done());
+  EXPECT_EQ(decoded.weights(), inst.weights());  // bit-exact doubles
+
+  const TripledGame tg = triple_quadratic_threshold(inst);
+  ThresholdState s = tripled_initial_state(tg, 0b10110101u);
+  BinWriter sout;
+  encode_threshold_state(sout, s);
+  BinReader sin(sout.buffer(), "test");
+  const ThresholdState loaded = decode_threshold_state(sin, tg.game);
+  EXPECT_EQ(loaded.in_bits(), s.in_bits());
+}
+
+TEST(Snapshot, AsymmetricRoundTripAndFamilyMismatchErrors) {
+  const AsymmetricGame game = codec_exercise_asymmetric();
+  Rng rng(9);
+  const AsymmetricState x = AsymmetricState::uniform_random(game, rng);
+  const std::string path = temp_path("asym.snap");
+  AsymmetricSnapshot snapshot{1234, SimConfig{}, rng.state(), game,
+                              x.counts(), 777};
+  save_asymmetric_snapshot(snapshot, path);
+
+  EXPECT_EQ(peek_snapshot_family(path), SnapshotFamily::kAsymmetric);
+  const AsymmetricSnapshot loaded = load_asymmetric_snapshot(path);
+  EXPECT_EQ(loaded.round, 1234);
+  EXPECT_EQ(loaded.movers, 777);
+  EXPECT_EQ(loaded.rng_state, rng.state());
+  EXPECT_EQ(loaded.counts, x.counts());
+  EXPECT_EQ(loaded.game.describe(), game.describe());
+
+  // The wrong loader fails loudly instead of mis-decoding.
+  EXPECT_THROW(load_snapshot(path), persist_error);
+  EXPECT_THROW(load_threshold_snapshot(path), persist_error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ThresholdRoundTrip) {
+  Rng rng(6);
+  const MaxCutInstance inst = MaxCutInstance::random(6, 0.7, 32, rng);
+  const TripledGame tg = triple_quadratic_threshold(inst);
+  const ThresholdState s = tripled_initial_state(tg, 0b010101u);
+  const std::string path = temp_path("threshold.snap");
+  ThresholdSnapshot snapshot{42,   SimConfig{}, rng.state(),
+                             inst, true,        s.in_bits(), 42};
+  save_threshold_snapshot(snapshot, path);
+
+  EXPECT_EQ(peek_snapshot_family(path), SnapshotFamily::kThreshold);
+  const ThresholdSnapshot loaded = load_threshold_snapshot(path);
+  EXPECT_EQ(loaded.round, 42);
+  EXPECT_TRUE(loaded.tripled);
+  EXPECT_EQ(loaded.instance.weights(), inst.weights());
+  EXPECT_EQ(loaded.in_bits, s.in_bits());
+  EXPECT_THROW(load_snapshot(path), persist_error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, UnknownSectionsAreSkippedByTheReader) {
+  // Old-reader/new-file: append a section today's reader does not know to
+  // a valid v2 snapshot payload — it must load exactly as before.
+  const CongestionGame game = codec_exercise_game();
+  Rng rng(31);
+  const State x = State::uniform_random(game, rng);
+  Snapshot snapshot = make_snapshot(game, x, rng, 7, SimConfig{});
+  std::string payload = snapshot_payload(snapshot);
+  BinWriter extra;
+  write_section(extra, 31337, std::string(100, 'z'));
+  payload += extra.buffer();
+
+  const std::string path = temp_path("future.snap");
+  write_file_atomic(path, kSnapshotMagic, kSnapshotVersion, payload);
+  const Snapshot loaded = load_snapshot(path);
+  EXPECT_EQ(loaded.round, 7);
+  EXPECT_TRUE(loaded.state() == x);
+  EXPECT_EQ(serialize_game(loaded.game), serialize_game(game));
+
+  // Even a version byte from the future is fine as long as the required
+  // sections are present — the skip-unknown policy replaces refuse-newer.
+  write_file_atomic(path, kSnapshotMagic, kSnapshotVersion + 1, payload);
+  EXPECT_EQ(load_snapshot(path).round, 7);
+  std::remove(path.c_str());
+}
+
 sweep::SweepGrid manifest_grid() {
   sweep::SweepGrid grid;
   grid.scenario.name = "load-balancing";
@@ -281,6 +755,70 @@ TEST(Manifest, RejectsADifferentGrid) {
   EXPECT_THROW(load_manifest(path, other), persist_error);
   EXPECT_THROW(ManifestWriter::open_for_append(path, other), persist_error);
   EXPECT_NO_THROW(load_manifest(path, grid));
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, RotationSegmentsMergeOnLoad) {
+  const std::string path = temp_path("rotate.manifest");
+  const sweep::SweepGrid grid = manifest_grid();
+  {
+    ManifestWriter writer = ManifestWriter::create(path, grid);
+    writer.set_rotate_bytes(120);  // tiny: a couple of records per segment
+    for (std::uint32_t cell = 0; cell < 2; ++cell) {
+      for (std::uint32_t trial = 0; trial < 3; ++trial) {
+        sweep::TrialOutcome outcome;
+        outcome.rounds = static_cast<double>(10 * cell + trial);
+        writer.append(cell, trial, outcome);
+      }
+    }
+    writer.close();
+  }
+  EXPECT_TRUE(std::ifstream(path + ".1").good());
+  const ManifestContents contents = load_manifest(path, grid);
+  EXPECT_FALSE(contents.truncated_tail);
+  ASSERT_EQ(contents.completed.size(), 6u);
+  EXPECT_EQ(contents.completed.at({1, 2}).rounds, 12.0);
+
+  // Wrong grid is rejected in rotated chains too.
+  sweep::SweepGrid other = manifest_grid();
+  other.master_seed = 99;
+  EXPECT_THROW(load_manifest(path, other), persist_error);
+
+  // create() reclaims the chain.
+  ManifestWriter::create(path, grid).close();
+  EXPECT_FALSE(std::ifstream(path + ".1").good());
+  std::remove(path.c_str());
+}
+
+TEST(Manifest, UnknownHeaderSectionsAreSkipped) {
+  // Old-reader/new-file for the manifest header.
+  const std::string path = temp_path("future.manifest");
+  const sweep::SweepGrid grid = manifest_grid();
+  {
+    ManifestWriter writer = ManifestWriter::create(path, grid);
+    sweep::TrialOutcome outcome;
+    outcome.rounds = 5.0;
+    writer.append(0, 0, outcome);
+    writer.close();
+  }
+  std::string data = slurp_file(path);
+  const std::uint32_t old_len = read_le32(data.data() + 8);
+  const std::string records = data.substr(12 + old_len);
+  BinWriter extra;
+  write_section(extra, 777, "future manifest metadata");
+  const std::string sections = data.substr(12, old_len) + extra.buffer();
+  BinWriter rebuilt;
+  rebuilt.raw(data.data(), 8);
+  rebuilt.u32(static_cast<std::uint32_t>(sections.size()));
+  rebuilt.raw(sections.data(), sections.size());
+  rebuilt.raw(records.data(), records.size());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << rebuilt.buffer();
+  }
+  const ManifestContents contents = load_manifest(path, grid);
+  ASSERT_EQ(contents.completed.size(), 1u);
+  EXPECT_EQ(contents.completed.at({0, 0}).rounds, 5.0);
   std::remove(path.c_str());
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -281,11 +282,16 @@ TEST(SweepOutput, WritersProduceExpectedShape) {
     return lines;
   };
   // CSV: header + one line per row. JSONL: one object per row.
-  EXPECT_EQ(count_lines(paths[0]), result.trials.size() + 1);
-  EXPECT_EQ(count_lines(paths[1]), result.cells.size() + 1);
-  EXPECT_EQ(count_lines(paths[2]), result.trials.size());
-  EXPECT_EQ(count_lines(paths[3]), result.cells.size());
-  for (const auto& path : paths) std::remove(path.c_str());
+  EXPECT_EQ(count_lines(paths[0].path), result.trials.size() + 1);
+  EXPECT_EQ(count_lines(paths[1].path), result.cells.size() + 1);
+  EXPECT_EQ(count_lines(paths[2].path), result.trials.size());
+  EXPECT_EQ(count_lines(paths[3].path), result.cells.size());
+  for (const auto& file : paths) {
+    // The reported byte count is the real file size (the observability
+    // summary in cid_sweep depends on it).
+    EXPECT_EQ(file.bytes, std::filesystem::file_size(file.path));
+    std::remove(file.path.c_str());
+  }
 }
 
 }  // namespace

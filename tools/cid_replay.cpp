@@ -52,8 +52,7 @@ ArtifactKind sniff(const std::string& path) {
 
 void print_snapshot(const persist::Snapshot& snapshot,
                     const std::string& path) {
-  std::printf("%s: snapshot v%d\n", path.c_str(),
-              static_cast<int>(persist::kSnapshotVersion));
+  std::printf("%s: snapshot (symmetric family)\n", path.c_str());
   std::printf("  round            %lld\n",
               static_cast<long long>(snapshot.round));
   std::printf("  protocol         %s (lambda=%g, p_explore=%g, nu_cutoff=%d, "
@@ -78,19 +77,67 @@ void print_snapshot(const persist::Snapshot& snapshot,
       snapshot.game.potential(x));
 }
 
+void print_asymmetric_snapshot(const persist::AsymmetricSnapshot& snapshot,
+                               const std::string& path) {
+  std::printf("%s: snapshot (asymmetric family)\n", path.c_str());
+  std::printf("  round            %lld (movers so far %lld)\n",
+              static_cast<long long>(snapshot.round),
+              static_cast<long long>(snapshot.movers));
+  std::printf("  rng state        %016llx %016llx %016llx %016llx\n",
+              static_cast<unsigned long long>(snapshot.rng_state[0]),
+              static_cast<unsigned long long>(snapshot.rng_state[1]),
+              static_cast<unsigned long long>(snapshot.rng_state[2]),
+              static_cast<unsigned long long>(snapshot.rng_state[3]));
+  std::printf("  game             %s\n", snapshot.game.describe().c_str());
+  const AsymmetricState x = snapshot.state();
+  std::printf("  state            %d classes, potential %.6g\n",
+              snapshot.game.num_classes(), snapshot.game.potential(x));
+}
+
+void print_threshold_snapshot(const persist::ThresholdSnapshot& snapshot,
+                              const std::string& path) {
+  std::printf("%s: snapshot (threshold family)\n", path.c_str());
+  std::printf("  steps            %lld\n",
+              static_cast<long long>(snapshot.round));
+  std::printf("  construction     %s over %d-node MaxCut\n",
+              snapshot.tripled ? "tripled imitation (Theorem 6)"
+                               : "quadratic best-response",
+              snapshot.instance.num_nodes());
+  std::printf("  players          %zu\n", snapshot.in_bits.size());
+}
+
 int inspect(const std::string& path) {
   switch (sniff(path)) {
     case ArtifactKind::kSnapshot:
-      print_snapshot(persist::load_snapshot(path), path);
+      switch (persist::peek_snapshot_family(path)) {
+        case persist::SnapshotFamily::kSymmetric:
+          print_snapshot(persist::load_snapshot(path), path);
+          break;
+        case persist::SnapshotFamily::kAsymmetric:
+          print_asymmetric_snapshot(persist::load_asymmetric_snapshot(path),
+                                    path);
+          break;
+        case persist::SnapshotFamily::kThreshold:
+          print_threshold_snapshot(persist::load_threshold_snapshot(path),
+                                   path);
+          break;
+      }
       return 0;
     case ArtifactKind::kEventLog: {
-      const persist::EventLog log = persist::read_event_log(path);
+      // The whole rotation chain, not just the active segment — inspect
+      // must agree with what replay would consume.
+      const persist::EventLog log = persist::read_event_log_series(path);
+      const std::size_t segments = persist::chain_segments(path).size();
       std::int64_t movers = 0;
       for (const auto& r : log.rounds) {
         for (const Migration& m : r.moves) movers += m.count;
       }
-      std::printf("%s: event log v%d\n", path.c_str(),
-                  static_cast<int>(log.version));
+      const std::string chain_note =
+          segments == 0 ? ""
+                        : " (+" + std::to_string(segments) +
+                              " rotated segments)";
+      std::printf("%s: event log v%d%s\n", path.c_str(),
+                  static_cast<int>(log.version), chain_note.c_str());
       std::printf("  rounds           %zu%s\n", log.rounds.size(),
                   log.truncated_tail ? " (tail truncated by a killed writer)"
                                      : "");
@@ -100,26 +147,56 @@ int inspect(const std::string& path) {
                     static_cast<long long>(log.rounds.back().round));
       }
       std::printf("  total migrations %lld\n", static_cast<long long>(movers));
+      std::printf(
+          "  bytes            %llu on disk, %llu uncompressed-equivalent "
+          "(%.1fx)\n",
+          static_cast<unsigned long long>(log.file_bytes),
+          static_cast<unsigned long long>(log.v1_equivalent_bytes),
+          log.file_bytes == 0
+              ? 0.0
+              : static_cast<double>(log.v1_equivalent_bytes) /
+                    static_cast<double>(log.file_bytes));
       return 0;
     }
     case ArtifactKind::kManifest: {
       // Header-only inspection (a full parse needs the grid for the
       // fingerprint check); record count from the fixed record size.
       const std::string data = persist::slurp_file(path);
-      constexpr std::size_t kHeaderSize = 7 + 1 + 8 + 4 + 4;
-      if (data.size() < kHeaderSize) usage("manifest too short");
-      const std::uint64_t fingerprint = persist::read_le64(data.data() + 8);
-      const std::uint32_t cells = persist::read_le32(data.data() + 16);
-      const std::uint32_t trials = persist::read_le32(data.data() + 20);
+      if (data.size() < 8) usage("manifest too short");
+      const auto version = static_cast<unsigned char>(data[7]);
+      std::uint64_t fingerprint = 0;
+      std::uint32_t cells = 0, trials = 0;
+      std::size_t header_size = 0;
+      if (version == 1) {
+        header_size = 7 + 1 + 8 + 4 + 4;
+        if (data.size() < header_size) usage("manifest too short");
+        fingerprint = persist::read_le64(data.data() + 8);
+        cells = persist::read_le32(data.data() + 16);
+        trials = persist::read_le32(data.data() + 20);
+      } else {
+        if (data.size() < 12) usage("manifest too short");
+        const std::uint32_t sections_len = persist::read_le32(data.data() + 8);
+        if (data.size() - 12 < sections_len) usage("manifest header damaged");
+        const persist::SectionScan scan(
+            std::string_view(data).substr(12, sections_len), path);
+        const auto grid = scan.require(1, "grid");
+        persist::BinReader in(grid, path);
+        fingerprint = in.u64();
+        cells = in.u32();
+        trials = in.u32();
+        header_size = 12 + sections_len;
+      }
       constexpr std::size_t kRecordSize = 4 + 4 + 8 + 1 + 8 + 8 + 8 + 4;
-      const std::size_t records = (data.size() - kHeaderSize) / kRecordSize;
+      const std::size_t records = (data.size() - header_size) / kRecordSize;
       const double total = static_cast<double>(cells) * trials;
-      std::printf("%s: sweep manifest v1\n", path.c_str());
+      std::printf("%s: sweep manifest v%d\n", path.c_str(),
+                  static_cast<int>(version));
       std::printf("  grid fingerprint %016llx\n",
                   static_cast<unsigned long long>(fingerprint));
       std::printf("  grid size        %u cells x %u trials = %llu\n", cells,
                   trials, static_cast<unsigned long long>(cells) * trials);
-      std::printf("  completed        %zu trials (%.1f%%)\n", records,
+      std::printf("  completed        %zu trials in this segment (%.1f%%)\n",
+                  records,
                   total == 0.0 ? 0.0
                                : 100.0 * static_cast<double>(records) / total);
       return 0;
@@ -137,6 +214,21 @@ int diff(const std::string& a_path, const std::string& b_path) {
     return 1;
   }
   if (kind == ArtifactKind::kSnapshot) {
+    const persist::SnapshotFamily family_a =
+        persist::peek_snapshot_family(a_path);
+    if (family_a != persist::peek_snapshot_family(b_path)) {
+      std::printf("different snapshot families\n");
+      return 1;
+    }
+    if (family_a != persist::SnapshotFamily::kSymmetric) {
+      // Non-symmetric families: bytewise payload comparison (their
+      // sections are already canonical encodings).
+      const bool same =
+          persist::read_file_checked(a_path, "CIDSNAP", 0xFF).payload ==
+          persist::read_file_checked(b_path, "CIDSNAP", 0xFF).payload;
+      std::printf(same ? "snapshots identical\n" : "snapshots differ\n");
+      return same ? 0 : 1;
+    }
     const persist::Snapshot a = persist::load_snapshot(a_path);
     const persist::Snapshot b = persist::load_snapshot(b_path);
     if (persist::snapshot_payload(a) == persist::snapshot_payload(b)) {
@@ -213,7 +305,7 @@ int replay(int argc, char** argv) {
   }
 
   const persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
-  const persist::EventLog log = persist::read_event_log(log_path);
+  const persist::EventLog log = persist::read_event_log_series(log_path);
   State x = snapshot.state();
   const std::int64_t end =
       to_round >= 0 ? to_round
@@ -225,6 +317,14 @@ int replay(int argc, char** argv) {
               static_cast<long long>(applied),
               static_cast<long long>(snapshot.round),
               static_cast<long long>(snapshot.round + applied));
+  std::printf(
+      "log: %llu bytes compressed on disk, %llu uncompressed-equivalent "
+      "(%.1fx)\n",
+      static_cast<unsigned long long>(log.file_bytes),
+      static_cast<unsigned long long>(log.v1_equivalent_bytes),
+      log.file_bytes == 0 ? 0.0
+                          : static_cast<double>(log.v1_equivalent_bytes) /
+                                static_cast<double>(log.file_bytes));
   std::printf(
       "final: potential=%.6g  L_av=%.6g  makespan=%.6g  support=%zu\n",
       snapshot.game.potential(x), snapshot.game.average_latency(x),
@@ -263,14 +363,26 @@ int export_snapshot(int argc, char** argv) {
     usage("export requires --game and/or --state output paths");
   }
   const persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
+  std::uint64_t text_bytes = 0;
   if (!game_path.empty()) {
     save_game(snapshot.game, game_path);
-    std::printf("game written to %s\n", game_path.c_str());
+    const std::uint64_t bytes = persist::slurp_file(game_path).size();
+    text_bytes += bytes;
+    std::printf("game written to %s (%llu bytes)\n", game_path.c_str(),
+                static_cast<unsigned long long>(bytes));
   }
   if (!state_path.empty()) {
     save_state(snapshot.state(), state_path);
-    std::printf("state written to %s\n", state_path.c_str());
+    const std::uint64_t bytes = persist::slurp_file(state_path).size();
+    text_bytes += bytes;
+    std::printf("state written to %s (%llu bytes)\n", state_path.c_str(),
+                static_cast<unsigned long long>(bytes));
   }
+  const std::uint64_t snapshot_bytes =
+      persist::slurp_file(snapshot_path).size();
+  std::printf("exported %llu text bytes from a %llu-byte binary snapshot\n",
+              static_cast<unsigned long long>(text_bytes),
+              static_cast<unsigned long long>(snapshot_bytes));
   return 0;
 }
 

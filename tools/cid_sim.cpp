@@ -5,8 +5,9 @@
 //           [--rounds N] [--seed S] [--engine aggregate|perplayer]
 //           [--start uniform|even|all:K] [--stop stable|nash|deltaeps:D,E]
 //           [--trace-every K] [--csv PATH]
-//           [--checkpoint PATH [--checkpoint-every K]] [--resume PATH]
-//           [--event-log PATH] [--save-state PATH]
+//           [--checkpoint PATH [--checkpoint-every K] [--checkpoint-keep K]]
+//           [--resume PATH] [--event-log PATH [--no-log-compress]
+//           [--rotate-bytes N]] [--save-state PATH]
 //
 // Loads a game in the cid-game v1 text format (see src/game/io.hpp;
 // cid_gen writes such files), runs the chosen protocol, prints a trace
@@ -57,9 +58,17 @@ using namespace cid;
       "  --checkpoint PATH    write binary snapshots to PATH (atomic)\n"
       "  --checkpoint-every K snapshot cadence in rounds (default: only\n"
       "                       round 0 and the final state)\n"
+      "  --checkpoint-keep K  keep the newest K snapshots as PATH.r<round>\n"
+      "                       instead of overwriting one file (snapshot GC)\n"
       "  --resume PATH   continue bit-exactly from a snapshot (game,\n"
-      "                  protocol, engine, stop come from the snapshot)\n"
+      "                  protocol, engine, stop come from the snapshot;\n"
+      "                  PATH may be a --checkpoint-keep prefix — the\n"
+      "                  newest PATH.r<round> wins)\n"
       "  --event-log PATH     append per-round migration records\n"
+      "                       (delta-encoded + block-compressed v2)\n"
+      "  --no-log-compress    write the uncompressed v1 event log format\n"
+      "  --rotate-bytes N     rotate the event log to PATH.<seq> segments\n"
+      "                       once the active file exceeds N bytes\n"
       "  --save-state PATH    write the final state (cid-state v1 text)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
@@ -80,8 +89,11 @@ struct Options {
   std::string csv_path;
   std::string checkpoint_path;
   std::int64_t checkpoint_every = 0;
+  std::int64_t checkpoint_keep = 0;
   std::string resume_path;
   std::string event_log_path;
+  bool log_compress = true;
+  std::uint64_t rotate_bytes = 0;
   std::string save_state_path;
 };
 
@@ -116,9 +128,14 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--checkpoint") opt.checkpoint_path = need_value(i);
     else if (flag == "--checkpoint-every") {
       opt.checkpoint_every = std::atoll(need_value(i));
+    } else if (flag == "--checkpoint-keep") {
+      opt.checkpoint_keep = std::atoll(need_value(i));
     } else if (flag == "--resume") opt.resume_path = need_value(i);
     else if (flag == "--event-log") opt.event_log_path = need_value(i);
-    else if (flag == "--save-state") opt.save_state_path = need_value(i);
+    else if (flag == "--no-log-compress") opt.log_compress = false;
+    else if (flag == "--rotate-bytes") {
+      opt.rotate_bytes = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+    } else if (flag == "--save-state") opt.save_state_path = need_value(i);
     else usage(("unknown flag: " + flag).c_str());
   }
   if (opt.game_path.empty() == opt.resume_path.empty()) {
@@ -127,8 +144,15 @@ Options parse_args(int argc, char** argv) {
   if (opt.lambda <= 0.0 || opt.lambda > 1.0) usage("lambda out of (0,1]");
   if (opt.trace_every < 1) usage("--trace-every must be >= 1");
   if (opt.checkpoint_every < 0) usage("--checkpoint-every must be >= 0");
+  if (opt.checkpoint_keep < 0) usage("--checkpoint-keep must be >= 0");
   if (opt.checkpoint_every > 0 && opt.checkpoint_path.empty()) {
     usage("--checkpoint-every requires --checkpoint PATH");
+  }
+  if (opt.checkpoint_keep > 0 && opt.checkpoint_path.empty()) {
+    usage("--checkpoint-keep requires --checkpoint PATH");
+  }
+  if (opt.rotate_bytes > 0 && opt.event_log_path.empty()) {
+    usage("--rotate-bytes requires --event-log PATH");
   }
   return opt;
 }
@@ -196,7 +220,10 @@ int main(int argc, char** argv) {
     EngineMode engine = opt.engine;
 
     if (!opt.resume_path.empty()) {
-      persist::ResumedRun resumed = persist::resume_run(opt.resume_path);
+      // A --checkpoint-keep prefix resolves to its newest PATH.r<round>.
+      const std::string resume_from =
+          persist::find_latest_checkpoint(opt.resume_path);
+      persist::ResumedRun resumed = persist::resume_run(resume_from);
       game = std::move(resumed.game);
       x.emplace(std::move(resumed.state));
       rng = resumed.rng;
@@ -204,7 +231,7 @@ int main(int argc, char** argv) {
       config = resumed.config;
       start_round = resumed.round;
       engine = resumed.mode;
-      std::printf("resumed %s at round %lld: %s\n", opt.resume_path.c_str(),
+      std::printf("resumed %s at round %lld: %s\n", resume_from.c_str(),
                   static_cast<long long>(start_round),
                   game->describe().c_str());
     } else {
@@ -227,14 +254,17 @@ int main(int argc, char** argv) {
     RoundObserver observer = trace.observer();
 
     std::optional<persist::EventLogWriter> event_log;
+    persist::EventLogOptions log_options;
+    log_options.compress = opt.log_compress;
+    log_options.rotate_bytes = opt.rotate_bytes;
     if (!opt.event_log_path.empty()) {
       if (!opt.resume_path.empty() &&
           std::filesystem::exists(opt.event_log_path)) {
         event_log.emplace(persist::EventLogWriter::open_for_append(
-            opt.event_log_path, start_round));
+            opt.event_log_path, start_round, log_options));
       } else {
         event_log.emplace(
-            persist::EventLogWriter::create(opt.event_log_path));
+            persist::EventLogWriter::create(opt.event_log_path, log_options));
       }
       observer = persist::chain_observers(std::move(observer),
                                           event_log->observer());
@@ -242,10 +272,11 @@ int main(int argc, char** argv) {
 
     std::optional<persist::Checkpointer> checkpointer;
     if (!opt.checkpoint_path.empty()) {
-      checkpointer.emplace(*game, rng,
-                           persist::CheckpointConfig{opt.checkpoint_path,
-                                                     opt.checkpoint_every},
-                           config);
+      checkpointer.emplace(
+          *game, rng,
+          persist::CheckpointConfig{opt.checkpoint_path, opt.checkpoint_every,
+                                    opt.checkpoint_keep},
+          config);
       // Round-0 (or resume-round) snapshot: captured before run_dynamics
       // consumes any draws, so snapshot + event log replays the whole run.
       checkpointer->write_now(*x, start_round);
@@ -289,9 +320,31 @@ int main(int argc, char** argv) {
                   opt.save_state_path.c_str());
     }
     if (!opt.checkpoint_path.empty()) {
-      std::printf("checkpoint written to %s (round %lld)\n",
-                  opt.checkpoint_path.c_str(),
-                  static_cast<long long>(result.rounds));
+      if (opt.checkpoint_keep > 0) {
+        std::printf("checkpoints written to %s.r<round> (newest: round "
+                    "%lld, keeping last %lld)\n",
+                    opt.checkpoint_path.c_str(),
+                    static_cast<long long>(result.rounds),
+                    static_cast<long long>(opt.checkpoint_keep));
+      } else {
+        std::printf("checkpoint written to %s (round %lld)\n",
+                    opt.checkpoint_path.c_str(),
+                    static_cast<long long>(result.rounds));
+      }
+    }
+    if (event_log.has_value()) {
+      // Compression observability: on-disk bytes vs the fixed-width v1
+      // encoding of the same rounds (writer-maintained counters — no
+      // re-read of a possibly multi-GB chain at shutdown).
+      const std::uint64_t disk = event_log->disk_bytes();
+      const std::uint64_t v1 = event_log->v1_equivalent_bytes();
+      std::printf(
+          "event log %s: %llu bytes on disk, %llu uncompressed-equivalent "
+          "(%.1fx)\n",
+          opt.event_log_path.c_str(), static_cast<unsigned long long>(disk),
+          static_cast<unsigned long long>(v1),
+          disk == 0 ? 0.0
+                    : static_cast<double>(v1) / static_cast<double>(disk));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sim: %s\n", e.what());

@@ -62,6 +62,9 @@ using namespace cid;
       "  --resume PATH     like --manifest, but the file must exist\n"
       "  --checkpoint-every K  flush the manifest every K trials\n"
       "                    (default 1: every completed trial durable)\n"
+      "  --rotate-bytes N  rotate the manifest to PATH.<seq> segments once\n"
+      "                    the active file exceeds N bytes (the whole\n"
+      "                    chain is merged on load/resume)\n"
       "  --max-new-trials N    run at most N new trials, then exit\n"
       "                    incomplete (resume later with --resume)\n");
   std::exit(error == nullptr ? 0 : 2);
@@ -141,6 +144,9 @@ Options parse_args(int argc, char** argv) {
       opt.resume_required = true;
     } else if (flag == "--checkpoint-every") {
       opt.run.manifest_flush_every = std::atoll(need_value(i));
+    } else if (flag == "--rotate-bytes") {
+      opt.run.manifest_rotate_bytes =
+          static_cast<std::uint64_t>(std::atoll(need_value(i)));
     } else if (flag == "--max-new-trials") {
       opt.run.max_new_trials = std::atoll(need_value(i));
     } else if (flag == "--param") {
@@ -162,6 +168,9 @@ Options parse_args(int argc, char** argv) {
   if (opt.run.threads < 0) usage("--threads must be >= 0");
   if (opt.run.manifest_flush_every < 1) {
     usage("--checkpoint-every must be >= 1");
+  }
+  if (opt.run.manifest_rotate_bytes > 0 && opt.run.manifest_path.empty()) {
+    usage("--rotate-bytes requires --manifest or --resume");
   }
   if (opt.resume_required &&
       !std::filesystem::exists(opt.run.manifest_path)) {
@@ -233,9 +242,32 @@ int main(int argc, char** argv) {
                 elapsed);
 
     if (!opt.out_prefix.empty()) {
-      for (const std::string& path :
+      std::uint64_t text_bytes = 0;
+      for (const sweep::WrittenFile& file :
            sweep::write_sweep_outputs(opt.out_prefix, result)) {
-        std::printf("wrote %s\n", path.c_str());
+        std::printf("wrote %s (%llu bytes)\n", file.path.c_str(),
+                    static_cast<unsigned long long>(file.bytes));
+        text_bytes += file.bytes;
+      }
+      if (!opt.run.manifest_path.empty()) {
+        // Compressed-vs-uncompressed observability: the binary manifest
+        // chain is the compact representation of the same trial set.
+        std::uint64_t manifest_bytes = 0;
+        std::error_code ec;
+        auto segments = persist::chain_segments(opt.run.manifest_path);
+        segments.push_back(opt.run.manifest_path);
+        for (const std::string& segment : segments) {
+          const auto size = std::filesystem::file_size(segment, ec);
+          if (!ec) manifest_bytes += size;
+        }
+        std::printf(
+            "manifest: %llu bytes binary (compressed representation) vs "
+            "%llu bytes CSV/JSONL text (%.1fx)\n",
+            static_cast<unsigned long long>(manifest_bytes),
+            static_cast<unsigned long long>(text_bytes),
+            manifest_bytes == 0 ? 0.0
+                                : static_cast<double>(text_bytes) /
+                                      static_cast<double>(manifest_bytes));
       }
     }
   } catch (const std::exception& e) {
