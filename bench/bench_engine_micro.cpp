@@ -1,86 +1,137 @@
-// E13 — engine micro-benchmarks (google-benchmark): the aggregate engine's
-// per-round cost is O(|support|²) — independent of n — while the
-// per-player engine is O(n·|support|). The n-independence of the aggregate
-// engine is what makes Theorem 7's million-player sweeps cheap (E3).
-#include <benchmark/benchmark.h>
+// E13 — engine micro-benchmarks: rounds/sec of the batched round kernel on
+// fixed workloads (fixed game, fixed round count, no stop predicate), so
+// wall-clock is directly gateable by scripts/check_bench_regression.py.
+//
+//   cell 1  aggregate, NON-SINGLETON k=64 (4x3 layered network, n=1e5),
+//           imitation — the ISSUE-4 acceptance cell. Pre-batching baseline
+//           on the reference dev box: ~1.3e3 rounds/s.
+//   cell 2  same game, combined protocol (two sub-protocols per row, one
+//           shared ex-post merge). Pre-batching: ~7.3e2 rounds/s.
+//   cell 3  aggregate, singleton m=64, n=1e6 — the Theorem-7 sweep regime.
+//           Pre-batching: ~4.5e3 rounds/s.
+//   cell 4  per-player, singleton m=64, n=2e4 — exercises the cumulative-
+//           probability binary search. Pre-batching: ~9.1e2 rounds/s.
+//
+// Flags: --quick (CI-sized round counts), --json PATH (see bench/common.hpp).
+// The checked-in BENCH_engine_micro.json is the cross-commit trend record;
+// the CI gate compares candidate vs base ON THE SAME RUNNER.
+#include <cstring>
+#include <string>
 
-#include "cid/cid.hpp"
+#include "common.hpp"
 
 namespace {
 
 using namespace cid;
 
-void BM_AggregateRound(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto m = static_cast<std::int32_t>(state.range(1));
-  const auto game = make_uniform_links_game(m, make_linear(1.0), n);
+CongestionGame network_k64(std::int64_t n) {
+  // 4^3 = 64 s-t paths over 40 edges, mixed linear/quadratic latencies —
+  // the same construction recipe as the network-routing sweep scenario.
+  const auto net = make_layered_network(4, 3);
+  Rng latency_rng(7);
+  std::vector<LatencyPtr> fns;
+  for (EdgeId e = 0; e < net.graph.num_edges(); ++e) {
+    const double a = 0.5 + latency_rng.uniform();
+    if (latency_rng.bernoulli(0.5)) {
+      fns.push_back(make_linear(a));
+    } else {
+      fns.push_back(make_monomial(0.05 * a, 2.0));
+    }
+  }
+  return make_network_game(net, std::move(fns), n);
+}
+
+struct CellResult {
+  double wall_seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  double evals_per_round = 0.0;
+  std::int64_t movers = 0;
+};
+
+CellResult run_cell(const CongestionGame& game, const Protocol& protocol,
+                    EngineMode mode, std::int64_t rounds) {
   Rng rng(1);
   State x = State::uniform_random(game, rng);
-  const ImitationProtocol protocol;
-  for (auto _ : state) {
-    const RoundResult rr =
-        draw_round(game, x, protocol, rng, EngineMode::kAggregate);
-    benchmark::DoNotOptimize(rr.movers);
-  }
-  state.SetLabel("n=" + std::to_string(n) + " m=" + std::to_string(m));
+  RunOptions options;
+  options.max_rounds = rounds;
+  options.mode = mode;
+  const WallTimer timer;
+  const RunResult rr = run_dynamics(game, x, protocol, rng, options, nullptr);
+  CellResult cell;
+  cell.wall_seconds = timer.seconds();
+  cell.rounds_per_sec = cell.wall_seconds > 0.0
+                            ? static_cast<double>(rr.rounds) /
+                                  cell.wall_seconds
+                            : 0.0;
+  cell.evals_per_round =
+      rr.rounds > 0 ? static_cast<double>(rr.latency_evals) /
+                          static_cast<double>(rr.rounds)
+                    : 0.0;
+  cell.movers = rr.total_movers;
+  return cell;
 }
-BENCHMARK(BM_AggregateRound)
-    ->Args({1000, 16})
-    ->Args({10000, 16})
-    ->Args({100000, 16})
-    ->Args({1000000, 16})
-    ->Args({100000, 4})
-    ->Args({100000, 64});
-
-void BM_PerPlayerRound(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto game = make_uniform_links_game(16, make_linear(1.0), n);
-  Rng rng(2);
-  State x = State::uniform_random(game, rng);
-  const ImitationProtocol protocol;
-  for (auto _ : state) {
-    const RoundResult rr =
-        draw_round(game, x, protocol, rng, EngineMode::kPerPlayer);
-    benchmark::DoNotOptimize(rr.movers);
-  }
-  state.SetLabel("n=" + std::to_string(n) + " m=16");
-}
-BENCHMARK(BM_PerPlayerRound)->Args({1000})->Args({10000})->Args({100000});
-
-void BM_BinomialSampler(benchmark::State& state) {
-  Rng rng(3);
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const double p = 1e-4 * static_cast<double>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.binomial(n, p));
-  }
-}
-BENCHMARK(BM_BinomialSampler)
-    ->Args({20, 3000})       // Bernoulli-sum regime
-    ->Args({100000, 1})      // inversion regime (mean 10)
-    ->Args({100000, 3000});  // BTRS regime (mean 30000)
-
-void BM_PotentialExact(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto game = make_uniform_links_game(16, make_monomial(1.0, 2.0), n);
-  Rng rng(4);
-  const State x = State::uniform_random(game, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(game.potential(x));
-  }
-}
-BENCHMARK(BM_PotentialExact)->Args({1000})->Args({100000});
-
-void BM_EquilibriumCheck(benchmark::State& state) {
-  const auto m = static_cast<std::int32_t>(state.range(0));
-  const auto game = make_uniform_links_game(m, make_linear(1.0), 100000);
-  Rng rng(5);
-  const State x = State::uniform_random(game, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        check_delta_eps_nu(game, x, 0.1, 0.1, game.nu()).at_equilibrium);
-  }
-}
-BENCHMARK(BM_EquilibriumCheck)->Args({8})->Args({64});
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using cid::bench::JsonReport;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const ImitationProtocol imitation;
+  const CombinedProtocol combined{ImitationParams{}, ExplorationParams{},
+                                  0.5};
+  const auto net64 = network_k64(100000);
+  const auto singleton_large = make_monomial_fan_game(64, 1.0, 1.0, 1000000);
+  const auto singleton_small = make_monomial_fan_game(64, 1.0, 1.0, 20000);
+
+  struct Spec {
+    int id;
+    const char* label;
+    const CongestionGame* game;
+    const Protocol* protocol;
+    EngineMode mode;
+    std::int64_t rounds;
+    std::int64_t quick_rounds;
+  };
+  const Spec specs[] = {
+      {1, "aggregate net k=64 imitation", &net64, &imitation,
+       EngineMode::kAggregate, 2000, 400},
+      {2, "aggregate net k=64 combined", &net64, &combined,
+       EngineMode::kAggregate, 1000, 200},
+      {3, "aggregate singleton m=64 n=1e6", &singleton_large, &imitation,
+       EngineMode::kAggregate, 10000, 2000},
+      {4, "perplayer singleton m=64 n=2e4", &singleton_small, &imitation,
+       EngineMode::kPerPlayer, 400, 100},
+  };
+
+  JsonReport report("engine_micro");
+  cid::Table table({"id", "cell", "rounds", "wall s", "rounds/s",
+                    "evals/round", "movers"});
+  for (const Spec& spec : specs) {
+    const std::int64_t rounds = quick ? spec.quick_rounds : spec.rounds;
+    const CellResult cell =
+        run_cell(*spec.game, *spec.protocol, spec.mode, rounds);
+    table.row()
+        .cell(static_cast<std::int64_t>(spec.id))
+        .cell(spec.label)
+        .cell(rounds)
+        .cell(cell.wall_seconds, 3)
+        .cell(cell.rounds_per_sec, 1)
+        .cell(cell.evals_per_round, 2)
+        .cell(cell.movers);
+    report.cell()
+        .metric("id", static_cast<double>(spec.id))
+        .metric("rounds", static_cast<double>(rounds))
+        .metric("wall_cell_seconds", cell.wall_seconds)
+        .metric("rounds_per_sec", cell.rounds_per_sec)
+        .metric("evals_per_round", cell.evals_per_round)
+        .metric("movers", static_cast<double>(cell.movers));
+  }
+  table.print(std::string("engine micro (fixed workloads") +
+              (quick ? ", --quick)" : ")"));
+  report.write_if_requested(argc, argv);
+  return 0;
+}

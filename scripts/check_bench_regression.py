@@ -6,17 +6,46 @@ Usage: check_bench_regression.py BASELINE.json CANDIDATE.json [THRESHOLD]
 
 Only wall-clock fields are gated — they are the one legitimately
 hardware-dependent output, and the threshold absorbs runner noise. The
-deterministic result fields (rounds_mean etc.) are compared too, but only
-WARN on drift: an intentional algorithm change may move them, and the
-reviewer should see that in the job log rather than silently.
+deterministic result fields (rounds_mean, evals_per_round, ...) are
+compared too, but only WARN on drift: an intentional algorithm change may
+move them, and the reviewer should see that in the job log rather than
+silently.
+
+Works for every JsonReport bench: cells are keyed by their "id" metric when
+present (bench_engine_micro) or by "n" (bench_convergence_n), and every
+shared metric except the hardware-dependent ones (wall/rate fields) is
+drift-checked.
 """
 import json
 import sys
+
+# Per-cell metrics that legitimately vary with the runner: never warn.
+# (bench_convergence_n emits cell_wall_seconds, bench_engine_micro
+# wall_cell_seconds; both are wall clocks.)
+HARDWARE_DEPENDENT = {"wall_seconds", "wall_cell_seconds",
+                      "cell_wall_seconds", "rounds_per_sec", "evals_per_sec"}
 
 
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def cell_key(cell):
+    if "id" in cell:
+        return ("id", cell["id"])
+    if "n" in cell:
+        return ("n", cell["n"])
+    return None
+
+
+def index_cells(report):
+    out = {}
+    for cell in report.get("cells", []):
+        key = cell_key(cell)
+        if key is not None:
+            out[key] = cell
+    return out
 
 
 def main():
@@ -35,16 +64,18 @@ def main():
           f"ratio {ratio:.2f}x, threshold {1 + threshold:.2f}x")
 
     # Deterministic-field drift is informational, not fatal.
-    base_cells = {c.get("n"): c for c in baseline.get("cells", []) if "n" in c}
-    cand_cells = {c.get("n"): c for c in candidate.get("cells", []) if "n" in c}
-    for n in sorted(set(base_cells) | set(cand_cells)):
-        if n not in base_cells or n not in cand_cells:
-            print(f"WARNING: cell n={n} present in only one report")
+    base_cells = index_cells(baseline)
+    cand_cells = index_cells(candidate)
+    for key in sorted(set(base_cells) | set(cand_cells)):
+        label = f"{key[0]}={key[1]}"
+        if key not in base_cells or key not in cand_cells:
+            print(f"WARNING: cell {label} present in only one report")
             continue
-        for key in ("rounds_mean", "fraction_converged"):
-            b, c = base_cells[n].get(key), cand_cells[n].get(key)
+        shared = set(base_cells[key]) & set(cand_cells[key])
+        for metric in sorted(shared - HARDWARE_DEPENDENT - {key[0]}):
+            b, c = base_cells[key][metric], cand_cells[key][metric]
             if b != c:
-                print(f"WARNING: n={n} {key} drifted: {b} -> {c} "
+                print(f"WARNING: {label} {metric} drifted: {b} -> {c} "
                       f"(intentional? update the baseline)")
 
     if ratio > 1 + threshold:

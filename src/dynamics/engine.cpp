@@ -8,105 +8,210 @@ namespace cid {
 
 namespace {
 
-/// Move probabilities out of `from` toward every strategy in `support`
-/// (the entry for `from` itself is 0). The protocol contract guarantees the
-/// sum is <= 1; we assert it (with an fp tolerance) because a violation
-/// would silently corrupt the multinomial draw.
-std::vector<double> outgoing_probabilities(
-    const CongestionGame& game, const State& x, const Protocol& protocol,
-    StrategyId from, const std::vector<StrategyId>& targets) {
-  std::vector<double> probs(targets.size(), 0.0);
+/// Debug-only row validation (the pre-batching engine ran these as hard
+/// checks per pair; they are pure programming-error guards, so Release
+/// compiles them out — see CID_DCHECK in util/assert.hpp). A protocol
+/// violating them would silently corrupt the multinomial draw.
+void dcheck_row([[maybe_unused]] std::span<const double> probs,
+                [[maybe_unused]] StrategyId from) {
+#ifndef NDEBUG
   double total = 0.0;
-  for (std::size_t j = 0; j < targets.size(); ++j) {
-    if (targets[j] == from) continue;
-    const double p = protocol.move_probability(game, x, from, targets[j]);
-    CID_ENSURE(p >= 0.0 && p <= 1.0, "protocol returned invalid probability");
-    probs[j] = p;
-    total += p;
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    CID_DCHECK(probs[j] >= 0.0 && probs[j] <= 1.0,
+               "protocol returned invalid probability");
+    CID_DCHECK(static_cast<StrategyId>(j) != from || probs[j] == 0.0,
+               "protocol assigned probability to staying put");
+    total += probs[j];
   }
-  CID_ENSURE(total <= 1.0 + 1e-9,
+  CID_DCHECK(total <= 1.0 + 1e-9,
              "protocol move probabilities exceed 1 for one player");
+#endif
+}
+
+/// Shared by both per-player paths (batched binary search and reference
+/// linear scan): the cumulative row the single uniform is compared
+/// against. One definition ⇒ identical floating-point boundaries.
+void build_cumulative(std::span<const double> probs,
+                      std::vector<double>& cumulative) {
+  cumulative.resize(probs.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    acc += probs[j];
+    cumulative[j] = acc;
+  }
+}
+
+/// Ensures the workspace buffers span the game and the cache matches x.
+void prepare(const CongestionGame& game, const State& x, RoundWorkspace& ws) {
+  if (!ws.ready) {
+    ws.ctx.reset(game, x);
+    ws.ready = true;
+  }
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  ws.probs.resize(k);
+  ws.counts.resize(k);
+  x.support(ws.support);
+}
+
+void draw_aggregate(const CongestionGame& game, const State& x,
+                    const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
+                    RoundResult& out) {
+  const std::span<double> probs = ws.probs;
+  const std::span<std::int64_t> counts = ws.counts;
+  for (StrategyId from : ws.support) {
+    protocol.fill_move_probabilities(game, ws.ctx, from, probs);
+    dcheck_row(probs, from);
+    rng.multinomial(x.count(from), probs, counts);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      if (counts[j] == 0) continue;
+      out.moves.push_back(
+          Migration{from, static_cast<StrategyId>(j), counts[j]});
+      out.movers += counts[j];
+    }
+  }
+}
+
+void draw_per_player(const CongestionGame& game, const State& x,
+                     const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
+                     RoundResult& out) {
+  const std::span<double> probs = ws.probs;
+  const std::span<std::int64_t> tally = ws.counts;
+  for (StrategyId from : ws.support) {
+    protocol.fill_move_probabilities(game, ws.ctx, from, probs);
+    dcheck_row(probs, from);
+    build_cumulative(probs, ws.cumulative);
+    std::fill(tally.begin(), tally.end(), std::int64_t{0});
+    const std::int64_t cohort = x.count(from);
+    const auto begin = ws.cumulative.begin();
+    const auto end = ws.cumulative.end();
+    for (std::int64_t player = 0; player < cohort; ++player) {
+      const double u = rng.uniform();
+      // First bucket with u < cumulative[j] — O(log k); zero-probability
+      // buckets have zero-width intervals and can never be selected.
+      // Falling beyond the last boundary = the player stays on `from`.
+      const auto it = std::upper_bound(begin, end, u);
+      if (it != end) ++tally[static_cast<std::size_t>(it - begin)];
+    }
+    for (std::size_t j = 0; j < tally.size(); ++j) {
+      if (tally[j] == 0) continue;
+      out.moves.push_back(
+          Migration{from, static_cast<StrategyId>(j), tally[j]});
+      out.movers += tally[j];
+    }
+  }
+}
+
+// ---- Per-pair reference oracle ----------------------------------------------
+
+/// Move probabilities out of `from` toward every strategy (the entry for
+/// `from` itself is 0), one virtual move_probability call per pair.
+std::vector<double> outgoing_probabilities_reference(
+    const CongestionGame& game, const State& x, const Protocol& protocol,
+    StrategyId from) {
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  std::vector<double> probs(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (static_cast<StrategyId>(j) == from) continue;
+    probs[j] =
+        protocol.move_probability(game, x, from, static_cast<StrategyId>(j));
+  }
+  dcheck_row(probs, from);
   return probs;
 }
 
-RoundResult draw_round_aggregate(const CongestionGame& game, const State& x,
-                                 const Protocol& protocol, Rng& rng,
-                                 const std::vector<StrategyId>& support,
-                                 const std::vector<StrategyId>& targets) {
+RoundResult draw_reference_aggregate(const CongestionGame& game,
+                                     const State& x, const Protocol& protocol,
+                                     Rng& rng,
+                                     const std::vector<StrategyId>& support) {
   RoundResult result;
   for (StrategyId from : support) {
     const auto probs =
-        outgoing_probabilities(game, x, protocol, from, targets);
+        outgoing_probabilities_reference(game, x, protocol, from);
     const auto counts = rng.multinomial(x.count(from), probs);
-    for (std::size_t j = 0; j < targets.size(); ++j) {
+    for (std::size_t j = 0; j < counts.size(); ++j) {
       if (counts[j] == 0) continue;
-      result.moves.push_back(Migration{from, targets[j], counts[j]});
+      result.moves.push_back(
+          Migration{from, static_cast<StrategyId>(j), counts[j]});
       result.movers += counts[j];
     }
   }
   return result;
 }
 
-RoundResult draw_round_per_player(const CongestionGame& game, const State& x,
-                                  const Protocol& protocol, Rng& rng,
-                                  const std::vector<StrategyId>& support,
-                                  const std::vector<StrategyId>& targets) {
+RoundResult draw_reference_per_player(const CongestionGame& game,
+                                      const State& x,
+                                      const Protocol& protocol, Rng& rng,
+                                      const std::vector<StrategyId>& support) {
   // Accumulate per-(from,to) counts; the per-player draws are i.i.d. given
-  // x, so aggregation loses nothing.
-  std::vector<std::vector<std::int64_t>> tally(
-      support.size(), std::vector<std::int64_t>(targets.size(), 0));
-  for (std::size_t i = 0; i < support.size(); ++i) {
-    const StrategyId from = support[i];
+  // x, so aggregation loses nothing. Destinations are located by LINEAR
+  // scan over the same cumulative row the batched kernel binary-searches —
+  // identical boundaries, identical single uniform per player.
+  RoundResult result;
+  std::vector<double> cumulative;
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  std::vector<std::int64_t> tally(k, 0);
+  for (StrategyId from : support) {
     const auto probs =
-        outgoing_probabilities(game, x, protocol, from, targets);
+        outgoing_probabilities_reference(game, x, protocol, from);
+    build_cumulative(probs, cumulative);
+    std::fill(tally.begin(), tally.end(), std::int64_t{0});
     const std::int64_t cohort = x.count(from);
     for (std::int64_t player = 0; player < cohort; ++player) {
-      double u = rng.uniform();
-      for (std::size_t j = 0; j < targets.size(); ++j) {
-        if (u < probs[j]) {
-          ++tally[i][j];
+      const double u = rng.uniform();
+      for (std::size_t j = 0; j < k; ++j) {
+        if (u < cumulative[j]) {
+          ++tally[j];
           break;
         }
-        u -= probs[j];
       }
       // Falling through every bucket = the player stays on `from`.
     }
-  }
-  RoundResult result;
-  for (std::size_t i = 0; i < support.size(); ++i) {
-    for (std::size_t j = 0; j < targets.size(); ++j) {
-      if (tally[i][j] == 0) continue;
-      result.moves.push_back(Migration{support[i], targets[j], tally[i][j]});
-      result.movers += tally[i][j];
+    for (std::size_t j = 0; j < k; ++j) {
+      if (tally[j] == 0) continue;
+      result.moves.push_back(
+          Migration{from, static_cast<StrategyId>(j), tally[j]});
+      result.movers += tally[j];
     }
   }
   return result;
 }
 
-/// Destination candidates: everything for protocols that can explore,
-/// support only is NOT correct in general (exploration reaches empty
-/// strategies), so we always offer the full strategy set as targets.
-/// Protocols returning 0 for unused targets (imitation) make the extra
-/// entries free in the multinomial (p = 0).
-std::vector<StrategyId> all_strategies(const CongestionGame& game) {
-  std::vector<StrategyId> ids(static_cast<std::size_t>(game.num_strategies()));
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    ids[i] = static_cast<StrategyId>(i);
-  }
-  return ids;
-}
-
 }  // namespace
+
+void draw_round(const CongestionGame& game, const State& x,
+                const Protocol& protocol, Rng& rng, EngineMode mode,
+                RoundWorkspace& ws, RoundResult& out) {
+  out.moves.clear();
+  out.movers = 0;
+  prepare(game, x, ws);
+  switch (mode) {
+    case EngineMode::kAggregate:
+      draw_aggregate(game, x, protocol, rng, ws, out);
+      return;
+    case EngineMode::kPerPlayer:
+      draw_per_player(game, x, protocol, rng, ws, out);
+      return;
+  }
+  CID_ENSURE(false, "unreachable engine mode");
+}
 
 RoundResult draw_round(const CongestionGame& game, const State& x,
                        const Protocol& protocol, Rng& rng, EngineMode mode) {
+  RoundWorkspace ws;
+  RoundResult out;
+  draw_round(game, x, protocol, rng, mode, ws, out);
+  return out;
+}
+
+RoundResult draw_round_reference(const CongestionGame& game, const State& x,
+                                 const Protocol& protocol, Rng& rng,
+                                 EngineMode mode) {
   const auto support = x.support();
-  const auto targets = all_strategies(game);
   switch (mode) {
     case EngineMode::kAggregate:
-      return draw_round_aggregate(game, x, protocol, rng, support, targets);
+      return draw_reference_aggregate(game, x, protocol, rng, support);
     case EngineMode::kPerPlayer:
-      return draw_round_per_player(game, x, protocol, rng, support, targets);
+      return draw_reference_per_player(game, x, protocol, rng, support);
   }
   CID_ENSURE(false, "unreachable engine mode");
   return {};
@@ -128,6 +233,11 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
   CID_ENSURE(options.start_round >= 0, "start_round must be >= 0");
   RunResult result;
   result.rounds = options.start_round;
+  // One workspace for the whole run: after the first round's full cache
+  // build, each round re-evaluates only the latencies its migrations
+  // dirtied and performs no heap allocation.
+  RoundWorkspace ws;
+  RoundResult rr;
   for (std::int64_t round = options.start_round; round < options.max_rounds;
        ++round) {
     if (stop && round % options.check_interval == 0 &&
@@ -135,9 +245,16 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
       result.converged = true;
       break;
     }
-    RoundResult rr = draw_round(game, x, protocol, rng, options.mode);
-    if (observer) observer(game, x, rr.moves, round, false);
-    x.apply(game, rr.moves);
+    if (options.reference_kernel) {
+      rr = draw_round_reference(game, x, protocol, rng, options.mode);
+      if (observer) observer(game, x, rr.moves, round, false);
+      x.apply(game, rr.moves);
+    } else {
+      draw_round(game, x, protocol, rng, options.mode, ws, rr);
+      if (observer) observer(game, x, rr.moves, round, false);
+      x.apply(game, rr.moves, ws.apply_scratch);
+      ws.ctx.refresh(ws.apply_scratch.touched);
+    }
     result.total_movers += rr.movers;
     ++result.rounds;
   }
@@ -145,6 +262,7 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
     result.converged = true;
   }
   if (observer) observer(game, x, {}, result.rounds, true);
+  if (ws.ready) result.latency_evals = ws.ctx.latency_evals();
   return result;
 }
 

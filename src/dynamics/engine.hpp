@@ -4,13 +4,32 @@
 // parallel against the same observed state x":
 //
 //   * kPerPlayer — literal: every player draws its destination from the
-//     categorical {p_PQ}_Q. O(n·|support|) per round. Ground truth.
+//     categorical {p_PQ}_Q with one uniform, located by binary search over
+//     the row's cumulative probabilities. O(|support|·k + n·log k) per
+//     round. Ground truth.
 //   * kAggregate — cohort-level: for each origin strategy P the vector of
 //     mover counts to all destinations is one multinomial draw
 //     Multinomial(x_P; {p_PQ}_Q). Identical joint law (players are i.i.d.
-//     given x), but O(|support|²) per round, independent of n. This engine
-//     is what makes the paper's "logarithmic in n" claim (Thm 7) cheap to
-//     test at n = 10^6.
+//     given x), but independent of n. This engine is what makes the
+//     paper's "logarithmic in n" claim (Thm 7) cheap to test at n = 10^6.
+//
+// Both engines run on a BATCHED, cache-backed kernel: a per-round
+// LatencyContext (game/latency_context.hpp) is maintained incrementally
+// across rounds — State::apply reports the touched resources — and each
+// origin's probability row is produced by one
+// Protocol::fill_move_probabilities call instead of k virtual per-pair
+// calls. run_dynamics owns a reusable RoundWorkspace, so steady-state
+// rounds perform no heap allocation and no latency-function evaluation
+// beyond the entries a migration actually dirtied.
+//
+// The kernel consumes the RNG stream identically to the per-pair reference
+// path (draw_round_reference / RunOptions::reference_kernel) and produces
+// bitwise-identical rounds — enforced by tests/test_engine_oracle.cpp —
+// so checkpoints, event logs, and sweep manifests are interchangeable
+// between the two. (One deliberate pre-refactor delta, invisible at any
+// realistic scale: the per-player engine now locates the destination
+// bucket against cumulative sums instead of iterated subtraction, which
+// can shift a boundary by an ulp.)
 //
 // Migrations are collected against the pre-round state and applied
 // atomically — the definition of concurrency in this model.
@@ -22,6 +41,7 @@
 #include <vector>
 
 #include "game/congestion_game.hpp"
+#include "game/latency_context.hpp"
 #include "game/state.hpp"
 #include "protocols/protocol.hpp"
 #include "util/rng.hpp"
@@ -35,9 +55,44 @@ struct RoundResult {
   std::int64_t movers = 0;
 };
 
-/// Draws one concurrent round (without applying it).
+/// Reusable hot-path buffers: the latency cache plus every per-round
+/// scratch vector (probability rows, cumulative rows, multinomial counts,
+/// support list, apply tally). Default-constructed empty; the kernel sizes
+/// it on first use and run_dynamics keeps one alive for the whole run.
+struct RoundWorkspace {
+  LatencyContext ctx;
+  std::vector<StrategyId> support;
+  std::vector<double> probs;
+  std::vector<double> cumulative;
+  std::vector<std::int64_t> counts;
+  ApplyScratch apply_scratch;
+  bool ready = false;  // ctx reflects the caller's current (game, x)
+};
+
+/// Draws one concurrent round (without applying it) on the batched kernel.
+/// Builds a fresh latency cache per call — loops that step many rounds
+/// should go through run_dynamics (or manage a RoundWorkspace) to get the
+/// incremental cache.
 RoundResult draw_round(const CongestionGame& game, const State& x,
                        const Protocol& protocol, Rng& rng, EngineMode mode);
+
+/// Workspace-backed draw: appends nothing, reuses every buffer, and keeps
+/// ws.ctx for incremental refresh. If ws.ready is false the cache is rebuilt
+/// from (game, x); callers that mutate x between draws must either apply
+/// the moves through x.apply(game, moves, ws.apply_scratch) and call
+/// ws.ctx.refresh(ws.apply_scratch.touched), or clear ws.ready.
+void draw_round(const CongestionGame& game, const State& x,
+                const Protocol& protocol, Rng& rng, EngineMode mode,
+                RoundWorkspace& ws, RoundResult& out);
+
+/// PER-PAIR REFERENCE ORACLE: the pre-batching engine, driving every pair
+/// through Protocol::move_probability with no caching. Consumes the RNG
+/// stream identically to draw_round and must produce bitwise-identical
+/// results (tests/test_engine_oracle.cpp); kept as the ground truth the
+/// batched kernel is audited against.
+RoundResult draw_round_reference(const CongestionGame& game, const State& x,
+                                 const Protocol& protocol, Rng& rng,
+                                 EngineMode mode);
 
 /// Draws and applies one round; returns what moved.
 RoundResult step_round(const CongestionGame& game, State& x,
@@ -66,12 +121,22 @@ struct RunOptions {
   /// with absolute round numbering, so observers, stop checks, and event
   /// logs line up bit-exactly with the uninterrupted run.
   std::int64_t start_round = 0;
+  /// Testing hook: drive every round through the per-pair reference oracle
+  /// (draw_round_reference) instead of the batched kernel. Bitwise-
+  /// identical output either way — the oracle-equivalence suite flips this
+  /// flag to prove it on whole runs.
+  bool reference_kernel = false;
 };
 
 struct RunResult {
   std::int64_t rounds = 0;        // completed rounds (absolute index)
   bool converged = false;         // stop predicate fired
   std::int64_t total_movers = 0;  // migrations summed over THIS invocation
+  /// Latency-function evaluations the batched kernel performed this
+  /// invocation (cache resets + incremental refreshes; stop predicates and
+  /// observers are not counted). 0 under reference_kernel, which does not
+  /// meter its per-pair evaluations.
+  std::int64_t latency_evals = 0;
 };
 
 /// Runs until the predicate fires or max_rounds is exhausted.

@@ -43,6 +43,16 @@ void CongestionGame::compute_parameters() {
   singleton_ = std::all_of(strategies_.begin(), strategies_.end(),
                            [](const Strategy& s) { return s.size() == 1; });
 
+  // Resource → strategy incidence (ascending by construction: strategies
+  // are visited in id order). Memory O(Σ_P |P|), same as the strategies.
+  users_.assign(latencies_.size(), {});
+  for (std::size_t p = 0; p < strategies_.size(); ++p) {
+    for (Resource e : strategies_[p]) {
+      users_[static_cast<std::size_t>(e)].push_back(
+          static_cast<StrategyId>(p));
+    }
+  }
+
   const auto nd = static_cast<double>(num_players_);
   double d = 0.0;
   for (const auto& fn : latencies_) {
@@ -105,6 +115,12 @@ const LatencyFunction& CongestionGame::latency(Resource e) const {
 LatencyPtr CongestionGame::latency_ptr(Resource e) const {
   CID_ENSURE(e >= 0 && e < num_resources(), "resource id out of range");
   return latencies_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<StrategyId>& CongestionGame::strategies_using(
+    Resource e) const {
+  CID_ENSURE(e >= 0 && e < num_resources(), "resource id out of range");
+  return users_[static_cast<std::size_t>(e)];
 }
 
 double CongestionGame::nu_resource(Resource e) const {

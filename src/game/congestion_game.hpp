@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,16 @@ class CongestionGame {
   const Strategy& strategy(StrategyId p) const;
   const LatencyFunction& latency(Resource e) const;
   LatencyPtr latency_ptr(Resource e) const;
+
+  /// All strategies, unchecked-indexable (hot paths that already hold an
+  /// in-range id — the batched round kernel — read through this span
+  /// instead of paying strategy()'s bounds check per pair).
+  std::span<const Strategy> strategies() const noexcept { return strategies_; }
+
+  /// Strategies whose resource set contains e, ascending. Precomputed at
+  /// construction; the round kernel's incremental latency cache uses it to
+  /// re-derive only the ℓ_P sums that a congestion change actually touches.
+  const std::vector<StrategyId>& strategies_using(Resource e) const;
 
   /// True iff every strategy is a single resource (paper's singleton games).
   bool is_singleton() const noexcept { return singleton_; }
@@ -110,6 +121,8 @@ class CongestionGame {
   std::vector<Strategy> strategies_;
   std::int64_t num_players_;
   bool singleton_ = false;
+
+  std::vector<std::vector<StrategyId>> users_;  // resource → strategies
 
   double elasticity_ = 1.0;
   std::vector<double> nu_resource_;

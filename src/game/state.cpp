@@ -94,17 +94,31 @@ std::int64_t State::congestion(Resource e) const {
 
 std::vector<StrategyId> State::support() const {
   std::vector<StrategyId> used;
-  for (std::size_t p = 0; p < counts_.size(); ++p) {
-    if (counts_[p] > 0) used.push_back(static_cast<StrategyId>(p));
-  }
+  support(used);
   return used;
+}
+
+void State::support(std::vector<StrategyId>& out) const {
+  out.clear();
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] > 0) out.push_back(static_cast<StrategyId>(p));
+  }
 }
 
 void State::apply(const CongestionGame& game,
                   std::span<const Migration> moves) {
+  ApplyScratch scratch;
+  apply(game, moves, scratch);
+}
+
+void State::apply(const CongestionGame& game, std::span<const Migration> moves,
+                  ApplyScratch& scratch) {
   // Validate against pre-application counts: total outflow per strategy must
-  // be feasible (a concurrent round's movers all depart from state x).
-  std::vector<std::int64_t> outflow(counts_.size(), 0);
+  // be feasible (a concurrent round's movers all depart from state x). The
+  // checks stay hard in Release — replay feeds untrusted event-log files
+  // through this path, and the tally is cheap next to the draws.
+  scratch.outflow.assign(counts_.size(), 0);
+  scratch.touched.clear();
   for (const Migration& mv : moves) {
     CID_ENSURE(mv.from >= 0 &&
                    static_cast<std::size_t>(mv.from) < counts_.size(),
@@ -113,10 +127,10 @@ void State::apply(const CongestionGame& game,
                "migration destination out of range");
     CID_ENSURE(mv.count >= 0, "migration count must be >= 0");
     CID_ENSURE(mv.from != mv.to, "migration must change strategy");
-    outflow[static_cast<std::size_t>(mv.from)] += mv.count;
+    scratch.outflow[static_cast<std::size_t>(mv.from)] += mv.count;
   }
   for (std::size_t p = 0; p < counts_.size(); ++p) {
-    CID_ENSURE(outflow[p] <= counts_[p],
+    CID_ENSURE(scratch.outflow[p] <= counts_[p],
                "migration outflow exceeds strategy population");
   }
   for (const Migration& mv : moves) {
@@ -126,9 +140,11 @@ void State::apply(const CongestionGame& game,
     // Update congestion via symmetric difference; shared resources cancel.
     for (Resource e : game.strategy(mv.from)) {
       congestion_[static_cast<std::size_t>(e)] -= mv.count;
+      scratch.touched.push_back(e);
     }
     for (Resource e : game.strategy(mv.to)) {
       congestion_[static_cast<std::size_t>(e)] += mv.count;
+      scratch.touched.push_back(e);
     }
   }
 }

@@ -24,6 +24,22 @@ struct Migration {
   StrategyId from = 0;
   StrategyId to = 0;
   std::int64_t count = 0;
+
+  friend bool operator==(const Migration&, const Migration&) = default;
+};
+
+/// Reusable buffers for State::apply on the round hot path: the feasibility
+/// check's outflow tally plus the list of resources the batch touched
+/// (consumed by LatencyContext::refresh for incremental cache maintenance).
+/// Owned by the caller (the engine's RoundWorkspace) so steady-state rounds
+/// allocate nothing.
+struct ApplyScratch {
+  std::vector<std::int64_t> outflow;
+  /// Resources whose congestion the last apply MAY have changed (a
+  /// superset: entries can repeat and net-zero changes are included; the
+  /// latency cache dedupes against its recorded loads). Overwritten, not
+  /// appended, by each apply call.
+  std::vector<Resource> touched;
 };
 
 class State {
@@ -62,9 +78,19 @@ class State {
   /// Strategies with x_P > 0, ascending. O(|strategies|) per call.
   std::vector<StrategyId> support() const;
 
+  /// Allocation-free variant: clears `out` and refills it with the support.
+  void support(std::vector<StrategyId>& out) const;
+
   /// Applies a batch of migrations atomically (all validated first, against
   /// the *pre*-application counts: Σ_{Q} moves out of P must not exceed x_P).
   void apply(const CongestionGame& game, std::span<const Migration> moves);
+
+  /// Hot-path variant: identical semantics and validation, but the
+  /// feasibility tally lives in caller-owned scratch (no allocation per
+  /// round) and scratch.touched reports which resources the batch touched,
+  /// so the engine's latency cache can refresh incrementally.
+  void apply(const CongestionGame& game, std::span<const Migration> moves,
+             ApplyScratch& scratch);
 
   /// Full O(n + m) consistency check (counts vs congestions vs n); used by
   /// tests and debug paths.

@@ -20,6 +20,13 @@ class CombinedProtocol final : public Protocol {
   double move_probability(const CongestionGame& game, const State& x,
                           StrategyId from, StrategyId to) const override;
 
+  /// Cached-latency row fill (batched round kernel): ONE ex-post merge per
+  /// destination feeds both sub-protocols' cores — the per-pair path walks
+  /// that merge twice (once inside each sub-protocol).
+  void fill_move_probabilities(const CongestionGame& game,
+                               const LatencyContext& ctx, StrategyId from,
+                               std::span<double> out) const override;
+
   std::string name() const override;
 
   double p_explore() const noexcept { return p_explore_; }

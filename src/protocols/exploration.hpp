@@ -35,6 +35,19 @@ class ExplorationProtocol final : public Protocol {
   double move_probability(const CongestionGame& game, const State& x,
                           StrategyId from, StrategyId to) const override;
 
+  /// Cached-latency row fill (batched round kernel): one ex-post merge per
+  /// destination, zero latency-function calls, row constants (1/|P| and the
+  /// β/ℓ_min damping) hoisted out of the loop.
+  void fill_move_probabilities(const CongestionGame& game,
+                               const LatencyContext& ctx, StrategyId from,
+                               std::span<double> out) const override;
+
+  /// Batched-kernel core shared with CombinedProtocol (see
+  /// ImitationProtocol::move_probability_cached).
+  double move_probability_cached(const CongestionGame& game, StrategyId from,
+                                 StrategyId to, double l_from,
+                                 double l_to) const;
+
   double acceptance_probability(const CongestionGame& game, const State& x,
                                 StrategyId from, StrategyId to) const;
 

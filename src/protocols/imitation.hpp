@@ -68,6 +68,21 @@ class ImitationProtocol final : public Protocol {
   double move_probability(const CongestionGame& game, const State& x,
                           StrategyId from, StrategyId to) const override;
 
+  /// Cached-latency row fill (batched round kernel). Imitation's sampling
+  /// stage zeroes every empty destination (x_Q + v = 0), so those targets
+  /// skip the ex-post merge entirely — the row costs O(k) plus one merge
+  /// per *populated* destination, with zero latency-function calls.
+  void fill_move_probabilities(const CongestionGame& game,
+                               const LatencyContext& ctx, StrategyId from,
+                               std::span<double> out) const override;
+
+  /// Batched-kernel core shared with CombinedProtocol: the pair probability
+  /// from pre-fetched ℓ_P(x) and ℓ_Q(x+1_Q−1_P). Bitwise identical to
+  /// move_probability for the same state.
+  double move_probability_cached(const CongestionGame& game, const State& x,
+                                 StrategyId from, StrategyId to,
+                                 double l_from, double l_to) const;
+
   /// The acceptance probability μ_PQ alone (second stage of Protocol 1);
   /// exposed for tests and for analytical comparisons.
   double acceptance_probability(const CongestionGame& game, const State& x,

@@ -13,9 +13,11 @@
 // joint law, since players act independently given x.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "game/congestion_game.hpp"
+#include "game/latency_context.hpp"
 #include "game/state.hpp"
 
 namespace cid {
@@ -27,8 +29,28 @@ class Protocol {
   /// Marginal probability that a single player currently on `from` migrates
   /// to `to` (!= from) this round, given the full pre-round state.
   /// Must satisfy Σ_{to != from} move_probability(..) <= 1 for every state.
+  ///
+  /// This is the REFERENCE ORACLE: the batched round kernel must reproduce
+  /// it bit-for-bit (tests/test_engine_oracle.cpp), and the engine's
+  /// reference path still drives the dynamics through it.
   virtual double move_probability(const CongestionGame& game, const State& x,
                                   StrategyId from, StrategyId to) const = 0;
+
+  /// Batched row fill for the round kernel: writes move_probability(from,
+  /// to) for every strategy `to` into out[to] (out[from] = 0). `out` spans
+  /// exactly game.num_strategies() entries; `ctx` is the round's latency
+  /// cache, already consistent with the pre-round state.
+  ///
+  /// Contract: out[to] must be BITWISE identical to what move_probability
+  /// returns — the engines feed these rows straight into the RNG samplers,
+  /// so any drift would silently fork every replay/checkpoint artifact.
+  /// The default implementation is the per-pair loop itself (correct for
+  /// any protocol); the paper's protocols override it with cached-latency
+  /// versions that never call a latency function.
+  virtual void fill_move_probabilities(const CongestionGame& game,
+                                       const LatencyContext& ctx,
+                                       StrategyId from,
+                                       std::span<double> out) const;
 
   virtual std::string name() const = 0;
 };

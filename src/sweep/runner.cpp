@@ -223,6 +223,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   result.ran_trials = pending.size();
 
   std::vector<double> wall(jobs.size(), 0.0);
+  std::vector<TrialStats> stats(jobs.size());
   parallel_for(static_cast<std::int64_t>(pending.size()), options.threads,
                [&](std::int64_t p) {
                  const std::size_t i = pending[static_cast<std::size_t>(p)];
@@ -231,7 +232,7 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
                  const TrialOutcome outcome =
                      instances[job.n_index]->run_trial(
                          grid.protocols[job.protocol_index], grid.dynamics,
-                         job.rng);
+                         job.rng, &stats[i]);
                  wall[i] = timer.seconds();
                  TrialRow& row = result.trials[i];
                  row.outcome = outcome;
@@ -243,6 +244,11 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
                  }
                });
   if (manifest.has_value()) manifest->close();
+  for (const std::size_t i : pending) {
+    result.ran_rounds +=
+        static_cast<std::int64_t>(result.trials[i].outcome.rounds);
+    result.latency_evals += stats[i].latency_evals;
+  }
   if (!result.complete) return result;  // cells left un-aggregated
 
   result.cells.reserve(num_cells);

@@ -63,6 +63,13 @@ struct SweepResult {
   bool complete = true;
   std::size_t resumed_trials = 0;  // loaded from the manifest, not re-run
   std::size_t ran_trials = 0;      // executed this invocation
+
+  // Throughput observability over the trials EXECUTED this invocation
+  // (manifest-resumed trials are excluded: their counters were not
+  // re-measured). Deterministic per grid; reported in run summaries only —
+  // deliberately kept out of the CSV/JSONL outputs and manifests.
+  std::int64_t ran_rounds = 0;        // Σ rounds over executed trials
+  std::int64_t latency_evals = 0;     // Σ kernel latency evaluations
 };
 
 struct SweepOptions {

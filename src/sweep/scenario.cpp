@@ -149,17 +149,17 @@ class SymmetricInstance final : public ScenarioInstance {
   }
 
   TrialOutcome run_trial(const ProtocolSpec& protocol,
-                         const DynamicsConfig& dynamics,
-                         Rng& rng) const override {
+                         const DynamicsConfig& dynamics, Rng& rng,
+                         TrialStats* stats) const override {
     State x = make_start(rng);
-    return run_from(protocol, dynamics, rng, x, 0, 0, nullptr);
+    return run_from(protocol, dynamics, rng, x, 0, 0, nullptr, stats);
   }
 
   TrialOutcome run_trial_checkpointed(
       const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
       const TrialCheckpoint& checkpoint) const override {
     State x = make_start(rng);
-    return run_from(protocol, dynamics, rng, x, 0, 0, &checkpoint);
+    return run_from(protocol, dynamics, rng, x, 0, 0, &checkpoint, nullptr);
   }
 
   TrialOutcome resume_trial(const ProtocolSpec& protocol,
@@ -176,7 +176,7 @@ class SymmetricInstance final : public ScenarioInstance {
     Rng rng;
     rng.set_state(snapshot.rng_state);
     return run_from(protocol, dynamics, rng, x, snapshot.round,
-                    snapshot.movers, nullptr);
+                    snapshot.movers, nullptr, nullptr);
   }
 
  private:
@@ -186,13 +186,15 @@ class SymmetricInstance final : public ScenarioInstance {
   TrialOutcome run_from(const ProtocolSpec& protocol,
                         const DynamicsConfig& dynamics, Rng& rng, State& x,
                         std::int64_t start_round, std::int64_t base_movers,
-                        const TrialCheckpoint* checkpoint) const {
+                        const TrialCheckpoint* checkpoint,
+                        TrialStats* stats) const {
     const auto proto = build_protocol(protocol);
     RunOptions options;
     options.max_rounds = dynamics.max_rounds;
     options.check_interval = dynamics.check_interval;
     options.mode = dynamics.mode;
     options.start_round = start_round;
+    options.reference_kernel = dynamics.reference_kernel;
 
     RoundObserver observer = nullptr;
     std::int64_t movers = base_movers;
@@ -227,6 +229,7 @@ class SymmetricInstance final : public ScenarioInstance {
 
     const RunResult rr = run_dynamics(game_, x, *proto, rng, options,
                                       make_stop(dynamics), observer);
+    if (stats != nullptr) stats->latency_evals += rr.latency_evals;
     TrialOutcome out;
     out.rounds = static_cast<double>(rr.rounds);
     out.converged = rr.converged;
@@ -323,8 +326,9 @@ class AsymmetricInstance final : public ScenarioInstance {
   }
 
   TrialOutcome run_trial(const ProtocolSpec& protocol,
-                         const DynamicsConfig& dynamics,
-                         Rng& rng) const override {
+                         const DynamicsConfig& dynamics, Rng& rng,
+                         TrialStats* /*stats*/) const override {
+    // Class-local rounds run their own kernel; no batched-engine counters.
     AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
     return run_loop(protocol, dynamics, rng, x, 0, 0, nullptr);
   }
@@ -496,8 +500,9 @@ class ThresholdInstance final : public ScenarioInstance {
   }
 
   TrialOutcome run_trial(const ProtocolSpec& protocol,
-                         const DynamicsConfig& dynamics,
-                         Rng& rng) const override {
+                         const DynamicsConfig& dynamics, Rng& rng,
+                         TrialStats* /*stats*/) const override {
+    // Sequential threshold dynamics bypass the round kernel; no counters.
     const auto cut = static_cast<std::uint32_t>(
         rng.uniform_int(std::uint64_t{1} << nodes_));
     const bool tripled = protocol.name == "imitation";

@@ -101,6 +101,12 @@ struct DynamicsConfig {
   StopRule stop = StopRule::kDeltaEps;
   double delta = 0.1;
   double eps = 0.1;
+  /// Testing hook (symmetric scenarios only): drive rounds through the
+  /// per-pair reference oracle instead of the batched kernel. Outcomes are
+  /// bitwise identical either way — the oracle-equivalence suite flips
+  /// this per family to prove it. Excluded from manifest fingerprints for
+  /// exactly that reason.
+  bool reference_kernel = false;
 };
 
 /// Everything a trial reports. Deliberately wall-clock-free: these fields
@@ -125,6 +131,17 @@ struct TrialCheckpoint {
   std::int64_t every = 0;
 };
 
+/// Per-trial observability that stays OUT of TrialOutcome (and therefore
+/// out of manifests and the cross-thread determinism contract): counters a
+/// caller may want in its run summary. Deterministic for a given trial,
+/// but unknown for trials merged from a manifest rather than re-run.
+struct TrialStats {
+  /// Latency-function evaluations the batched round kernel performed
+  /// (symmetric scenarios only; the asymmetric and threshold families run
+  /// their own dynamics and report 0).
+  std::int64_t latency_evals = 0;
+};
+
 class ScenarioInstance {
  public:
   virtual ~ScenarioInstance() = default;
@@ -133,10 +150,11 @@ class ScenarioInstance {
 
   /// Runs one independent trial. Must be const and re-entrant: trials of
   /// the same instance run concurrently on different threads, each with
-  /// its own Rng stream.
+  /// its own Rng stream. `stats`, when non-null, receives per-trial
+  /// observability counters (each trial must get its own TrialStats).
   virtual TrialOutcome run_trial(const ProtocolSpec& protocol,
-                                 const DynamicsConfig& dynamics,
-                                 Rng& rng) const = 0;
+                                 const DynamicsConfig& dynamics, Rng& rng,
+                                 TrialStats* stats = nullptr) const = 0;
 
   /// run_trial plus checkpointing: behaviorally identical (zero extra RNG
   /// draws), but persists restart points per `checkpoint`. Every scenario

@@ -37,3 +37,18 @@ namespace detail {
       ::cid::detail::ensure_fail(#expr, __FILE__, __LINE__, (msg));   \
     }                                                                 \
   } while (false)
+
+// Debug-only variant for per-element checks inside the simulation hot loops
+// (per-pair probability validation, per-category sampler arguments). These
+// guard against protocol/engine programming errors that the oracle-
+// equivalence and distribution test suites already cover in Debug CI, so
+// Release builds (which define NDEBUG) compile them out entirely.
+// Construction-time and I/O-boundary checks must stay CID_ENSURE.
+#ifdef NDEBUG
+#define CID_DCHECK(expr, msg) \
+  do {                        \
+    (void)sizeof((expr));     \
+  } while (false)
+#else
+#define CID_DCHECK(expr, msg) CID_ENSURE(expr, msg)
+#endif

@@ -167,22 +167,33 @@ std::int64_t Rng::binomial_btrs(std::int64_t n, double p) {
 
 std::vector<std::int64_t> Rng::multinomial(std::int64_t n,
                                            std::span<const double> probs) {
-  CID_ENSURE(n >= 0, "multinomial requires n >= 0");
   std::vector<std::int64_t> counts(probs.size(), 0);
+  multinomial(n, probs, counts);
+  return counts;
+}
+
+void Rng::multinomial(std::int64_t n, std::span<const double> probs,
+                      std::span<std::int64_t> out) {
+  CID_ENSURE(n >= 0, "multinomial requires n >= 0");
+  CID_ENSURE(out.size() == probs.size(),
+             "multinomial output span must match the probability count");
+  std::fill(out.begin(), out.end(), std::int64_t{0});
   double remaining = 1.0;
   std::int64_t left = n;
   for (std::size_t i = 0; i < probs.size() && left > 0; ++i) {
     const double pi = probs[i];
-    CID_ENSURE(pi >= -1e-12, "multinomial probabilities must be >= 0");
+    // Per-category argument check demoted to debug builds: this runs once
+    // per (origin, destination) pair per round and the engines validate
+    // their probability rows under the same CID_DCHECK policy.
+    CID_DCHECK(pi >= -1e-12, "multinomial probabilities must be >= 0");
     if (pi <= 0.0) continue;
     // Conditional probability of category i given not in categories < i.
     const double cond =
         remaining <= 0.0 ? 1.0 : std::min(1.0, pi / remaining);
-    counts[i] = binomial(left, cond);
-    left -= counts[i];
+    out[i] = binomial(left, cond);
+    left -= out[i];
     remaining -= pi;
   }
-  return counts;
 }
 
 std::size_t Rng::categorical(std::span<const double> weights) {

@@ -103,6 +103,13 @@ class Rng {
   std::vector<std::int64_t> multinomial(std::int64_t n,
                                         std::span<const double> probs);
 
+  /// Allocation-free multinomial: writes the counts into `out` (which must
+  /// have probs.size() entries). Identical draw algorithm and RNG
+  /// consumption as the allocating overload — the engines' reusable
+  /// RoundWorkspace calls this one every round.
+  void multinomial(std::int64_t n, std::span<const double> probs,
+                   std::span<std::int64_t> out);
+
   /// Uniform element index from non-empty weights (linear scan).
   std::size_t categorical(std::span<const double> weights);
 

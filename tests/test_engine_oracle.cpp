@@ -1,0 +1,256 @@
+// Oracle equivalence for the batched round kernel.
+//
+// The engine's hot path (cached LatencyContext + batched
+// Protocol::fill_move_probabilities + workspace draws) must be BITWISE
+// indistinguishable from the per-pair reference path (one virtual
+// move_probability call per (from, to) pair, no caching):
+//
+//   1. round level — draw_round vs draw_round_reference produce identical
+//      Migration lists AND consume the RNG stream identically, sustained
+//      over many applied rounds (so the incremental cache refresh is
+//      exercised, not just the initial full build), for all three
+//      protocols x both engine modes x singleton and network games;
+//   2. probability level — fill_move_probabilities rows match the
+//      move_probability oracle bit-for-bit, including after incremental
+//      refreshes;
+//   3. trial level — every registry scenario family produces an identical
+//      TrialOutcome with DynamicsConfig::reference_kernel on and off
+//      (asymmetric/threshold families run their own dynamics and prove the
+//      flag is inert there);
+//   4. persistence level — a batched-kernel trial that is checkpointed,
+//      killed, and resumed bitwise-matches an uninterrupted REFERENCE-
+//      kernel trial, so checkpoint artifacts are interchangeable between
+//      kernels.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamics/engine.hpp"
+#include "game/builders.hpp"
+#include "game/latency_context.hpp"
+#include "protocols/combined.hpp"
+#include "protocols/exploration.hpp"
+#include "protocols/imitation.hpp"
+#include "sweep/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+namespace {
+
+CongestionGame network_game_k8(std::int64_t n) {
+  // 2^3 = 8 overlapping paths: non-singleton, so the ex-post merge walks
+  // genuinely shared resources.
+  const auto net = make_layered_network(2, 3);
+  Rng latency_rng(11);
+  std::vector<LatencyPtr> fns;
+  for (EdgeId e = 0; e < net.graph.num_edges(); ++e) {
+    fns.push_back(make_monomial(0.5 + latency_rng.uniform(),
+                                latency_rng.bernoulli(0.5) ? 1.0 : 2.0));
+  }
+  return make_network_game(net, std::move(fns), n);
+}
+
+std::vector<std::unique_ptr<Protocol>> all_protocols() {
+  std::vector<std::unique_ptr<Protocol>> protocols;
+  protocols.push_back(std::make_unique<ImitationProtocol>());
+  ImitationParams virtual_params;
+  virtual_params.virtual_agents = 2;  // innovative imitation reaches empties
+  protocols.push_back(std::make_unique<ImitationProtocol>(virtual_params));
+  protocols.push_back(std::make_unique<ExplorationProtocol>());
+  protocols.push_back(std::make_unique<CombinedProtocol>(
+      ImitationParams{}, ExplorationParams{}, 0.5));
+  return protocols;
+}
+
+void expect_rounds_identical(const CongestionGame& game, EngineMode mode,
+                             std::int64_t rounds, std::uint64_t seed) {
+  for (const auto& protocol : all_protocols()) {
+    SCOPED_TRACE(protocol->name());
+    // Two independent copies of everything; only the kernel differs.
+    Rng batched_rng(seed);
+    Rng reference_rng(seed);
+    State batched_x = State::uniform_random(game, batched_rng);
+    State reference_x = State::uniform_random(game, reference_rng);
+    RoundWorkspace ws;
+    RoundResult batched;
+    for (std::int64_t round = 0; round < rounds; ++round) {
+      draw_round(game, batched_x, *protocol, batched_rng, mode, ws, batched);
+      const RoundResult reference = draw_round_reference(
+          game, reference_x, *protocol, reference_rng, mode);
+      ASSERT_EQ(batched.moves, reference.moves) << "round " << round;
+      ASSERT_EQ(batched.movers, reference.movers) << "round " << round;
+      // Identical RNG stream consumption, not just identical output.
+      ASSERT_EQ(batched_rng.state(), reference_rng.state())
+          << "round " << round;
+      // Apply through the incremental-cache path on the batched side and
+      // the plain path on the reference side.
+      batched_x.apply(game, batched.moves, ws.apply_scratch);
+      ws.ctx.refresh(ws.apply_scratch.touched);
+      reference_x.apply(game, reference.moves);
+      ASSERT_TRUE(batched_x == reference_x) << "round " << round;
+    }
+  }
+}
+
+TEST(EngineOracle, AggregateRoundsBitwiseIdenticalSingleton) {
+  expect_rounds_identical(make_monomial_fan_game(12, 1.0, 1.0, 5000),
+                          EngineMode::kAggregate, 60, 21);
+}
+
+TEST(EngineOracle, AggregateRoundsBitwiseIdenticalNetwork) {
+  expect_rounds_identical(network_game_k8(4000), EngineMode::kAggregate, 60,
+                          22);
+}
+
+TEST(EngineOracle, PerPlayerRoundsBitwiseIdenticalSingleton) {
+  expect_rounds_identical(make_monomial_fan_game(12, 1.0, 1.0, 600),
+                          EngineMode::kPerPlayer, 30, 23);
+}
+
+TEST(EngineOracle, PerPlayerRoundsBitwiseIdenticalNetwork) {
+  expect_rounds_identical(network_game_k8(400), EngineMode::kPerPlayer, 30,
+                          24);
+}
+
+TEST(EngineOracle, BatchedRowsMatchMoveProbabilityOracle) {
+  const auto game = network_game_k8(3000);
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  Rng rng(31);
+  State x = State::uniform_random(game, rng);
+  LatencyContext ctx;
+  ctx.reset(game, x);
+  ApplyScratch scratch;
+  const ImitationProtocol imitation;
+  for (int round = 0; round < 25; ++round) {
+    for (const auto& protocol : all_protocols()) {
+      SCOPED_TRACE(protocol->name());
+      std::vector<double> row(k);
+      for (StrategyId from = 0; from < game.num_strategies(); ++from) {
+        protocol->fill_move_probabilities(game, ctx, from, row);
+        for (StrategyId to = 0; to < game.num_strategies(); ++to) {
+          const double oracle =
+              to == from ? 0.0
+                         : protocol->move_probability(game, x, from, to);
+          // Bitwise: EXPECT_EQ on doubles, not EXPECT_NEAR.
+          ASSERT_EQ(row[static_cast<std::size_t>(to)], oracle)
+              << "round " << round << " pair " << from << "->" << to;
+        }
+      }
+    }
+    // Mutate the state through a real draw and refresh incrementally, so
+    // later iterations audit refreshed cache entries rather than the
+    // initial full build.
+    const RoundResult rr =
+        draw_round(game, x, imitation, rng, EngineMode::kAggregate);
+    x.apply(game, rr.moves, scratch);
+    ctx.refresh(scratch.touched);
+  }
+}
+
+TEST(EngineOracle, RunDynamicsMatchesAcrossKernels) {
+  // Whole-run equivalence incl. stop predicate and mover accounting.
+  const auto game = make_monomial_fan_game(10, 2.0, 1.0, 20000);
+  const ImitationProtocol protocol;
+  for (EngineMode mode : {EngineMode::kAggregate, EngineMode::kPerPlayer}) {
+    RunOptions options;
+    options.max_rounds = mode == EngineMode::kAggregate ? 200 : 40;
+    options.mode = mode;
+    Rng batched_rng(7);
+    State batched_x = State::uniform_random(game, batched_rng);
+    const RunResult batched = run_dynamics(game, batched_x, protocol,
+                                           batched_rng, options, nullptr);
+    options.reference_kernel = true;
+    Rng reference_rng(7);
+    State reference_x = State::uniform_random(game, reference_rng);
+    const RunResult reference = run_dynamics(
+        game, reference_x, protocol, reference_rng, options, nullptr);
+    EXPECT_EQ(batched.rounds, reference.rounds);
+    EXPECT_EQ(batched.total_movers, reference.total_movers);
+    EXPECT_TRUE(batched_x == reference_x);
+    EXPECT_EQ(batched_rng.state(), reference_rng.state());
+    EXPECT_GT(batched.latency_evals, 0);   // the cache actually metered
+    EXPECT_EQ(reference.latency_evals, 0);  // oracle path is unmetered
+  }
+}
+
+// ---- All six registry scenario families -------------------------------------
+
+struct FamilyCase {
+  const char* scenario;
+  std::int64_t n;
+  const char* protocol;
+  std::int64_t rounds;
+};
+
+const FamilyCase kFamilies[] = {
+    {"singleton-uniform", 2000, "imitation", 60},
+    {"load-balancing", 2000, "combined", 60},
+    {"network-routing", 1500, "exploration", 60},
+    {"asymmetric", 900, "imitation", 60},
+    {"multicommodity", 900, "imitation", 60},
+    {"threshold-lb", 12, "imitation", 4000},
+};
+
+sweep::DynamicsConfig family_dynamics(std::int64_t rounds, bool reference) {
+  sweep::DynamicsConfig dynamics;
+  dynamics.max_rounds = rounds;
+  dynamics.stop = sweep::StopRule::kNash;
+  dynamics.check_interval = 3;
+  dynamics.reference_kernel = reference;
+  return dynamics;
+}
+
+TEST(EngineOracle, AllSixScenarioFamiliesMatchReferenceKernel) {
+  for (const FamilyCase& c : kFamilies) {
+    SCOPED_TRACE(c.scenario);
+    sweep::ScenarioSpec spec;
+    spec.name = c.scenario;
+    const auto instance = sweep::make_scenario(spec, c.n);
+    const auto protocol = sweep::parse_protocol_spec(c.protocol);
+    const std::uint64_t seed = 4321;
+
+    Rng batched_rng(seed);
+    const sweep::TrialOutcome batched = instance->run_trial(
+        protocol, family_dynamics(c.rounds, false), batched_rng);
+    Rng reference_rng(seed);
+    const sweep::TrialOutcome reference = instance->run_trial(
+        protocol, family_dynamics(c.rounds, true), reference_rng);
+    EXPECT_EQ(batched, reference);
+    EXPECT_EQ(batched_rng.state(), reference_rng.state());
+  }
+}
+
+TEST(EngineOracle, BatchedCheckpointKillResumeMatchesReferenceRun) {
+  // Persistence-level interchange: a batched trial checkpointed at round 9,
+  // killed, and resumed (all on the batched kernel) must bitwise-match the
+  // uninterrupted run on the REFERENCE kernel — checkpoints carry no trace
+  // of which kernel wrote them.
+  sweep::ScenarioSpec spec;
+  spec.name = "network-routing";
+  const auto instance = sweep::make_scenario(spec, 1500);
+  const auto protocol = sweep::parse_protocol_spec("combined");
+  const std::uint64_t seed = 99;
+  const std::int64_t total_rounds = 60;
+
+  Rng reference_rng(seed);
+  const sweep::TrialOutcome reference = instance->run_trial(
+      protocol, family_dynamics(total_rounds, true), reference_rng);
+
+  const std::string snap =
+      ::testing::TempDir() + "/oracle_kill_resume.snap";
+  Rng killed_rng(seed);
+  instance->run_trial_checkpointed(protocol, family_dynamics(9, false),
+                                   killed_rng,
+                                   sweep::TrialCheckpoint{snap, 0});
+  const sweep::TrialOutcome resumed = instance->resume_trial(
+      protocol, family_dynamics(total_rounds, false), snap);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_GT(reference.rounds, 9.0);  // the resumed leg did real work
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace cid

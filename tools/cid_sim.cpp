@@ -288,9 +288,11 @@ int main(int argc, char** argv) {
     run_options.max_rounds = opt.rounds;
     run_options.mode = engine;
     run_options.start_round = start_round;
+    const WallTimer run_timer;
     const RunResult result =
         run_dynamics(*game, *x, *protocol, rng, run_options,
                      persist::stop_from_spec(config.stop), observer);
+    const double run_seconds = run_timer.seconds();
     if (event_log.has_value()) event_log->close();
 
     trace.to_table().print("trace (every " +
@@ -301,6 +303,17 @@ int main(int argc, char** argv) {
         static_cast<long long>(result.rounds),
         result.converged ? "yes" : "no",
         static_cast<long long>(result.total_movers));
+    // Kernel throughput for THIS invocation (a resumed run only executed
+    // rounds [start_round, result.rounds)).
+    const std::int64_t ran_rounds = result.rounds - start_round;
+    if (ran_rounds > 0 && run_seconds > 0.0) {
+      std::printf(
+          "throughput: %.0f rounds/s; %lld latency evals (%.2f per round)\n",
+          static_cast<double>(ran_rounds) / run_seconds,
+          static_cast<long long>(result.latency_evals),
+          static_cast<double>(result.latency_evals) /
+              static_cast<double>(ran_rounds));
+    }
     const auto report = check_delta_eps_nu(*game, *x, 0.1, 0.1, game->nu());
     std::printf(
         "final: L_av=%.4f  L+_av=%.4f  makespan=%.4f  nash_gap=%.4f\n"

@@ -210,6 +210,22 @@ int main(int argc, char** argv) {
     const sweep::SweepResult result = sweep::run_sweep(opt.grid, opt.run);
     const double elapsed = timer.seconds();
 
+    // Kernel throughput over the trials actually executed this invocation
+    // (resumed trials merged from a manifest were not re-measured).
+    auto print_throughput = [&]() {
+      if (result.ran_trials == 0 || elapsed <= 0.0) return;
+      std::printf(
+          "throughput: %.0f rounds/s over %zu trials; %lld latency evals "
+          "(%.2f per round)\n",
+          static_cast<double>(result.ran_rounds) / elapsed,
+          result.ran_trials,
+          static_cast<long long>(result.latency_evals),
+          result.ran_rounds == 0
+              ? 0.0
+              : static_cast<double>(result.latency_evals) /
+                    static_cast<double>(result.ran_rounds));
+    };
+
     if (result.resumed_trials > 0) {
       std::printf("resumed %zu completed trials from %s\n",
                   result.resumed_trials, opt.run.manifest_path.c_str());
@@ -221,6 +237,7 @@ int main(int argc, char** argv) {
           result.ran_trials, elapsed,
           result.resumed_trials + result.ran_trials, result.trials.size(),
           opt.run.manifest_path.c_str());
+      print_throughput();
       return 0;
     }
 
@@ -240,6 +257,7 @@ int main(int argc, char** argv) {
     table.print("per-cell summary (" + opt.grid.scenario.name + ")");
     std::printf("\nswept %zu trials in %.3f s\n", result.trials.size(),
                 elapsed);
+    print_throughput();
 
     if (!opt.out_prefix.empty()) {
       std::uint64_t text_bytes = 0;
