@@ -11,10 +11,21 @@
 //           Pre-batching: ~4.5e3 rounds/s.
 //   cell 4  per-player, singleton m=64, n=2e4 — exercises the cumulative-
 //           probability binary search. Pre-batching: ~9.1e2 rounds/s.
+//   cell 5  equilibrium-check-dominated: the cell-3 singleton game with a
+//           full imitation-gap stability scan EVERY round through the
+//           cached predicates (dynamics/equilibrium.hpp overloads over
+//           the kernel's latency cache). Uncached-predicate baseline on
+//           the reference dev box: ~8.8e3 rounds/s vs ~3.6e4 cached
+//           (4.1x).
+//   cell 6  asymmetric batched kernel: 4 classes x 17 strategies sharing
+//           a fast link, n=2e5, class-local imitation on the cached
+//           per-class rows. Per-pair baseline: ~1.5e4 rounds/s vs
+//           ~3.7e5 batched (25x).
 //
-// Flags: --quick (CI-sized round counts), --json PATH (see bench/common.hpp).
-// The checked-in BENCH_engine_micro.json is the cross-commit trend record;
-// the CI gate compares candidate vs base ON THE SAME RUNNER.
+// Flags: --quick (CI-sized round counts), --json PATH (see bench/common.hpp),
+// --baseline (run cells 5/6 on the pre-PR paths — uncached stop
+// predicates / per-pair asymmetric rounds — to reproduce the speedup
+// ratios quoted above; not used by CI).
 #include <cstring>
 #include <string>
 
@@ -41,12 +52,50 @@ CongestionGame network_k64(std::int64_t n) {
   return make_network_game(net, std::move(fns), n);
 }
 
+AsymmetricGame asymmetric_k17x4(std::int64_t n) {
+  // The asymmetric sweep scenario's construction at classes=4,
+  // links_per_class=16: one shared fast link plus 16 private links per
+  // class — 17 strategies per class, so the per-pair path pays
+  // O(classes · 17²) uncached latency walks per round.
+  std::vector<LatencyPtr> fns;
+  fns.push_back(make_linear(0.5));
+  std::vector<PlayerClass> classes(4);
+  Resource next = 1;
+  for (std::int32_t c = 0; c < 4; ++c) {
+    auto& cls = classes[static_cast<std::size_t>(c)];
+    cls.strategies.push_back({0});
+    for (std::int32_t k = 0; k < 16; ++k) {
+      fns.push_back(make_linear(1.0 + 0.5 * static_cast<double>(k)));
+      cls.strategies.push_back({next});
+      ++next;
+    }
+    cls.num_players = n / 4;
+  }
+  return AsymmetricGame(std::move(fns), std::move(classes));
+}
+
 struct CellResult {
   double wall_seconds = 0.0;
   double rounds_per_sec = 0.0;
   double evals_per_round = 0.0;
   std::int64_t movers = 0;
 };
+
+CellResult finish_cell(const WallTimer& timer, std::int64_t rounds,
+                       std::int64_t latency_evals, std::int64_t movers) {
+  CellResult cell;
+  cell.wall_seconds = timer.seconds();
+  cell.rounds_per_sec =
+      cell.wall_seconds > 0.0
+          ? static_cast<double>(rounds) / cell.wall_seconds
+          : 0.0;
+  cell.evals_per_round = rounds > 0
+                             ? static_cast<double>(latency_evals) /
+                                   static_cast<double>(rounds)
+                             : 0.0;
+  cell.movers = movers;
+  return cell;
+}
 
 CellResult run_cell(const CongestionGame& game, const Protocol& protocol,
                     EngineMode mode, std::int64_t rounds) {
@@ -57,18 +106,68 @@ CellResult run_cell(const CongestionGame& game, const Protocol& protocol,
   options.mode = mode;
   const WallTimer timer;
   const RunResult rr = run_dynamics(game, x, protocol, rng, options, nullptr);
-  CellResult cell;
-  cell.wall_seconds = timer.seconds();
-  cell.rounds_per_sec = cell.wall_seconds > 0.0
-                            ? static_cast<double>(rr.rounds) /
-                                  cell.wall_seconds
-                            : 0.0;
-  cell.evals_per_round =
-      rr.rounds > 0 ? static_cast<double>(rr.latency_evals) /
-                          static_cast<double>(rr.rounds)
-                    : 0.0;
-  cell.movers = rr.total_movers;
-  return cell;
+  return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers);
+}
+
+/// Cell 5: every round pays one full support-restricted stability scan —
+/// "stop once the imitation gap closes", the all-pairs O(s²) ex-post
+/// evaluation that dominates converged-phase workloads (imitation_gap
+/// never short-circuits, so the check cost is state-independent and the
+/// workload stays fixed; the gap stays positive for this game/budget).
+/// --baseline swaps in the context-free predicate, i.e. the
+/// pre-cached-predicates engine.
+CellResult run_stopcheck_cell(const CongestionGame& game,
+                              const Protocol& protocol, std::int64_t rounds,
+                              bool baseline) {
+  Rng rng(1);
+  State x = State::uniform_random(game, rng);
+  RunOptions options;
+  options.max_rounds = rounds;
+  options.mode = EngineMode::kAggregate;
+  const WallTimer timer;
+  RunResult rr;
+  if (baseline) {
+    const StopPredicate stop = [](const CongestionGame& g, const State& s,
+                                  std::int64_t) {
+      return !(imitation_gap(g, s) > 0.0);
+    };
+    rr = run_dynamics(game, x, protocol, rng, options, stop);
+  } else {
+    const CachedStopPredicate stop = [](const LatencyContext& ctx,
+                                        std::int64_t) {
+      return !(imitation_gap(ctx) > 0.0);
+    };
+    rr = run_dynamics(game, x, protocol, rng, options, stop);
+  }
+  return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers);
+}
+
+/// Cell 6: the class-local engine. --baseline drives the per-pair
+/// reference path (pre-batching state of the asymmetric engine).
+CellResult run_asymmetric_cell(const AsymmetricGame& game,
+                               std::int64_t rounds, bool baseline) {
+  Rng rng(1);
+  AsymmetricState x = AsymmetricState::uniform_random(game, rng);
+  const AsymmetricImitationParams params;
+  const WallTimer timer;
+  std::int64_t movers = 0;
+  std::int64_t evals = 0;
+  if (baseline) {
+    for (std::int64_t r = 0; r < rounds; ++r) {
+      movers += step_asymmetric_round(game, x, params, rng).movers;
+    }
+  } else {
+    AsymmetricRoundWorkspace ws;
+    AsymmetricRoundResult rr;
+    for (std::int64_t r = 0; r < rounds; ++r) {
+      draw_asymmetric_round(game, x, params, rng, ws, rr);
+      x.apply(game, rr.moves, ws.apply_scratch);
+      ws.ctx.refresh(ws.apply_scratch.touched);
+      movers += rr.movers;
+    }
+    evals = ws.ctx.latency_evals();
+  }
+  return finish_cell(timer, rounds, evals, movers);
 }
 
 }  // namespace
@@ -76,8 +175,10 @@ CellResult run_cell(const CongestionGame& game, const Protocol& protocol,
 int main(int argc, char** argv) {
   using cid::bench::JsonReport;
   bool quick = false;
+  bool baseline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--baseline") == 0) baseline = true;
   }
 
   const ImitationProtocol imitation;
@@ -86,6 +187,7 @@ int main(int argc, char** argv) {
   const auto net64 = network_k64(100000);
   const auto singleton_large = make_monomial_fan_game(64, 1.0, 1.0, 1000000);
   const auto singleton_small = make_monomial_fan_game(64, 1.0, 1.0, 20000);
+  const auto asym = asymmetric_k17x4(200000);
 
   struct Spec {
     int id;
@@ -110,28 +212,46 @@ int main(int argc, char** argv) {
   JsonReport report("engine_micro");
   cid::Table table({"id", "cell", "rounds", "wall s", "rounds/s",
                     "evals/round", "movers"});
-  for (const Spec& spec : specs) {
-    const std::int64_t rounds = quick ? spec.quick_rounds : spec.rounds;
-    const CellResult cell =
-        run_cell(*spec.game, *spec.protocol, spec.mode, rounds);
+  const auto record = [&](int id, const char* label, std::int64_t rounds,
+                          const CellResult& cell) {
     table.row()
-        .cell(static_cast<std::int64_t>(spec.id))
-        .cell(spec.label)
+        .cell(static_cast<std::int64_t>(id))
+        .cell(label)
         .cell(rounds)
         .cell(cell.wall_seconds, 3)
         .cell(cell.rounds_per_sec, 1)
         .cell(cell.evals_per_round, 2)
         .cell(cell.movers);
     report.cell()
-        .metric("id", static_cast<double>(spec.id))
+        .metric("id", static_cast<double>(id))
         .metric("rounds", static_cast<double>(rounds))
         .metric("wall_cell_seconds", cell.wall_seconds)
         .metric("rounds_per_sec", cell.rounds_per_sec)
         .metric("evals_per_round", cell.evals_per_round)
         .metric("movers", static_cast<double>(cell.movers));
+  };
+  for (const Spec& spec : specs) {
+    const std::int64_t rounds = quick ? spec.quick_rounds : spec.rounds;
+    record(spec.id, spec.label, rounds,
+           run_cell(*spec.game, *spec.protocol, spec.mode, rounds));
+  }
+  {
+    const std::int64_t rounds = quick ? 400 : 2000;
+    record(5,
+           baseline ? "stopcheck m=64 n=1e6 UNCACHED"
+                    : "stopcheck m=64 n=1e6",
+           rounds,
+           run_stopcheck_cell(singleton_large, imitation, rounds, baseline));
+  }
+  {
+    const std::int64_t rounds = quick ? 400 : 2000;
+    record(6,
+           baseline ? "asymmetric k=17x4 PER-PAIR" : "asymmetric k=17x4",
+           rounds, run_asymmetric_cell(asym, rounds, baseline));
   }
   table.print(std::string("engine micro (fixed workloads") +
-              (quick ? ", --quick)" : ")"));
+              (quick ? ", --quick" : "") + (baseline ? ", --baseline" : "") +
+              ")");
   report.write_if_requested(argc, argv);
   return 0;
 }

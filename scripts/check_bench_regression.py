@@ -5,7 +5,10 @@ more than THRESHOLD (default 25%) slower than the checked-in baseline.
 Usage: check_bench_regression.py BASELINE.json CANDIDATE.json [THRESHOLD]
 
 Only wall-clock fields are gated — they are the one legitimately
-hardware-dependent output, and the threshold absorbs runner noise. The
+hardware-dependent output, and the threshold absorbs runner noise. When
+the two reports cover different cell sets (a PR added or removed bench
+cells), the gate compares the summed per-cell wall over the SHARED cells
+instead of the report totals, so new cells don't read as regressions. The
 deterministic result fields (rounds_mean, evals_per_round, ...) are
 compared too, but only WARN on drift: an intentional algorithm change may
 move them, and the reviewer should see that in the job log rather than
@@ -48,6 +51,26 @@ def index_cells(report):
     return out
 
 
+def shared_cell_wall(base_cells, cand_cells):
+    """Summed per-cell wall over the cells PRESENT IN BOTH reports, when
+    both sides carry a per-cell wall metric. A PR that adds bench cells
+    must not fail the gate merely because the base ref never ran them —
+    the shared subset is the apples-to-apples comparison. Returns
+    (base_wall, cand_wall) or None when per-cell walls are unavailable."""
+    shared = set(base_cells) & set(cand_cells)
+    if not shared or shared == set(base_cells) | set(cand_cells):
+        return None  # identical cell sets: the report totals are fair
+    base = cand = 0.0
+    for key in shared:
+        walls = [m for m in ("wall_cell_seconds", "cell_wall_seconds")
+                 if m in base_cells[key] and m in cand_cells[key]]
+        if not walls:
+            return None
+        base += float(base_cells[key][walls[0]])
+        cand += float(cand_cells[key][walls[0]])
+    return base, cand
+
+
 def main():
     if len(sys.argv) < 3:
         print(__doc__, file=sys.stderr)
@@ -56,16 +79,21 @@ def main():
     candidate = load(sys.argv[2])
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
 
+    base_cells = index_cells(baseline)
+    cand_cells = index_cells(candidate)
     base_wall = float(baseline["wall_seconds"])
     cand_wall = float(candidate["wall_seconds"])
+    scope = "wall_seconds"
+    shared = shared_cell_wall(base_cells, cand_cells)
+    if shared is not None:
+        base_wall, cand_wall = shared
+        scope = "shared-cell wall"
     ratio = cand_wall / base_wall if base_wall > 0 else float("inf")
-    print(f"bench {candidate.get('bench', '?')}: wall_seconds "
+    print(f"bench {candidate.get('bench', '?')}: {scope} "
           f"{base_wall:.4f} (baseline) -> {cand_wall:.4f} (candidate), "
           f"ratio {ratio:.2f}x, threshold {1 + threshold:.2f}x")
 
     # Deterministic-field drift is informational, not fatal.
-    base_cells = index_cells(baseline)
-    cand_cells = index_cells(candidate)
     for key in sorted(set(base_cells) | set(cand_cells)):
         label = f"{key[0]}={key[1]}"
         if key not in base_cells or key not in cand_cells:

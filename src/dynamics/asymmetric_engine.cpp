@@ -1,0 +1,355 @@
+#include "dynamics/asymmetric_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sweep/pool.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cid {
+
+void AsymmetricLatencyContext::recompute_resource(std::size_t e) {
+  const std::int64_t load = x_->congestion(static_cast<Resource>(e));
+  const LatencyFunction& fn = game_->latency(static_cast<Resource>(e));
+  // Exactly the evaluations the uncached game methods perform, so cached
+  // reads reproduce them bit-for-bit.
+  non_monotone_ -= ell_plus_[e] < ell_[e] ? 1 : 0;
+  ell_[e] = fn.value(static_cast<double>(load));
+  ell_plus_[e] = fn.value(static_cast<double>(load + 1));
+  non_monotone_ += ell_plus_[e] < ell_[e] ? 1 : 0;
+  load_[e] = load;
+  evals_ += 2;
+}
+
+void AsymmetricLatencyContext::reset(const AsymmetricGame& game,
+                                     const AsymmetricState& x) {
+  game_ = &game;
+  x_ = &x;
+  const auto m = static_cast<std::size_t>(game.num_resources());
+  const auto num_classes = static_cast<std::size_t>(game.num_classes());
+  ell_.assign(m, 0.0);
+  ell_plus_.assign(m, 0.0);
+  load_.resize(m);
+  strat_.resize(num_classes);
+  strat_epoch_.resize(num_classes);
+  users_.assign(m, {});
+  epoch_ = 0;
+  evals_ = 0;
+  non_monotone_ = 0;
+  for (std::size_t e = 0; e < m; ++e) recompute_resource(e);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const PlayerClass& cls = game.player_class(static_cast<std::int32_t>(c));
+    const auto k = cls.strategies.size();
+    strat_[c].resize(k);
+    strat_epoch_[c].assign(k, 0);
+    for (std::size_t p = 0; p < k; ++p) {
+      // Same accumulation order as AsymmetricGame::strategy_latency.
+      double acc = 0.0;
+      for (Resource e : cls.strategies[p]) {
+        acc += ell_[static_cast<std::size_t>(e)];
+        users_[static_cast<std::size_t>(e)].emplace_back(
+            static_cast<std::int32_t>(c), static_cast<StrategyId>(p));
+      }
+      strat_[c][p] = acc;
+    }
+  }
+}
+
+void AsymmetricLatencyContext::refresh(std::span<const Resource> touched) {
+  CID_ENSURE(ready(), "asymmetric latency context: refresh before reset");
+  ++epoch_;
+  // Pass 1: re-evaluate genuinely changed resources (net-zero touches are
+  // deduped against the recorded loads, as in the symmetric context).
+  fresh_.clear();
+  for (Resource e : touched) {
+    const auto idx = static_cast<std::size_t>(e);
+    if (load_[idx] == x_->congestion(e)) continue;
+    recompute_resource(idx);
+    fresh_.push_back(e);
+  }
+  // Pass 2: re-derive ℓ_{c,P} for every (class, strategy) containing a
+  // changed resource, after pass 1 so multi-resource strategies sum fresh
+  // values only; the epoch table dedupes shared memberships.
+  for (Resource e : fresh_) {
+    for (const auto& [c, p] : users_[static_cast<std::size_t>(e)]) {
+      const auto ci = static_cast<std::size_t>(c);
+      const auto pi = static_cast<std::size_t>(p);
+      if (strat_epoch_[ci][pi] == epoch_) continue;
+      strat_epoch_[ci][pi] = epoch_;
+      const PlayerClass& cls = game_->player_class(c);
+      double acc = 0.0;
+      for (Resource r : cls.strategies[pi]) {
+        acc += ell_[static_cast<std::size_t>(r)];
+      }
+      strat_[ci][pi] = acc;
+    }
+  }
+}
+
+double AsymmetricLatencyContext::expost_latency(std::int32_t c,
+                                                StrategyId from,
+                                                StrategyId to) const noexcept {
+  if (from == to) return strategy_latency(c, to);
+  // Merge-walk mirroring AsymmetricGame::expost_latency over cached values.
+  const PlayerClass& cls = game_->player_class(c);
+  const Strategy& p = cls.strategies[static_cast<std::size_t>(from)];
+  const Strategy& q = cls.strategies[static_cast<std::size_t>(to)];
+  double acc = 0.0;
+  std::size_t i = 0;
+  for (Resource e : q) {
+    while (i < p.size() && p[i] < e) ++i;
+    const bool shared = i < p.size() && p[i] == e;
+    const auto idx = static_cast<std::size_t>(e);
+    acc += shared ? ell_[idx] : ell_plus_[idx];
+  }
+  return acc;
+}
+
+void fill_asymmetric_move_probabilities(
+    const AsymmetricGame& game, const AsymmetricLatencyContext& ctx,
+    const AsymmetricImitationParams& params, std::int32_t c, StrategyId from,
+    std::span<const StrategyId> support, std::span<double> out) {
+  CID_DCHECK(out.size() == support.size(),
+             "probability row must span the class support");
+  const PlayerClass& cls = game.player_class(c);
+  if (cls.num_players < 2) {  // nobody to sample: the whole row is zero
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
+  }
+  const auto& counts = ctx.state().counts()[static_cast<std::size_t>(c)];
+  const double l_from = ctx.strategy_latency(c, from);
+  const double nu = params.nu_cutoff ? game.nu() : 0.0;
+  const double d = params.damping ? game.elasticity() : 1.0;
+  // λ/d of the same doubles is the same double every entry; hoisting it
+  // cannot change a bit (mirrors the symmetric protocol row fills).
+  const double lambda_over_d = params.lambda / d;
+  const double pool = static_cast<double>(cls.num_players - 1);
+  for (std::size_t j = 0; j < support.size(); ++j) {
+    const StrategyId to = support[j];
+    if (to == from) {
+      out[j] = 0.0;
+      continue;
+    }
+    const std::int64_t targets = counts[static_cast<std::size_t>(to)];
+    if (targets == 0) {
+      out[j] = 0.0;
+      continue;
+    }
+    const double l_to = ctx.expost_latency(c, from, to);
+    if (!(l_from > l_to + nu)) {
+      out[j] = 0.0;
+      continue;
+    }
+    const double mu =
+        std::clamp(lambda_over_d * (l_from - l_to) / l_from, 0.0, 1.0);
+    const double sample = static_cast<double>(targets) / pool;
+    out[j] = sample * mu;
+  }
+}
+
+namespace {
+
+/// Debug-only audit of a pruned (class, origin): the claimed-zero row must
+/// actually be all zeros (cf. dcheck_pruned_row in engine.cpp).
+void dcheck_pruned_class_row(
+    [[maybe_unused]] const AsymmetricGame& game,
+    [[maybe_unused]] const AsymmetricLatencyContext& ctx,
+    [[maybe_unused]] const AsymmetricImitationParams& params,
+    [[maybe_unused]] std::int32_t c, [[maybe_unused]] StrategyId from,
+    [[maybe_unused]] std::span<const StrategyId> support,
+    [[maybe_unused]] std::span<double> scratch) {
+#ifndef NDEBUG
+  fill_asymmetric_move_probabilities(game, ctx, params, c, from, support,
+                                     scratch);
+  for (double p : scratch) {
+    CID_DCHECK(p == 0.0, "asymmetric pruning skipped a nonzero row");
+  }
+#endif
+}
+
+/// Whether class-c origin `from`'s whole row is provably zero: nobody to
+/// sample, or — under plus-dominance — ℓ_{c,P}(x) within ν of the cheapest
+/// used strategy of the SAME class (imitation is class-local, so only the
+/// class support matters). min_used is min over the class support of the
+/// cached ℓ_{c,Q}(x).
+bool class_row_provably_zero(const AsymmetricGame& game,
+                             const AsymmetricLatencyContext& ctx,
+                             const AsymmetricImitationParams& params,
+                             std::int32_t c, StrategyId from,
+                             double min_used) {
+  if (game.player_class(c).num_players < 2) return true;
+  if (!ctx.plus_dominates()) return false;
+  const double nu = params.nu_cutoff ? game.nu() : 0.0;
+  return !(ctx.strategy_latency(c, from) > min_used + nu);
+}
+
+double class_min_used_latency(const AsymmetricLatencyContext& ctx,
+                              std::int32_t c,
+                              std::span<const StrategyId> support) {
+  double min_used = std::numeric_limits<double>::infinity();
+  for (StrategyId q : support) {
+    min_used = std::min(min_used, ctx.strategy_latency(c, q));
+  }
+  return min_used;
+}
+
+void draw_serial(const AsymmetricGame& game, const AsymmetricState& x,
+                 const AsymmetricImitationParams& params, Rng& rng,
+                 AsymmetricRoundWorkspace& ws, AsymmetricRoundResult& out) {
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    x.support(c, ws.support);
+    const double min_used = class_min_used_latency(ws.ctx, c, ws.support);
+    ws.probs.resize(ws.support.size());
+    ws.counts.resize(ws.support.size());
+    for (StrategyId from : ws.support) {
+      if (class_row_provably_zero(game, ws.ctx, params, c, from, min_used)) {
+        dcheck_pruned_class_row(game, ws.ctx, params, c, from, ws.support,
+                                ws.probs);
+        continue;
+      }
+      fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
+                                         ws.support, ws.probs);
+      rng.multinomial(x.count(c, from), ws.probs, ws.counts);
+      for (std::size_t j = 0; j < ws.support.size(); ++j) {
+        if (ws.counts[j] == 0) continue;
+        out.moves.push_back(
+            ClassMigration{c, from, ws.support[j], ws.counts[j]});
+        out.movers += ws.counts[j];
+      }
+    }
+  }
+}
+
+void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
+                   const AsymmetricImitationParams& params, Rng& rng,
+                   AsymmetricRoundWorkspace& ws, AsymmetricRoundResult& out,
+                   int row_threads) {
+  // Flatten the (class, origin) jobs: each owns a disjoint slice of
+  // ws.rows sized by its class support. Job order == the serial path's
+  // iteration order, so the serial draw phase below consumes the RNG
+  // identically.
+  const auto num_classes = static_cast<std::size_t>(game.num_classes());
+  ws.class_support.resize(num_classes);
+  ws.job_class.clear();
+  ws.job_from.clear();
+  ws.job_offset.clear();
+  std::size_t offset = 0;
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    auto& support = ws.class_support[static_cast<std::size_t>(c)];
+    x.support(c, support);
+    for (StrategyId from : support) {
+      ws.job_class.push_back(c);
+      ws.job_from.push_back(from);
+      ws.job_offset.push_back(offset);
+      offset += support.size();
+    }
+  }
+  ws.rows.resize(offset);
+  ws.skip.assign(ws.job_class.size(), 0);
+  ws.class_min.resize(num_classes);
+  const std::span<double> min_used = ws.class_min;
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    min_used[static_cast<std::size_t>(c)] = class_min_used_latency(
+        ws.ctx, c, ws.class_support[static_cast<std::size_t>(c)]);
+  }
+  sweep::parallel_for(
+      static_cast<std::int64_t>(ws.job_class.size()), row_threads,
+      [&](std::int64_t i) {
+        const auto ji = static_cast<std::size_t>(i);
+        const std::int32_t c = ws.job_class[ji];
+        const StrategyId from = ws.job_from[ji];
+        const auto& support = ws.class_support[static_cast<std::size_t>(c)];
+        const std::span<double> row{ws.rows.data() + ws.job_offset[ji],
+                                    support.size()};
+        if (class_row_provably_zero(game, ws.ctx, params, c, from,
+                                    min_used[static_cast<std::size_t>(c)])) {
+          ws.skip[ji] = 1;
+          dcheck_pruned_class_row(game, ws.ctx, params, c, from, support,
+                                  row);
+          return;
+        }
+        fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
+                                           support, row);
+      });
+  for (std::size_t i = 0; i < ws.job_class.size(); ++i) {
+    if (ws.skip[i] != 0) continue;
+    const std::int32_t c = ws.job_class[i];
+    const auto& support = ws.class_support[static_cast<std::size_t>(c)];
+    const std::span<const double> row{ws.rows.data() + ws.job_offset[i],
+                                      support.size()};
+    ws.counts.resize(support.size());
+    rng.multinomial(x.count(c, ws.job_from[i]), row, ws.counts);
+    for (std::size_t j = 0; j < support.size(); ++j) {
+      if (ws.counts[j] == 0) continue;
+      out.moves.push_back(
+          ClassMigration{c, ws.job_from[i], support[j], ws.counts[j]});
+      out.movers += ws.counts[j];
+    }
+  }
+}
+
+}  // namespace
+
+void draw_asymmetric_round(const AsymmetricGame& game,
+                           const AsymmetricState& x,
+                           const AsymmetricImitationParams& params, Rng& rng,
+                           AsymmetricRoundWorkspace& ws,
+                           AsymmetricRoundResult& out, int row_threads) {
+  CID_ENSURE(params.lambda > 0.0 && params.lambda <= 1.0,
+             "lambda must be in (0, 1]");
+  out.moves.clear();
+  out.movers = 0;
+  if (!ws.ready) {
+    ws.ctx.reset(game, x);
+    ws.ready = true;
+  }
+  if (row_threads <= 1) {
+    draw_serial(game, x, params, rng, ws, out);
+  } else {
+    draw_threaded(game, x, params, rng, ws, out, row_threads);
+  }
+}
+
+bool is_asymmetric_imitation_stable(const AsymmetricLatencyContext& ctx,
+                                    double nu) {
+  CID_ENSURE(nu >= 0.0, "nu must be >= 0");
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const AsymmetricGame& game = ctx.game();
+  // Runs every check_interval inside the allocation-free trial loop, so
+  // iterate each class's counts row directly rather than materializing
+  // support vectors — same ascending order, bitwise-identical verdicts.
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    const auto& counts = ctx.state().counts()[static_cast<std::size_t>(c)];
+    const auto k = static_cast<StrategyId>(counts.size());
+    for (StrategyId p = 0; p < k; ++p) {
+      if (counts[static_cast<std::size_t>(p)] <= 0) continue;
+      const double lp = ctx.strategy_latency(c, p);
+      for (StrategyId q = 0; q < k; ++q) {
+        if (q == p || counts[static_cast<std::size_t>(q)] <= 0) continue;
+        if (lp > ctx.expost_latency(c, p, q) + nu) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_asymmetric_nash(const AsymmetricLatencyContext& ctx) {
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const AsymmetricGame& game = ctx.game();
+  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+    const auto& counts = ctx.state().counts()[static_cast<std::size_t>(c)];
+    const auto k = static_cast<StrategyId>(counts.size());
+    for (StrategyId p = 0; p < k; ++p) {
+      if (counts[static_cast<std::size_t>(p)] <= 0) continue;
+      const double lp = ctx.strategy_latency(c, p);
+      for (StrategyId q = 0; q < k; ++q) {
+        if (q == p) continue;
+        if (lp > ctx.expost_latency(c, p, q) + 1e-12) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cid

@@ -1,0 +1,146 @@
+// Batched class-local round kernel for asymmetric (multi-commodity)
+// congestion games — the asymmetric mirror of dynamics/engine.hpp.
+//
+// The class-local imitation dynamics (paper §3's closing remark, realized
+// in game/asymmetric.hpp) used to run the per-pair path only: every
+// (class, origin, destination) triple re-evaluated ℓ_P(x) and
+// ℓ_Q(x+1_Q−1_P) from the latency functions. This module ports the
+// symmetric kernel's machinery over:
+//
+//   * AsymmetricLatencyContext — the shared ℓ_e(x_e)/ℓ_e(x_e+1) resource
+//     tables (classes share the resource set) plus PER-CLASS ℓ_{c,P}(x)
+//     sums, maintained incrementally from the touched-resource reports of
+//     AsymmetricState::apply(game, moves, scratch);
+//   * fill_asymmetric_move_probabilities — one cached row per (class,
+//     origin) over the class support, zero latency-function calls;
+//   * draw_asymmetric_round — the batched aggregate draw, with the same
+//     support/improvement pruning as the symmetric engine (origins whose
+//     row is provably zero skip the fill AND the multinomial; no RNG is
+//     consumed either way) and optional row_threads fan-out of the pure
+//     row fills with a deterministic serial draw phase;
+//   * cached overloads of the class-wise stop predicates.
+//
+// Bitwise contract: identical migrations and identical RNG stream to
+// draw_asymmetric_round_reference (the per-pair oracle retained in
+// game/asymmetric.hpp), enforced by tests/test_engine_oracle.cpp —
+// checkpoints and manifests are interchangeable between the two paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "game/asymmetric.hpp"
+
+namespace cid {
+
+class AsymmetricLatencyContext {
+ public:
+  /// Full rebuild against (game, x). Also precomputes the resource →
+  /// (class, strategy) incidence used by incremental refreshes.
+  void reset(const AsymmetricGame& game, const AsymmetricState& x);
+
+  /// Incremental rebuild after `x` changed: only genuinely changed
+  /// resources are re-evaluated, and only the (class, strategy) sums
+  /// containing one of them are re-derived.
+  void refresh(std::span<const Resource> touched);
+
+  bool ready() const noexcept { return game_ != nullptr; }
+  const AsymmetricGame& game() const noexcept { return *game_; }
+  const AsymmetricState& state() const noexcept { return *x_; }
+
+  /// ℓ_e(x_e) — bitwise equal to game.latency(e).value(x.congestion(e)).
+  double resource_latency(Resource e) const noexcept {
+    return ell_[static_cast<std::size_t>(e)];
+  }
+
+  /// ℓ_e(x_e + 1).
+  double resource_latency_plus(Resource e) const noexcept {
+    return ell_plus_[static_cast<std::size_t>(e)];
+  }
+
+  /// ℓ_{c,P}(x) — bitwise equal to game.strategy_latency(x, c, p).
+  double strategy_latency(std::int32_t c, StrategyId p) const noexcept {
+    return strat_[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+  }
+
+  /// ℓ_Q(x+1_Q−1_P) for a class-c switch — bitwise equal to
+  /// game.expost_latency(x, c, from, to) (same merge, cached values).
+  double expost_latency(std::int32_t c, StrategyId from,
+                        StrategyId to) const noexcept;
+
+  /// See LatencyContext::plus_dominates — the soundness gate for pruning.
+  bool plus_dominates() const noexcept { return non_monotone_ == 0; }
+
+  /// Latency-function evaluations since reset.
+  std::int64_t latency_evals() const noexcept { return evals_; }
+
+ private:
+  void recompute_resource(std::size_t e);
+
+  const AsymmetricGame* game_ = nullptr;
+  const AsymmetricState* x_ = nullptr;
+  std::vector<double> ell_;
+  std::vector<double> ell_plus_;
+  std::vector<std::int64_t> load_;
+  std::vector<std::vector<double>> strat_;          // [class][strategy]
+  std::vector<std::vector<std::uint64_t>> strat_epoch_;
+  /// Resource → (class, strategy) incidence, built once per reset.
+  std::vector<std::vector<std::pair<std::int32_t, StrategyId>>> users_;
+  std::vector<Resource> fresh_;
+  std::uint64_t epoch_ = 0;
+  std::int64_t evals_ = 0;
+  std::int64_t non_monotone_ = 0;
+};
+
+/// Cached row fill over the class support: out[j] receives the marginal
+/// probability of the support[j] destination (0 at `from`'s own slot),
+/// bitwise identical to asymmetric_move_probability per entry. `out`
+/// spans exactly support.size() entries.
+void fill_asymmetric_move_probabilities(
+    const AsymmetricGame& game, const AsymmetricLatencyContext& ctx,
+    const AsymmetricImitationParams& params, std::int32_t c, StrategyId from,
+    std::span<const StrategyId> support, std::span<double> out);
+
+/// Reusable hot-path buffers for the batched asymmetric draw (the
+/// class-structured RoundWorkspace).
+struct AsymmetricRoundWorkspace {
+  AsymmetricLatencyContext ctx;
+  std::vector<StrategyId> support;        // serial path: reused per class
+  std::vector<double> probs;
+  std::vector<std::int64_t> counts;
+  AsymmetricApplyScratch apply_scratch;
+  // row_threads > 1 only: flattened (class, origin) jobs with disjoint
+  // row slices, filled in parallel and drawn serially in job order.
+  std::vector<std::vector<StrategyId>> class_support;
+  std::vector<std::int32_t> job_class;
+  std::vector<StrategyId> job_from;
+  std::vector<std::size_t> job_offset;
+  std::vector<double> rows;
+  std::vector<char> skip;
+  std::vector<double> class_min;          // per-class pruning bound
+  bool ready = false;  // ctx reflects the caller's current (game, x)
+};
+
+/// Draws one concurrent class-local round (without applying it) on the
+/// batched kernel. If ws.ready is false the cache is rebuilt from
+/// (game, x); callers stepping many rounds apply through
+/// x.apply(game, moves, ws.apply_scratch) and ws.ctx.refresh(touched).
+/// Output and RNG stream are bitwise invariant in row_threads.
+void draw_asymmetric_round(const AsymmetricGame& game,
+                           const AsymmetricState& x,
+                           const AsymmetricImitationParams& params, Rng& rng,
+                           AsymmetricRoundWorkspace& ws,
+                           AsymmetricRoundResult& out, int row_threads = 1);
+
+/// Cached overload of is_asymmetric_imitation_stable: reads every latency
+/// from the context (bitwise-identical verdicts; the context-free version
+/// in game/asymmetric.hpp stays the reference oracle).
+bool is_asymmetric_imitation_stable(const AsymmetricLatencyContext& ctx,
+                                    double nu);
+
+/// Cached overload of is_asymmetric_nash.
+bool is_asymmetric_nash(const AsymmetricLatencyContext& ctx);
+
+}  // namespace cid

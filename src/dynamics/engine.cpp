@@ -1,10 +1,30 @@
 #include "dynamics/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "sweep/pool.hpp"
 #include "util/assert.hpp"
 
 namespace cid {
+
+RowBounds compute_row_bounds(const CongestionGame& game, const State& x,
+                             const LatencyContext& ctx) {
+  RowBounds bounds;
+  bounds.plus_dominates = ctx.plus_dominates();
+  bounds.min_support_latency = std::numeric_limits<double>::infinity();
+  bounds.min_latency = std::numeric_limits<double>::infinity();
+  const std::span<const std::int64_t> counts = x.counts();
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  for (std::size_t p = 0; p < k; ++p) {
+    const double lp = ctx.strategy_latency(static_cast<StrategyId>(p));
+    bounds.min_latency = std::min(bounds.min_latency, lp);
+    if (counts[p] > 0) {
+      bounds.min_support_latency = std::min(bounds.min_support_latency, lp);
+    }
+  }
+  return bounds;
+}
 
 namespace {
 
@@ -25,6 +45,22 @@ void dcheck_row([[maybe_unused]] std::span<const double> probs,
   }
   CID_DCHECK(total <= 1.0 + 1e-9,
              "protocol move probabilities exceed 1 for one player");
+#endif
+}
+
+/// Debug-only audit of a pruned origin: the row the protocol claims is
+/// provably zero must actually be all zeros. Release builds skip the fill
+/// entirely — that is the point of pruning.
+void dcheck_pruned_row([[maybe_unused]] const CongestionGame& game,
+                       [[maybe_unused]] const LatencyContext& ctx,
+                       [[maybe_unused]] const Protocol& protocol,
+                       [[maybe_unused]] StrategyId from,
+                       [[maybe_unused]] std::span<double> scratch) {
+#ifndef NDEBUG
+  protocol.fill_move_probabilities(game, ctx, from, scratch);
+  for (double p : scratch) {
+    CID_DCHECK(p == 0.0, "row_provably_zero pruned a nonzero row");
+  }
 #endif
 }
 
@@ -53,33 +89,81 @@ void prepare(const CongestionGame& game, const State& x, RoundWorkspace& ws) {
   x.support(ws.support);
 }
 
+/// Parallel phase shared by both engine modes under row_threads > 1: every
+/// support origin's probability row is a pure function of (game, ctx,
+/// from), so the fills run concurrently into disjoint slices of ws.rows
+/// (plus the per-origin prune verdict in ws.skip). The RNG phase that
+/// follows is strictly serial in support order, which is what makes the
+/// round bitwise invariant in the thread count.
+void fill_rows_parallel(const CongestionGame& game, const Protocol& protocol,
+                        RoundWorkspace& ws, bool prune,
+                        const RowBounds& bounds, int row_threads) {
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  const auto s = ws.support.size();
+  ws.rows.resize(s * k);
+  ws.skip.assign(s, 0);
+  sweep::parallel_for(
+      static_cast<std::int64_t>(s), row_threads, [&](std::int64_t i) {
+        const StrategyId from = ws.support[static_cast<std::size_t>(i)];
+        const std::span<double> row{ws.rows.data() + i * static_cast<std::int64_t>(k), k};
+        if (prune && protocol.row_provably_zero(game, ws.ctx, from, bounds)) {
+          ws.skip[static_cast<std::size_t>(i)] = 1;
+          dcheck_pruned_row(game, ws.ctx, protocol, from, row);
+          return;
+        }
+        protocol.fill_move_probabilities(game, ws.ctx, from, row);
+        dcheck_row(row, from);
+      });
+}
+
 void draw_aggregate(const CongestionGame& game, const State& x,
                     const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
-                    RoundResult& out) {
+                    RoundResult& out, int row_threads) {
   const std::span<double> probs = ws.probs;
   const std::span<std::int64_t> counts = ws.counts;
-  for (StrategyId from : ws.support) {
-    protocol.fill_move_probabilities(game, ws.ctx, from, probs);
-    dcheck_row(probs, from);
-    rng.multinomial(x.count(from), probs, counts);
+  // Support/improvement pruning: origins whose whole row is provably zero
+  // are skipped outright — no row fill, no conditional binomials, and no
+  // RNG consumed (Rng::multinomial draws nothing for zero categories, so
+  // the stream stays bitwise identical to the unpruned path).
+  const RowBounds bounds = compute_row_bounds(game, x, ws.ctx);
+  const auto emit = [&](StrategyId from, std::span<const double> row) {
+    rng.multinomial(x.count(from), row, counts);
     for (std::size_t j = 0; j < counts.size(); ++j) {
       if (counts[j] == 0) continue;
       out.moves.push_back(
           Migration{from, static_cast<StrategyId>(j), counts[j]});
       out.movers += counts[j];
     }
+  };
+  if (row_threads <= 1) {
+    for (StrategyId from : ws.support) {
+      if (protocol.row_provably_zero(game, ws.ctx, from, bounds)) {
+        dcheck_pruned_row(game, ws.ctx, protocol, from, probs);
+        continue;
+      }
+      protocol.fill_move_probabilities(game, ws.ctx, from, probs);
+      dcheck_row(probs, from);
+      emit(from, probs);
+    }
+    return;
+  }
+  fill_rows_parallel(game, protocol, ws, /*prune=*/true, bounds, row_threads);
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  for (std::size_t i = 0; i < ws.support.size(); ++i) {
+    if (ws.skip[i] != 0) continue;
+    emit(ws.support[i], std::span<const double>{ws.rows.data() + i * k, k});
   }
 }
 
 void draw_per_player(const CongestionGame& game, const State& x,
                      const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
-                     RoundResult& out) {
+                     RoundResult& out, int row_threads) {
   const std::span<double> probs = ws.probs;
   const std::span<std::int64_t> tally = ws.counts;
-  for (StrategyId from : ws.support) {
-    protocol.fill_move_probabilities(game, ws.ctx, from, probs);
-    dcheck_row(probs, from);
-    build_cumulative(probs, ws.cumulative);
+  // No pruning here: every player consumes one uniform whether or not its
+  // row is zero, so a skipped origin would shift the RNG stream.
+  const auto emit = [&](StrategyId from, std::span<const double> row) {
+    build_cumulative(row, ws.cumulative);
     std::fill(tally.begin(), tally.end(), std::int64_t{0});
     const std::int64_t cohort = x.count(from);
     const auto begin = ws.cumulative.begin();
@@ -98,6 +182,20 @@ void draw_per_player(const CongestionGame& game, const State& x,
           Migration{from, static_cast<StrategyId>(j), tally[j]});
       out.movers += tally[j];
     }
+  };
+  if (row_threads <= 1) {
+    for (StrategyId from : ws.support) {
+      protocol.fill_move_probabilities(game, ws.ctx, from, probs);
+      dcheck_row(probs, from);
+      emit(from, probs);
+    }
+    return;
+  }
+  fill_rows_parallel(game, protocol, ws, /*prune=*/false, RowBounds{},
+                     row_threads);
+  const auto k = static_cast<std::size_t>(game.num_strategies());
+  for (std::size_t i = 0; i < ws.support.size(); ++i) {
+    emit(ws.support[i], std::span<const double>{ws.rows.data() + i * k, k});
   }
 }
 
@@ -180,16 +278,16 @@ RoundResult draw_reference_per_player(const CongestionGame& game,
 
 void draw_round(const CongestionGame& game, const State& x,
                 const Protocol& protocol, Rng& rng, EngineMode mode,
-                RoundWorkspace& ws, RoundResult& out) {
+                RoundWorkspace& ws, RoundResult& out, int row_threads) {
   out.moves.clear();
   out.movers = 0;
   prepare(game, x, ws);
   switch (mode) {
     case EngineMode::kAggregate:
-      draw_aggregate(game, x, protocol, rng, ws, out);
+      draw_aggregate(game, x, protocol, rng, ws, out, row_threads);
       return;
     case EngineMode::kPerPlayer:
-      draw_per_player(game, x, protocol, rng, ws, out);
+      draw_per_player(game, x, protocol, rng, ws, out, row_threads);
       return;
   }
   CID_ENSURE(false, "unreachable engine mode");
@@ -224,10 +322,20 @@ RoundResult step_round(const CongestionGame& game, State& x,
   return result;
 }
 
-RunResult run_dynamics(const CongestionGame& game, State& x,
-                       const Protocol& protocol, Rng& rng,
-                       const RunOptions& options, const StopPredicate& stop,
-                       const RoundObserver& observer) {
+namespace {
+
+/// Shared run loop. Exactly one of `stop` / `cached_stop` may be non-null;
+/// both null means "run to max_rounds". The cached predicate is handed the
+/// run's own workspace context on the batched path (reset lazily before
+/// the first check, incrementally refreshed afterwards) and a freshly
+/// rebuilt context per check on the reference path, so the oracle path
+/// stays free of incremental-cache state.
+RunResult run_dynamics_impl(const CongestionGame& game, State& x,
+                            const Protocol& protocol, Rng& rng,
+                            const RunOptions& options,
+                            const StopPredicate* stop,
+                            const CachedStopPredicate* cached_stop,
+                            const RoundObserver& observer) {
   CID_ENSURE(options.max_rounds >= 0, "max_rounds must be >= 0");
   CID_ENSURE(options.check_interval >= 1, "check_interval must be >= 1");
   CID_ENSURE(options.start_round >= 0, "start_round must be >= 0");
@@ -238,10 +346,27 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
   // dirtied and performs no heap allocation.
   RoundWorkspace ws;
   RoundResult rr;
+  LatencyContext reference_ctx;  // reference-path cached-stop scratch
+  const bool has_stop = (stop != nullptr && static_cast<bool>(*stop)) ||
+                        (cached_stop != nullptr &&
+                         static_cast<bool>(*cached_stop));
+  const auto stop_now = [&](std::int64_t round) -> bool {
+    if (cached_stop != nullptr && static_cast<bool>(*cached_stop)) {
+      if (options.reference_kernel) {
+        reference_ctx.reset(game, x);
+        return (*cached_stop)(reference_ctx, round);
+      }
+      if (!ws.ready) {
+        ws.ctx.reset(game, x);
+        ws.ready = true;
+      }
+      return (*cached_stop)(ws.ctx, round);
+    }
+    return (*stop)(game, x, round);
+  };
   for (std::int64_t round = options.start_round; round < options.max_rounds;
        ++round) {
-    if (stop && round % options.check_interval == 0 &&
-        stop(game, x, round)) {
+    if (has_stop && round % options.check_interval == 0 && stop_now(round)) {
       result.converged = true;
       break;
     }
@@ -250,7 +375,8 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
       if (observer) observer(game, x, rr.moves, round, false);
       x.apply(game, rr.moves);
     } else {
-      draw_round(game, x, protocol, rng, options.mode, ws, rr);
+      draw_round(game, x, protocol, rng, options.mode, ws, rr,
+                 options.row_threads);
       if (observer) observer(game, x, rr.moves, round, false);
       x.apply(game, rr.moves, ws.apply_scratch);
       ws.ctx.refresh(ws.apply_scratch.touched);
@@ -258,12 +384,39 @@ RunResult run_dynamics(const CongestionGame& game, State& x,
     result.total_movers += rr.movers;
     ++result.rounds;
   }
-  if (!result.converged && stop && stop(game, x, result.rounds)) {
+  if (!result.converged && has_stop && stop_now(result.rounds)) {
     result.converged = true;
   }
   if (observer) observer(game, x, {}, result.rounds, true);
   if (ws.ready) result.latency_evals = ws.ctx.latency_evals();
   return result;
+}
+
+}  // namespace
+
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options, const StopPredicate& stop,
+                       const RoundObserver& observer) {
+  return run_dynamics_impl(game, x, protocol, rng, options, &stop, nullptr,
+                           observer);
+}
+
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options,
+                       const CachedStopPredicate& stop,
+                       const RoundObserver& observer) {
+  return run_dynamics_impl(game, x, protocol, rng, options, nullptr, &stop,
+                           observer);
+}
+
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options, std::nullptr_t,
+                       const RoundObserver& observer) {
+  return run_dynamics_impl(game, x, protocol, rng, options, nullptr, nullptr,
+                           observer);
 }
 
 }  // namespace cid

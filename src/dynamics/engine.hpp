@@ -20,7 +20,13 @@
 // Protocol::fill_move_probabilities call instead of k virtual per-pair
 // calls. run_dynamics owns a reusable RoundWorkspace, so steady-state
 // rounds perform no heap allocation and no latency-function evaluation
-// beyond the entries a migration actually dirtied.
+// beyond the entries a migration actually dirtied. The aggregate engine
+// additionally PRUNES origins whose whole probability row is provably
+// zero (Protocol::row_provably_zero — e.g. ℓ_P within ν of the cheapest
+// used strategy under imitation), skipping both the row fill and the
+// conditional-binomial draws without touching the RNG stream, and
+// RunOptions::row_threads can fan the remaining per-origin row fills
+// across sweep-pool workers with a deterministic serial draw phase.
 //
 // The kernel consumes the RNG stream identically to the per-pair reference
 // path (draw_round_reference / RunOptions::reference_kernel) and produces
@@ -35,6 +41,7 @@
 // atomically — the definition of concurrency in this model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -66,8 +73,20 @@ struct RoundWorkspace {
   std::vector<double> cumulative;
   std::vector<std::int64_t> counts;
   ApplyScratch apply_scratch;
+  /// row_threads > 1 only: one probability row per support entry (origin i
+  /// owns rows[i*k, (i+1)*k)) so the parallel fill phase writes disjoint
+  /// slices, plus the per-origin prune verdicts.
+  std::vector<double> rows;
+  std::vector<char> skip;
   bool ready = false;  // ctx reflects the caller's current (game, x)
 };
+
+/// The per-round bounds fed to Protocol::row_provably_zero (support/
+/// improvement pruning): min cached ℓ_Q(x) over the support and over all
+/// strategies, plus the plus-dominance flag. O(k) reads; ctx must be
+/// consistent with x.
+RowBounds compute_row_bounds(const CongestionGame& game, const State& x,
+                             const LatencyContext& ctx);
 
 /// Draws one concurrent round (without applying it) on the batched kernel.
 /// Builds a fresh latency cache per call — loops that step many rounds
@@ -81,9 +100,16 @@ RoundResult draw_round(const CongestionGame& game, const State& x,
 /// from (game, x); callers that mutate x between draws must either apply
 /// the moves through x.apply(game, moves, ws.apply_scratch) and call
 /// ws.ctx.refresh(ws.apply_scratch.touched), or clear ws.ready.
+///
+/// `row_threads` > 1 fans the independent per-origin probability-row fills
+/// across that many sweep-pool workers (two-phase: parallel pure fills
+/// into disjoint row slices, then the RNG draws serially in support
+/// order), so output and RNG stream are BITWISE invariant in the thread
+/// count. Threads are spawned per round — worth it only when s·k row work
+/// dwarfs the spawn cost (large non-singleton games).
 void draw_round(const CongestionGame& game, const State& x,
                 const Protocol& protocol, Rng& rng, EngineMode mode,
-                RoundWorkspace& ws, RoundResult& out);
+                RoundWorkspace& ws, RoundResult& out, int row_threads = 1);
 
 /// PER-PAIR REFERENCE ORACLE: the pre-batching engine, driving every pair
 /// through Protocol::move_probability with no caching. Consumes the RNG
@@ -111,6 +137,15 @@ using RoundObserver = std::function<void(
 using StopPredicate = std::function<bool(const CongestionGame&,
                                          const State&, std::int64_t round)>;
 
+/// Cache-backed stop predicate: receives the run's own LatencyContext,
+/// already consistent with the current state, so equilibrium checks
+/// (dynamics/equilibrium.hpp cached overloads) reuse the round kernel's
+/// ℓ_P/ℓ_e tables instead of recomputing every latency per check. Under
+/// RunOptions::reference_kernel the engine hands it a freshly rebuilt
+/// context instead (no cache reuse — the oracle path stays cache-free).
+using CachedStopPredicate =
+    std::function<bool(const LatencyContext&, std::int64_t round)>;
+
 struct RunOptions {
   std::int64_t max_rounds = 1'000'000;
   std::int64_t check_interval = 1;
@@ -126,6 +161,10 @@ struct RunOptions {
   /// identical output either way — the oracle-equivalence suite flips this
   /// flag to prove it on whole runs.
   bool reference_kernel = false;
+  /// Worker threads for the per-origin probability-row fills inside one
+  /// round (see draw_round). 1 = serial (default); results are bitwise
+  /// identical for every value. Ignored by the reference kernel.
+  int row_threads = 1;
 };
 
 struct RunResult {
@@ -143,6 +182,21 @@ struct RunResult {
 RunResult run_dynamics(const CongestionGame& game, State& x,
                        const Protocol& protocol, Rng& rng,
                        const RunOptions& options, const StopPredicate& stop,
+                       const RoundObserver& observer = nullptr);
+
+/// Cached-stop overload: checks run against the kernel's own latency
+/// cache (see CachedStopPredicate). Identical round/RNG behavior.
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options,
+                       const CachedStopPredicate& stop,
+                       const RoundObserver& observer = nullptr);
+
+/// nullptr disambiguation (both std::function overloads accept it):
+/// "no stop predicate" — run to max_rounds.
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const RunOptions& options, std::nullptr_t,
                        const RoundObserver& observer = nullptr);
 
 }  // namespace cid

@@ -1,6 +1,7 @@
 #include "dynamics/equilibrium.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "util/assert.hpp"
 
@@ -33,6 +34,50 @@ double imitation_gap(const CongestionGame& game, const State& x) {
   return gap;
 }
 
+namespace {
+
+/// The cached predicates run every check_interval inside the engine's
+/// allocation-free loop, so they iterate the counts span directly instead
+/// of materializing a support vector — same ascending order, bitwise-
+/// identical verdicts.
+inline bool used(std::span<const std::int64_t> counts, StrategyId p) {
+  return counts[static_cast<std::size_t>(p)] > 0;
+}
+
+}  // namespace
+
+bool is_imitation_stable(const LatencyContext& ctx, double nu) {
+  CID_ENSURE(nu >= 0.0, "nu must be >= 0");
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const std::span<const std::int64_t> counts = ctx.state().counts();
+  const auto k = ctx.game().num_strategies();
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    const double lp = ctx.strategy_latency(p);
+    for (StrategyId q = 0; q < k; ++q) {
+      if (q == p || !used(counts, q)) continue;
+      if (lp > ctx.expost_latency(p, q) + nu) return false;
+    }
+  }
+  return true;
+}
+
+double imitation_gap(const LatencyContext& ctx) {
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const std::span<const std::int64_t> counts = ctx.state().counts();
+  const auto k = ctx.game().num_strategies();
+  double gap = 0.0;
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    const double lp = ctx.strategy_latency(p);
+    for (StrategyId q = 0; q < k; ++q) {
+      if (q == p || !used(counts, q)) continue;
+      gap = std::max(gap, lp - ctx.expost_latency(p, q));
+    }
+  }
+  return gap;
+}
+
 ApproxEqReport check_delta_eps_nu(const CongestionGame& game, const State& x,
                                   double delta, double eps, double nu) {
   CID_ENSURE(delta >= 0.0 && delta <= 1.0, "delta must be in [0, 1]");
@@ -58,9 +103,57 @@ ApproxEqReport check_delta_eps_nu(const CongestionGame& game, const State& x,
   return report;
 }
 
+ApproxEqReport check_delta_eps_nu(const LatencyContext& ctx, double delta,
+                                  double eps, double nu) {
+  CID_ENSURE(delta >= 0.0 && delta <= 1.0, "delta must be in [0, 1]");
+  CID_ENSURE(eps >= 0.0, "eps must be >= 0");
+  CID_ENSURE(nu >= 0.0, "nu must be >= 0");
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const CongestionGame& game = ctx.game();
+  const State& x = ctx.state();
+  ApproxEqReport report;
+  const std::span<const std::int64_t> counts = x.counts();
+  const auto k = game.num_strategies();
+  const auto n = static_cast<double>(game.num_players());
+  // L_av / L⁺_av: same support traversal and accumulation order as the
+  // game methods, with the per-strategy sums read from the cache.
+  double av = 0.0;
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    av += static_cast<double>(x.count(p)) * ctx.strategy_latency(p);
+  }
+  report.average_latency = av / n;
+  double plus_av = 0.0;
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    plus_av += static_cast<double>(x.count(p)) * ctx.plus_latency(p);
+  }
+  report.plus_average_latency = plus_av / n;
+  const double upper = (1.0 + eps) * report.plus_average_latency + nu;
+  const double lower = (1.0 - eps) * report.average_latency - nu;
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    const double lp = ctx.strategy_latency(p);
+    const double mass = static_cast<double>(x.count(p)) / n;
+    if (lp > upper) {
+      report.expensive_mass += mass;
+    } else if (lp < lower) {
+      report.cheap_mass += mass;
+    }
+  }
+  report.unsatisfied_mass = report.expensive_mass + report.cheap_mass;
+  report.at_equilibrium = report.unsatisfied_mass <= delta + 1e-12;
+  return report;
+}
+
 bool is_delta_eps_equilibrium(const CongestionGame& game, const State& x,
                               double delta, double eps) {
   return check_delta_eps_nu(game, x, delta, eps, game.nu()).at_equilibrium;
+}
+
+bool is_delta_eps_equilibrium(const LatencyContext& ctx, double delta,
+                              double eps) {
+  return check_delta_eps_nu(ctx, delta, eps, ctx.game().nu()).at_equilibrium;
 }
 
 bool is_nash(const CongestionGame& game, const State& x) {
@@ -74,6 +167,21 @@ bool is_nash(const CongestionGame& game, const State& x) {
   return true;
 }
 
+bool is_nash(const LatencyContext& ctx) {
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const std::span<const std::int64_t> counts = ctx.state().counts();
+  const auto k = ctx.game().num_strategies();
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    const double lp = ctx.strategy_latency(p);
+    for (StrategyId q = 0; q < k; ++q) {
+      if (q == p) continue;
+      if (lp > ctx.expost_latency(p, q) + 1e-12) return false;
+    }
+  }
+  return true;
+}
+
 double nash_gap(const CongestionGame& game, const State& x) {
   double gap = 0.0;
   for (StrategyId p : x.support()) {
@@ -81,6 +189,22 @@ double nash_gap(const CongestionGame& game, const State& x) {
     for (StrategyId q = 0; q < game.num_strategies(); ++q) {
       if (q == p) continue;
       gap = std::max(gap, lp - game.expost_latency(x, p, q));
+    }
+  }
+  return gap;
+}
+
+double nash_gap(const LatencyContext& ctx) {
+  CID_ENSURE(ctx.ready(), "cached predicate needs a reset context");
+  const std::span<const std::int64_t> counts = ctx.state().counts();
+  const auto k = ctx.game().num_strategies();
+  double gap = 0.0;
+  for (StrategyId p = 0; p < k; ++p) {
+    if (!used(counts, p)) continue;
+    const double lp = ctx.strategy_latency(p);
+    for (StrategyId q = 0; q < k; ++q) {
+      if (q == p) continue;
+      gap = std::max(gap, lp - ctx.expost_latency(p, q));
     }
   }
   return gap;

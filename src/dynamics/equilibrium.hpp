@@ -7,11 +7,22 @@
 //     ε-fraction plus ν;
 //   * exact Nash: no player improves by any unilateral deviation over the
 //     *full* strategy space.
+//
+// Every predicate exists in two forms: a context-free REFERENCE version
+// evaluating latencies through the game (kept as the oracle), and a
+// LatencyContext-backed overload reading the round kernel's caches
+// (ℓ_P(x), ℓ_e(x_e), ℓ_e(x_e+1)) instead of recomputing them —
+// O(Σ|P|+|Q|) array reads per pair, zero latency-function calls. The two
+// forms are BITWISE identical (same expressions, same accumulation
+// order; pinned by tests/test_equilibrium_cached.cpp), so run_dynamics
+// can route its stop checks through the per-round cache without
+// perturbing any outcome.
 #pragma once
 
 #include <cstdint>
 
 #include "game/congestion_game.hpp"
+#include "game/latency_context.hpp"
 #include "game/state.hpp"
 
 namespace cid {
@@ -23,9 +34,16 @@ namespace cid {
 bool is_imitation_stable(const CongestionGame& game, const State& x,
                          double nu);
 
+/// Cached overload: evaluates over ctx.game()/ctx.state() from the latency
+/// cache. ctx must be consistent with the state (reset or refreshed).
+bool is_imitation_stable(const LatencyContext& ctx, double nu);
+
 /// Largest support-restricted unilateral improvement:
 /// max_{P used, Q used} (ℓ_P(x) − ℓ_Q(x+1_Q−1_P)), 0 if none positive.
 double imitation_gap(const CongestionGame& game, const State& x);
+
+/// Cached overload of imitation_gap.
+double imitation_gap(const LatencyContext& ctx);
 
 /// Definition 1 evaluation. expensive_mass / cheap_mass are the player
 /// fractions on P⁺_{ε,ν} / P⁻_{ε,ν}; at_equilibrium iff their sum <= δ.
@@ -41,16 +59,31 @@ struct ApproxEqReport {
 ApproxEqReport check_delta_eps_nu(const CongestionGame& game, const State& x,
                                   double delta, double eps, double nu);
 
+/// Cached overload: L_av/L⁺_av and every per-strategy latency come from
+/// the cache (ℓ⁺_P is the ell_plus table summed in plus_latency order).
+ApproxEqReport check_delta_eps_nu(const LatencyContext& ctx, double delta,
+                                  double eps, double nu);
+
 /// Convenience wrapper using the game's own ν.
 bool is_delta_eps_equilibrium(const CongestionGame& game, const State& x,
                               double delta, double eps);
+
+/// Cached overload of is_delta_eps_equilibrium.
+bool is_delta_eps_equilibrium(const LatencyContext& ctx, double delta,
+                              double eps);
 
 /// Exact Nash: for every used P and *every* Q in the strategy space,
 /// ℓ_P(x) <= ℓ_Q(x+1_Q−1_P).
 bool is_nash(const CongestionGame& game, const State& x);
 
+/// Cached overload of is_nash.
+bool is_nash(const LatencyContext& ctx);
+
 /// Largest unilateral improvement over the full strategy space
 /// (0 at a Nash equilibrium). This is the ε of ε-Nash.
 double nash_gap(const CongestionGame& game, const State& x);
+
+/// Cached overload of nash_gap.
+double nash_gap(const LatencyContext& ctx);
 
 }  // namespace cid

@@ -207,22 +207,37 @@ std::int64_t AsymmetricState::congestion(Resource e) const {
 }
 
 std::vector<StrategyId> AsymmetricState::support(std::int32_t c) const {
+  std::vector<StrategyId> used;
+  support(c, used);
+  return used;
+}
+
+void AsymmetricState::support(std::int32_t c,
+                              std::vector<StrategyId>& out) const {
   CID_ENSURE(c >= 0 && static_cast<std::size_t>(c) < counts_.size(),
              "class out of range");
-  std::vector<StrategyId> used;
+  out.clear();
   const auto& row = counts_[static_cast<std::size_t>(c)];
   for (std::size_t p = 0; p < row.size(); ++p) {
-    if (row[p] > 0) used.push_back(static_cast<StrategyId>(p));
+    if (row[p] > 0) out.push_back(static_cast<StrategyId>(p));
   }
-  return used;
 }
 
 void AsymmetricState::apply(const AsymmetricGame& game,
                             std::span<const ClassMigration> moves) {
-  std::vector<std::vector<std::int64_t>> outflow(counts_.size());
+  AsymmetricApplyScratch scratch;
+  apply(game, moves, scratch);
+}
+
+void AsymmetricState::apply(const AsymmetricGame& game,
+                            std::span<const ClassMigration> moves,
+                            AsymmetricApplyScratch& scratch) {
+  auto& outflow = scratch.outflow;
+  outflow.resize(counts_.size());
   for (std::size_t c = 0; c < counts_.size(); ++c) {
     outflow[c].assign(counts_[c].size(), 0);
   }
+  scratch.touched.clear();
   for (const ClassMigration& mv : moves) {
     CID_ENSURE(mv.player_class >= 0 &&
                    static_cast<std::size_t>(mv.player_class) < counts_.size(),
@@ -251,9 +266,11 @@ void AsymmetricState::apply(const AsymmetricGame& game,
     const PlayerClass& cls = game.player_class(mv.player_class);
     for (Resource e : cls.strategies[static_cast<std::size_t>(mv.from)]) {
       congestion_[static_cast<std::size_t>(e)] -= mv.count;
+      scratch.touched.push_back(e);
     }
     for (Resource e : cls.strategies[static_cast<std::size_t>(mv.to)]) {
       congestion_[static_cast<std::size_t>(e)] += mv.count;
+      scratch.touched.push_back(e);
     }
   }
 }
@@ -303,8 +320,8 @@ double asymmetric_move_probability(const AsymmetricGame& game,
   return sample * mu;
 }
 
-AsymmetricRoundResult step_asymmetric_round(
-    const AsymmetricGame& game, AsymmetricState& x,
+AsymmetricRoundResult draw_asymmetric_round_reference(
+    const AsymmetricGame& game, const AsymmetricState& x,
     const AsymmetricImitationParams& params, Rng& rng) {
   AsymmetricRoundResult result;
   for (std::int32_t c = 0; c < game.num_classes(); ++c) {
@@ -325,6 +342,14 @@ AsymmetricRoundResult step_asymmetric_round(
       }
     }
   }
+  return result;
+}
+
+AsymmetricRoundResult step_asymmetric_round(
+    const AsymmetricGame& game, AsymmetricState& x,
+    const AsymmetricImitationParams& params, Rng& rng) {
+  AsymmetricRoundResult result =
+      draw_asymmetric_round_reference(game, x, params, rng);
   x.apply(game, result.moves);
   return result;
 }

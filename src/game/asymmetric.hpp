@@ -85,6 +85,18 @@ struct ClassMigration {
   std::int64_t count = 0;
 };
 
+/// Reusable buffers for AsymmetricState::apply on the batched round hot
+/// path (the class-structured mirror of ApplyScratch in game/state.hpp):
+/// the feasibility tally plus the resources the batch touched, consumed by
+/// AsymmetricLatencyContext::refresh for incremental cache maintenance.
+struct AsymmetricApplyScratch {
+  std::vector<std::vector<std::int64_t>> outflow;
+  /// Superset of the resources whose congestion may have changed (repeats
+  /// and net-zero entries included; the cache dedupes against recorded
+  /// loads). Overwritten by each apply call.
+  std::vector<Resource> touched;
+};
+
 class AsymmetricState {
  public:
   /// counts[c][p] = players of class c on strategy p.
@@ -106,8 +118,17 @@ class AsymmetricState {
   /// Strategies of class c with positive count.
   std::vector<StrategyId> support(std::int32_t c) const;
 
+  /// Allocation-free variant: clears `out` and refills it.
+  void support(std::int32_t c, std::vector<StrategyId>& out) const;
+
   void apply(const AsymmetricGame& game,
              std::span<const ClassMigration> moves);
+
+  /// Hot-path variant: identical semantics and validation, but the
+  /// feasibility tally lives in caller-owned scratch and scratch.touched
+  /// reports the touched resources for the incremental latency cache.
+  void apply(const AsymmetricGame& game, std::span<const ClassMigration> moves,
+             AsymmetricApplyScratch& scratch);
 
   void check_consistent(const AsymmetricGame& game) const;
 
@@ -138,8 +159,17 @@ struct AsymmetricRoundResult {
   std::int64_t movers = 0;
 };
 
-/// One concurrent round (aggregate engine), drawn against the pre-round
-/// state and applied atomically.
+/// PER-PAIR REFERENCE ORACLE: draws one concurrent round (without applying
+/// it) through asymmetric_move_probability, one virtual-free but uncached
+/// call per (class, origin, destination) triple. The batched class-local
+/// kernel (dynamics/asymmetric_engine.hpp) must reproduce it bitwise —
+/// same migrations, same RNG stream (tests/test_engine_oracle.cpp).
+AsymmetricRoundResult draw_asymmetric_round_reference(
+    const AsymmetricGame& game, const AsymmetricState& x,
+    const AsymmetricImitationParams& params, Rng& rng);
+
+/// One concurrent round (aggregate engine, reference path), drawn against
+/// the pre-round state and applied atomically.
 AsymmetricRoundResult step_asymmetric_round(
     const AsymmetricGame& game, AsymmetricState& x,
     const AsymmetricImitationParams& params, Rng& rng);

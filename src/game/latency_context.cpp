@@ -9,8 +9,10 @@ void LatencyContext::recompute_resource(std::size_t e) {
   const LatencyFunction& fn = game_->latency(static_cast<Resource>(e));
   // Exactly the evaluations the uncached game methods perform, so cached
   // reads reproduce them bit-for-bit.
+  non_monotone_ -= ell_plus_[e] < ell_[e] ? 1 : 0;
   ell_[e] = fn.value(static_cast<double>(load));
   ell_plus_[e] = fn.value(static_cast<double>(load + 1));
+  non_monotone_ += ell_plus_[e] < ell_[e] ? 1 : 0;
   load_[e] = load;
   evals_ += 2;
 }
@@ -23,13 +25,16 @@ void LatencyContext::reset(const CongestionGame& game, const State& x) {
   x_ = &x;
   const auto m = static_cast<std::size_t>(game.num_resources());
   const auto k = static_cast<std::size_t>(game.num_strategies());
-  ell_.resize(m);
-  ell_plus_.resize(m);
+  // Non-violating placeholders (0 < 0 is false), so recompute_resource's
+  // decrement-old/increment-new bookkeeping starts from a clean slate.
+  ell_.assign(m, 0.0);
+  ell_plus_.assign(m, 0.0);
   load_.resize(m);
   strat_.resize(k);
   strat_epoch_.assign(k, 0);
   epoch_ = 0;
   evals_ = 0;
+  non_monotone_ = 0;
   for (std::size_t e = 0; e < m; ++e) recompute_resource(e);
   const std::span<const Strategy> strategies = game.strategies();
   for (std::size_t p = 0; p < k; ++p) {
@@ -70,6 +75,14 @@ void LatencyContext::refresh(std::span<const Resource> touched) {
       strat_[pi] = acc;
     }
   }
+}
+
+double LatencyContext::plus_latency(StrategyId p) const noexcept {
+  // Same accumulation order as CongestionGame::plus_latency.
+  const Strategy& st = game_->strategies()[static_cast<std::size_t>(p)];
+  double acc = 0.0;
+  for (Resource e : st) acc += ell_plus_[static_cast<std::size_t>(e)];
+  return acc;
 }
 
 double LatencyContext::expost_latency(StrategyId from,

@@ -67,6 +67,20 @@ class LatencyContext {
     return strat_[static_cast<std::size_t>(p)];
   }
 
+  /// ℓ⁺_P(x) = ℓ_P(x + 1_P) — bitwise equal to game.plus_latency(x, p):
+  /// same per-resource evaluations (the ell_plus table), same accumulation
+  /// order. O(|P|) cache reads, zero latency-function calls.
+  double plus_latency(StrategyId p) const noexcept;
+
+  /// True iff ℓ_e(x_e + 1) >= ℓ_e(x_e) for EVERY resource at the cached
+  /// loads. When this holds, ex-post latencies dominate current latencies
+  /// term-by-term (IEEE rounding is monotone, so the dominance survives
+  /// the float summation), which is what makes the engines'
+  /// provably-zero-row pruning sound. Maintained incrementally: O(1) to
+  /// query. A game with a decreasing latency function simply reports
+  /// false and pruning disables itself.
+  bool plus_dominates() const noexcept { return non_monotone_ == 0; }
+
   /// ℓ_Q(x + 1_Q − 1_P) — bitwise equal to game.expost_latency(x, from,
   /// to). Linear merge of the two sorted strategies over cached values.
   double expost_latency(StrategyId from, StrategyId to) const noexcept;
@@ -89,6 +103,7 @@ class LatencyContext {
   std::vector<Resource> fresh_;          // scratch: deduped touched list
   std::uint64_t epoch_ = 0;
   std::int64_t evals_ = 0;
+  std::int64_t non_monotone_ = 0;        // resources with ℓ_e(x_e+1) < ℓ_e(x_e)
 };
 
 }  // namespace cid

@@ -131,6 +131,31 @@ StopPredicate stop_from_spec(const std::string& spec) {
                       "' (expected stable|nash|deltaeps:D,E)");
 }
 
+CachedStopPredicate cached_stop_from_spec(const std::string& spec) {
+  if (spec == "stable") {
+    return [](const LatencyContext& ctx, std::int64_t) {
+      return is_imitation_stable(ctx, ctx.game().nu());
+    };
+  }
+  if (spec == "nash") {
+    return [](const LatencyContext& ctx, std::int64_t) {
+      return is_nash(ctx);
+    };
+  }
+  if (spec.rfind("deltaeps:", 0) == 0) {
+    double delta = 0.1, eps = 0.1;
+    if (std::sscanf(spec.c_str(), "deltaeps:%lf,%lf", &delta, &eps) != 2) {
+      throw persist_error("bad stop spec '" + spec +
+                          "' (expected deltaeps:D,E)");
+    }
+    return [delta, eps](const LatencyContext& ctx, std::int64_t) {
+      return is_delta_eps_equilibrium(ctx, delta, eps);
+    };
+  }
+  throw persist_error("unknown stop spec '" + spec +
+                      "' (expected stable|nash|deltaeps:D,E)");
+}
+
 std::string find_latest_checkpoint(const std::string& path) {
   if (std::filesystem::exists(path)) return path;
   const auto set = list_checkpoint_set(path);

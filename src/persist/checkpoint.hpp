@@ -95,4 +95,9 @@ std::size_t prune_checkpoints(const std::string& path,
 /// "nash", "deltaeps:D,E"); shared by cid_sim and resume paths.
 StopPredicate stop_from_spec(const std::string& spec);
 
+/// Cache-backed variant of stop_from_spec: same specs, same (bitwise)
+/// verdicts, evaluated through the run's latency cache so converged-phase
+/// checks stop dominating wall time (see dynamics/equilibrium.hpp).
+CachedStopPredicate cached_stop_from_spec(const std::string& spec);
+
 }  // namespace cid::persist

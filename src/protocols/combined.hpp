@@ -27,6 +27,13 @@ class CombinedProtocol final : public Protocol {
                                const LatencyContext& ctx, StrategyId from,
                                std::span<double> out) const override;
 
+  /// A combined row entry is p·explore + (1−p)·imitate; it is provably
+  /// zero exactly when both sub-rows are (0.0·anything + anything·0.0
+  /// stays 0.0 for the finite sub-probabilities involved).
+  bool row_provably_zero(const CongestionGame& game, const LatencyContext& ctx,
+                         StrategyId from,
+                         const RowBounds& bounds) const override;
+
   std::string name() const override;
 
   double p_explore() const noexcept { return p_explore_; }

@@ -93,6 +93,17 @@ void ExplorationProtocol::fill_move_probabilities(const CongestionGame& game,
   }
 }
 
+bool ExplorationProtocol::row_provably_zero(const CongestionGame& /*game*/,
+                                            const LatencyContext& ctx,
+                                            StrategyId from,
+                                            const RowBounds& bounds) const {
+  if (!bounds.plus_dominates) return false;
+  // Every destination's l_to >= ℓ_Q(x) >= min_latency, so the strict-
+  // improvement test !(l_from > l_to) fails row-wide and every entry is
+  // sample_prob * 0.0 == 0.0 exactly.
+  return !(ctx.strategy_latency(from) > bounds.min_latency);
+}
+
 double ExplorationProtocol::move_probability(const CongestionGame& game,
                                              const State& x, StrategyId from,
                                              StrategyId to) const {

@@ -42,6 +42,13 @@ class ExplorationProtocol final : public Protocol {
                                const LatencyContext& ctx, StrategyId from,
                                std::span<double> out) const override;
 
+  /// Exploration samples ALL strategies (including empty ones), so its row
+  /// is provably zero only when ℓ_P(x) <= min over every strategy of
+  /// ℓ_Q(x) and plus-dominance lifts that to the ex-post latencies.
+  bool row_provably_zero(const CongestionGame& game, const LatencyContext& ctx,
+                         StrategyId from,
+                         const RowBounds& bounds) const override;
+
   /// Batched-kernel core shared with CombinedProtocol (see
   /// ImitationProtocol::move_probability_cached).
   double move_probability_cached(const CongestionGame& game, StrategyId from,

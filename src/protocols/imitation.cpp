@@ -118,6 +118,22 @@ void ImitationProtocol::fill_move_probabilities(const CongestionGame& game,
   }
 }
 
+bool ImitationProtocol::row_provably_zero(const CongestionGame& game,
+                                          const LatencyContext& ctx,
+                                          StrategyId from,
+                                          const RowBounds& bounds) const {
+  if (!bounds.plus_dominates) return false;
+  // Every populated destination Q has l_to >= ℓ_Q(x) >= floor (bitwise:
+  // the ex-post merge sums per-resource values >= the ℓ_Q(x) terms in the
+  // same order, and IEEE rounding is monotone, so float summation
+  // preserves the dominance; adding the same nu keeps it). Then
+  // ℓ_P <= floor + ν implies the gain test !(l_from > l_to + nu) fails for
+  // every destination — exactly the branch fill_move_probabilities takes.
+  const double floor = params_.virtual_agents > 0 ? bounds.min_latency
+                                                  : bounds.min_support_latency;
+  return !(ctx.strategy_latency(from) > floor + effective_nu(game));
+}
+
 double ImitationProtocol::move_probability(const CongestionGame& game,
                                            const State& x, StrategyId from,
                                            StrategyId to) const {

@@ -76,6 +76,15 @@ class ImitationProtocol final : public Protocol {
                                const LatencyContext& ctx, StrategyId from,
                                std::span<double> out) const override;
 
+  /// Imitation's row is all zero when no destination beats ℓ_P(x) by more
+  /// than ν: ℓ_Q(x+1_Q−1_P) >= ℓ_Q(x) (plus-dominance) makes
+  /// ℓ_P <= min ℓ_Q(x) + ν a proof. With virtual agents the sampling
+  /// reaches empty strategies, so the min runs over ALL strategies;
+  /// without, over the support only (empty targets are zeroed anyway).
+  bool row_provably_zero(const CongestionGame& game, const LatencyContext& ctx,
+                         StrategyId from,
+                         const RowBounds& bounds) const override;
+
   /// Batched-kernel core shared with CombinedProtocol: the pair probability
   /// from pre-fetched ℓ_P(x) and ℓ_Q(x+1_Q−1_P). Bitwise identical to
   /// move_probability for the same state.

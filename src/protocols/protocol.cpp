@@ -18,4 +18,11 @@ void Protocol::fill_move_probabilities(const CongestionGame& game,
   }
 }
 
+bool Protocol::row_provably_zero(const CongestionGame& /*game*/,
+                                 const LatencyContext& /*ctx*/,
+                                 StrategyId /*from*/,
+                                 const RowBounds& /*bounds*/) const {
+  return false;
+}
+
 }  // namespace cid

@@ -22,6 +22,22 @@
 
 namespace cid {
 
+/// Per-round state summary the aggregate engine hands to
+/// Protocol::row_provably_zero so a protocol can prove a whole origin row
+/// is zero without filling it. Computed once per round in O(k) (see
+/// compute_row_bounds in dynamics/engine.hpp).
+struct RowBounds {
+  /// min_{Q : x_Q > 0} ℓ_Q(x) (+inf when the support is empty).
+  double min_support_latency = 0.0;
+  /// min over ALL strategies of ℓ_Q(x).
+  double min_latency = 0.0;
+  /// LatencyContext::plus_dominates(): ℓ_e(x_e+1) >= ℓ_e(x_e) everywhere,
+  /// hence ℓ_Q(x+1_Q−1_P) >= ℓ_Q(x) for every pair (term-by-term float
+  /// dominance; IEEE rounding is monotone). Every override must return
+  /// false when this is false — the bounds prove nothing then.
+  bool plus_dominates = false;
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -51,6 +67,21 @@ class Protocol {
                                        const LatencyContext& ctx,
                                        StrategyId from,
                                        std::span<double> out) const;
+
+  /// Support/improvement pruning hook for the aggregate engine: return
+  /// true ONLY when every entry fill_move_probabilities would write for
+  /// `from` is provably 0.0 — then the engine skips the row fill AND the
+  /// multinomial draw. Bitwise-safe because Rng::multinomial consumes no
+  /// randomness for zero-probability categories, so skipping an all-zero
+  /// row leaves the RNG stream untouched (pinned by
+  /// tests/test_engine_distribution.cpp and the oracle suite).
+  ///
+  /// The default conservatively never prunes (correct for any protocol).
+  /// Overrides must be sound, not complete: returning false for a row
+  /// that happens to be zero merely costs time.
+  virtual bool row_provably_zero(const CongestionGame& game,
+                                 const LatencyContext& ctx, StrategyId from,
+                                 const RowBounds& bounds) const;
 
   virtual std::string name() const = 0;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "dynamics/asymmetric_engine.hpp"
 #include "dynamics/equilibrium.hpp"
 #include "game/asymmetric.hpp"
 #include "game/builders.hpp"
@@ -116,6 +117,8 @@ persist::SimConfig trial_config(const ProtocolSpec& protocol,
   return config;
 }
 
+/// Context-free stop predicates — the reference path (and the oracle the
+/// cached predicates are audited against).
 StopPredicate make_stop(const DynamicsConfig& dynamics) {
   switch (dynamics.stop) {
     case StopRule::kImitationStable:
@@ -131,6 +134,29 @@ StopPredicate make_stop(const DynamicsConfig& dynamics) {
       return [delta, eps](const CongestionGame& g, const State& s,
                           std::int64_t) {
         return is_delta_eps_equilibrium(g, s, delta, eps);
+      };
+    }
+  }
+  throw std::runtime_error("unhandled stop rule");
+}
+
+/// Cache-backed stop predicates: bitwise-identical verdicts to make_stop
+/// (tests/test_equilibrium_cached.cpp), reading the run's own latency
+/// cache instead of re-evaluating every ℓ per check.
+CachedStopPredicate make_cached_stop(const DynamicsConfig& dynamics) {
+  switch (dynamics.stop) {
+    case StopRule::kImitationStable:
+      return [](const LatencyContext& ctx, std::int64_t) {
+        return is_imitation_stable(ctx, ctx.game().nu());
+      };
+    case StopRule::kNash:
+      return [](const LatencyContext& ctx, std::int64_t) {
+        return is_nash(ctx);
+      };
+    case StopRule::kDeltaEps: {
+      const double delta = dynamics.delta, eps = dynamics.eps;
+      return [delta, eps](const LatencyContext& ctx, std::int64_t) {
+        return is_delta_eps_equilibrium(ctx, delta, eps);
       };
     }
   }
@@ -195,6 +221,7 @@ class SymmetricInstance final : public ScenarioInstance {
     options.mode = dynamics.mode;
     options.start_round = start_round;
     options.reference_kernel = dynamics.reference_kernel;
+    options.row_threads = dynamics.row_threads;
 
     RoundObserver observer = nullptr;
     std::int64_t movers = base_movers;
@@ -227,8 +254,15 @@ class SymmetricInstance final : public ScenarioInstance {
       };
     }
 
-    const RunResult rr = run_dynamics(game_, x, *proto, rng, options,
-                                      make_stop(dynamics), observer);
+    // Batched trials route stop checks through the kernel's latency cache;
+    // reference trials keep the context-free predicates, so flipping
+    // reference_kernel audits the cached predicates end to end.
+    const RunResult rr =
+        dynamics.reference_kernel
+            ? run_dynamics(game_, x, *proto, rng, options,
+                           make_stop(dynamics), observer)
+            : run_dynamics(game_, x, *proto, rng, options,
+                           make_cached_stop(dynamics), observer);
     if (stats != nullptr) stats->latency_evals += rr.latency_evals;
     TrialOutcome out;
     out.rounds = static_cast<double>(rr.rounds);
@@ -327,17 +361,16 @@ class AsymmetricInstance final : public ScenarioInstance {
 
   TrialOutcome run_trial(const ProtocolSpec& protocol,
                          const DynamicsConfig& dynamics, Rng& rng,
-                         TrialStats* /*stats*/) const override {
-    // Class-local rounds run their own kernel; no batched-engine counters.
+                         TrialStats* stats) const override {
     AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
-    return run_loop(protocol, dynamics, rng, x, 0, 0, nullptr);
+    return run_loop(protocol, dynamics, rng, x, 0, 0, nullptr, stats);
   }
 
   TrialOutcome run_trial_checkpointed(
       const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
       const TrialCheckpoint& checkpoint) const override {
     AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
-    return run_loop(protocol, dynamics, rng, x, 0, 0, &checkpoint);
+    return run_loop(protocol, dynamics, rng, x, 0, 0, &checkpoint, nullptr);
   }
 
   TrialOutcome resume_trial(const ProtocolSpec& protocol,
@@ -357,18 +390,23 @@ class AsymmetricInstance final : public ScenarioInstance {
     Rng rng;
     rng.set_state(snapshot.rng_state);
     return run_loop(protocol, dynamics, rng, x, snapshot.round,
-                    snapshot.movers, nullptr);
+                    snapshot.movers, nullptr, nullptr);
   }
 
  private:
   /// The shared trial body over [start_round, dynamics.max_rounds).
   /// Stop checks use absolute round numbers, so a resumed loop replays
-  /// the uninterrupted check cadence exactly.
+  /// the uninterrupted check cadence exactly. Rounds and stop checks run
+  /// on the batched class-local kernel (dynamics/asymmetric_engine.hpp)
+  /// unless dynamics.reference_kernel routes them through the per-pair
+  /// oracle and the context-free predicates — bitwise identical either
+  /// way (tests/test_engine_oracle.cpp).
   TrialOutcome run_loop(const ProtocolSpec& protocol,
                         const DynamicsConfig& dynamics, Rng& rng,
                         AsymmetricState& x, std::int64_t start_round,
                         std::int64_t base_movers,
-                        const TrialCheckpoint* checkpoint) const {
+                        const TrialCheckpoint* checkpoint,
+                        TrialStats* stats) const {
     if (protocol.name != "imitation") {
       throw std::runtime_error(
           "asymmetric scenarios support only the imitation protocol "
@@ -382,13 +420,25 @@ class AsymmetricInstance final : public ScenarioInstance {
     params.nu_cutoff = protocol.nu_cutoff;
     params.damping = protocol.damping;
 
+    const bool reference = dynamics.reference_kernel;
+    AsymmetricRoundWorkspace ws;
+    AsymmetricRoundResult rr;
     // No Definition-1 evaluation exists for asymmetric games, so kDeltaEps
     // deliberately falls back to the stricter class-wise nu-stability
     // (documented on StopRule in scenario.hpp).
     auto stopped = [&](const AsymmetricState& s) {
+      if (reference) {
+        return dynamics.stop == StopRule::kNash
+                   ? is_asymmetric_nash(game_, s)
+                   : is_asymmetric_imitation_stable(game_, s, game_.nu());
+      }
+      if (!ws.ready) {
+        ws.ctx.reset(game_, s);
+        ws.ready = true;
+      }
       return dynamics.stop == StopRule::kNash
-                 ? is_asymmetric_nash(game_, s)
-                 : is_asymmetric_imitation_stable(game_, s, game_.nu());
+                 ? is_asymmetric_nash(ws.ctx)
+                 : is_asymmetric_imitation_stable(ws.ctx, game_.nu());
     };
     const persist::SimConfig config =
         checkpoint != nullptr ? trial_config(protocol, dynamics)
@@ -411,10 +461,21 @@ class AsymmetricInstance final : public ScenarioInstance {
         out.converged = true;
         break;
       }
-      movers += step_asymmetric_round(game_, x, params, rng).movers;
+      if (reference) {
+        movers += step_asymmetric_round(game_, x, params, rng).movers;
+      } else {
+        draw_asymmetric_round(game_, x, params, rng, ws, rr,
+                              dynamics.row_threads);
+        x.apply(game_, rr.moves, ws.apply_scratch);
+        ws.ctx.refresh(ws.apply_scratch.touched);
+        movers += rr.movers;
+      }
     }
     if (!out.converged && stopped(x)) out.converged = true;
     if (checkpoint != nullptr) snapshot_now(round, movers);
+    if (stats != nullptr && ws.ready) {
+      stats->latency_evals += ws.ctx.latency_evals();
+    }
     out.rounds = static_cast<double>(round);
     out.movers = movers;
     out.potential = game_.potential(x);

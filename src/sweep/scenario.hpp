@@ -101,12 +101,20 @@ struct DynamicsConfig {
   StopRule stop = StopRule::kDeltaEps;
   double delta = 0.1;
   double eps = 0.1;
-  /// Testing hook (symmetric scenarios only): drive rounds through the
-  /// per-pair reference oracle instead of the batched kernel. Outcomes are
-  /// bitwise identical either way — the oracle-equivalence suite flips
-  /// this per family to prove it. Excluded from manifest fingerprints for
-  /// exactly that reason.
+  /// Testing hook: drive rounds through the per-pair reference oracle
+  /// (and the context-free stop predicates) instead of the batched
+  /// cached-latency kernel — for the symmetric AND the asymmetric
+  /// class-local engines (threshold-lb runs sequential dynamics and
+  /// ignores it). Outcomes are bitwise identical either way — the
+  /// oracle-equivalence suite flips this per family to prove it.
+  /// Excluded from manifest fingerprints for exactly that reason.
   bool reference_kernel = false;
+  /// Worker threads for the per-origin row fills inside one round (see
+  /// RunOptions::row_threads); trials are bitwise identical for every
+  /// value, so this too stays out of manifest fingerprints. Only pays off
+  /// for large games — per-trial parallelism (SweepOptions::threads) is
+  /// usually the better lever in a sweep.
+  int row_threads = 1;
 };
 
 /// Everything a trial reports. Deliberately wall-clock-free: these fields
@@ -137,8 +145,8 @@ struct TrialCheckpoint {
 /// but unknown for trials merged from a manifest rather than re-run.
 struct TrialStats {
   /// Latency-function evaluations the batched round kernel performed
-  /// (symmetric scenarios only; the asymmetric and threshold families run
-  /// their own dynamics and report 0).
+  /// (symmetric and asymmetric scenarios; the threshold family runs
+  /// sequential dynamics and reports 0, as do reference-kernel trials).
   std::int64_t latency_evals = 0;
 };
 

@@ -9,7 +9,9 @@
 
 #include "dynamics/engine.hpp"
 #include "game/builders.hpp"
+#include "game/latency_context.hpp"
 #include "protocols/imitation.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace cid {
@@ -111,6 +113,83 @@ TEST(EngineDistribution, AggregateMatchesAnalyticBinomialPmf) {
     exp_b.back() += e_acc;
   }
   EXPECT_LT(chi_square_statistic(obs_b, exp_b), 60.0);
+}
+
+TEST(EngineDistribution, PruningPreservesDistributionAndRngStream) {
+  // Three identical links with a skewed state: the lightest link's origin
+  // is provably all-zero (its ℓ_P is the support minimum), so the batched
+  // kernel prunes it, while the heavy origin keeps drawing. Pruning must
+  // (a) actually fire, (b) consume the SAME RNG draws as the unpruned
+  // per-pair path (bitwise-equal rounds with the same seed), and (c)
+  // leave the mover-count law untouched — checked with the same
+  // two-sample chi-square as the engine-vs-engine test, against the
+  // per-pair reference path on an INDEPENDENT stream.
+  const auto game = make_uniform_links_game(3, make_linear(1.0), 260);
+  const State x(game, {200, 50, 10});
+  const ImitationProtocol protocol;
+
+  {  // (a) the prunable origin really is pruned
+    LatencyContext ctx;
+    ctx.reset(game, x);
+    const RowBounds bounds = compute_row_bounds(game, x, ctx);
+    ASSERT_TRUE(bounds.plus_dominates);
+    EXPECT_TRUE(protocol.row_provably_zero(game, ctx, 2, bounds));
+    EXPECT_FALSE(protocol.row_provably_zero(game, ctx, 0, bounds));
+  }
+
+  {  // (b) same seed ⇒ bitwise-equal rounds AND identical stream position
+    Rng pruned_rng(55);
+    Rng reference_rng(55);
+    for (int i = 0; i < 200; ++i) {
+      const RoundResult pruned = draw_round(
+          game, x, protocol, pruned_rng, EngineMode::kAggregate);
+      const RoundResult reference = draw_round_reference(
+          game, x, protocol, reference_rng, EngineMode::kAggregate);
+      ASSERT_EQ(pruned.moves, reference.moves) << "draw " << i;
+      ASSERT_EQ(pruned_rng.state(), reference_rng.state()) << "draw " << i;
+    }
+  }
+
+  // (c) distribution-level agreement on independent streams.
+  const double p1 = protocol.move_probability(game, x, 0, 1);
+  const double p2 = protocol.move_probability(game, x, 0, 2);
+  const double mean = 200.0 * (p1 + p2);
+  const auto max_bin =
+      static_cast<std::size_t>(mean + 6.0 * std::sqrt(mean) + 2.0);
+  const int kDraws = 30000;
+  const auto pruned_hist = mover_histogram(
+      game, x, protocol, EngineMode::kAggregate, kDraws, max_bin, 66);
+  std::vector<double> reference_hist(max_bin + 1, 0.0);
+  {
+    Rng rng(77);
+    for (int i = 0; i < kDraws; ++i) {
+      const RoundResult rr = draw_round_reference(
+          game, x, protocol, rng, EngineMode::kAggregate);
+      std::size_t movers = 0;
+      for (const auto& mv : rr.moves) {
+        movers += static_cast<std::size_t>(mv.count);
+      }
+      reference_hist[std::min(movers, max_bin)] += 1.0;
+    }
+  }
+  double stat = 0.0;
+  int bins = 0;
+  double a_acc = 0.0, b_acc = 0.0;
+  for (std::size_t i = 0; i < pruned_hist.size(); ++i) {
+    a_acc += pruned_hist[i];
+    b_acc += reference_hist[i];
+    if (a_acc + b_acc >= 20.0) {
+      stat += (a_acc - b_acc) * (a_acc - b_acc) / (a_acc + b_acc);
+      ++bins;
+      a_acc = b_acc = 0.0;
+    }
+  }
+  if (a_acc + b_acc > 0.0) {
+    stat += (a_acc - b_acc) * (a_acc - b_acc) / (a_acc + b_acc);
+    ++bins;
+  }
+  EXPECT_LT(stat, 70.0) << "pruned kernel drifted in distribution (" << bins
+                        << " bins)";
 }
 
 TEST(EngineDistribution, MultiDestinationJointLawHasNegativeCorrelation) {

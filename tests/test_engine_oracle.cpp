@@ -14,21 +14,30 @@
 //      move_probability oracle bit-for-bit, including after incremental
 //      refreshes;
 //   3. trial level — every registry scenario family produces an identical
-//      TrialOutcome with DynamicsConfig::reference_kernel on and off
-//      (asymmetric/threshold families run their own dynamics and prove the
-//      flag is inert there);
+//      TrialOutcome with DynamicsConfig::reference_kernel on and off: the
+//      symmetric families audit the batched kernel + cached stop
+//      predicates, the asymmetric families the batched class-local kernel
+//      (dynamics/asymmetric_engine.hpp) + cached class-wise predicates,
+//      and threshold-lb proves the flag is inert for sequential dynamics;
 //   4. persistence level — a batched-kernel trial that is checkpointed,
 //      killed, and resumed bitwise-matches an uninterrupted REFERENCE-
 //      kernel trial, so checkpoint artifacts are interchangeable between
-//      kernels.
+//      kernels (symmetric AND asymmetric snapshot codecs);
+//   5. thread level — RunOptions/DynamicsConfig::row_threads ∈ {1, 2, 4}
+//      produce byte-identical trials and RNG streams (the parallel row
+//      fills are pure; the draw phase is serial either way).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "dynamics/asymmetric_engine.hpp"
 #include "dynamics/engine.hpp"
+#include "game/asymmetric.hpp"
 #include "game/builders.hpp"
 #include "game/latency_context.hpp"
 #include "protocols/combined.hpp"
@@ -176,6 +185,90 @@ TEST(EngineOracle, RunDynamicsMatchesAcrossKernels) {
   }
 }
 
+// ---- Asymmetric batched kernel ----------------------------------------------
+
+AsymmetricGame oracle_asymmetric_game() {
+  // Two classes sharing a middle link (multicommodity-style) plus private
+  // alternatives, so the class-local ex-post merges cross genuinely
+  // shared congestion.
+  std::vector<LatencyPtr> fns{make_linear(1.5), make_monomial(0.1, 2.0),
+                              make_linear(0.75), make_linear(3.0),
+                              make_monomial(0.2, 2.0), make_linear(1.0)};
+  std::vector<PlayerClass> classes(2);
+  classes[0].strategies = {{0}, {1}, {2}};
+  classes[0].num_players = 700;
+  classes[1].strategies = {{2}, {3}, {4}, {5}};
+  classes[1].num_players = 500;
+  return AsymmetricGame(std::move(fns), std::move(classes));
+}
+
+TEST(EngineOracle, AsymmetricRoundsBitwiseIdentical) {
+  const auto game = oracle_asymmetric_game();
+  for (const bool nu_cutoff : {true, false}) {
+    SCOPED_TRACE(nu_cutoff ? "nu-cutoff" : "no-nu");
+    AsymmetricImitationParams params;
+    params.nu_cutoff = nu_cutoff;
+    Rng batched_rng(61);
+    Rng reference_rng(61);
+    AsymmetricState batched_x =
+        AsymmetricState::uniform_random(game, batched_rng);
+    AsymmetricState reference_x =
+        AsymmetricState::uniform_random(game, reference_rng);
+    AsymmetricRoundWorkspace ws;
+    AsymmetricRoundResult batched;
+    for (int round = 0; round < 80; ++round) {
+      draw_asymmetric_round(game, batched_x, params, batched_rng, ws,
+                            batched);
+      const AsymmetricRoundResult reference =
+          draw_asymmetric_round_reference(game, reference_x, params,
+                                          reference_rng);
+      ASSERT_EQ(batched.moves.size(), reference.moves.size())
+          << "round " << round;
+      for (std::size_t i = 0; i < batched.moves.size(); ++i) {
+        ASSERT_EQ(batched.moves[i].player_class,
+                  reference.moves[i].player_class);
+        ASSERT_EQ(batched.moves[i].from, reference.moves[i].from);
+        ASSERT_EQ(batched.moves[i].to, reference.moves[i].to);
+        ASSERT_EQ(batched.moves[i].count, reference.moves[i].count);
+      }
+      ASSERT_EQ(batched.movers, reference.movers) << "round " << round;
+      // Identical RNG stream consumption, not just identical output —
+      // this is what makes pruning invisible to replays.
+      ASSERT_EQ(batched_rng.state(), reference_rng.state())
+          << "round " << round;
+      batched_x.apply(game, batched.moves, ws.apply_scratch);
+      ws.ctx.refresh(ws.apply_scratch.touched);
+      reference_x.apply(game, reference.moves);
+      ASSERT_EQ(batched_x.counts(), reference_x.counts())
+          << "round " << round;
+    }
+  }
+}
+
+TEST(EngineOracle, AsymmetricRowThreadsBitwiseInvariant) {
+  const auto game = oracle_asymmetric_game();
+  const AsymmetricImitationParams params;
+  std::vector<std::vector<std::vector<std::int64_t>>> finals;
+  std::vector<std::array<std::uint64_t, 4>> rng_states;
+  for (const int row_threads : {1, 2, 4}) {
+    Rng rng(62);
+    AsymmetricState x = AsymmetricState::uniform_random(game, rng);
+    AsymmetricRoundWorkspace ws;
+    AsymmetricRoundResult rr;
+    for (int round = 0; round < 40; ++round) {
+      draw_asymmetric_round(game, x, params, rng, ws, rr, row_threads);
+      x.apply(game, rr.moves, ws.apply_scratch);
+      ws.ctx.refresh(ws.apply_scratch.touched);
+    }
+    finals.push_back(x.counts());
+    rng_states.push_back(rng.state());
+  }
+  EXPECT_EQ(finals[0], finals[1]);
+  EXPECT_EQ(finals[0], finals[2]);
+  EXPECT_EQ(rng_states[0], rng_states[1]);
+  EXPECT_EQ(rng_states[0], rng_states[2]);
+}
+
 // ---- All six registry scenario families -------------------------------------
 
 struct FamilyCase {
@@ -220,6 +313,97 @@ TEST(EngineOracle, AllSixScenarioFamiliesMatchReferenceKernel) {
         protocol, family_dynamics(c.rounds, true), reference_rng);
     EXPECT_EQ(batched, reference);
     EXPECT_EQ(batched_rng.state(), reference_rng.state());
+  }
+}
+
+TEST(EngineOracle, RowThreadsByteIdenticalTrials) {
+  // DynamicsConfig::row_threads ∈ {1, 2, 4} must be invisible in every
+  // outcome field and in the RNG stream, for the symmetric families AND
+  // the asymmetric class-local kernel.
+  for (const char* scenario :
+       {"network-routing", "singleton-uniform", "asymmetric",
+        "multicommodity"}) {
+    SCOPED_TRACE(scenario);
+    sweep::ScenarioSpec spec;
+    spec.name = scenario;
+    const auto instance = sweep::make_scenario(spec, 1200);
+    const auto protocol = sweep::parse_protocol_spec("imitation");
+    sweep::TrialOutcome first;
+    std::array<std::uint64_t, 4> first_rng{};
+    for (const int row_threads : {1, 2, 4}) {
+      sweep::DynamicsConfig dynamics = family_dynamics(50, false);
+      dynamics.row_threads = row_threads;
+      Rng rng(77);
+      const sweep::TrialOutcome outcome =
+          instance->run_trial(protocol, dynamics, rng);
+      if (row_threads == 1) {
+        first = outcome;
+        first_rng = rng.state();
+        continue;
+      }
+      EXPECT_EQ(outcome, first) << "row_threads=" << row_threads;
+      EXPECT_EQ(rng.state(), first_rng) << "row_threads=" << row_threads;
+    }
+  }
+}
+
+TEST(EngineOracle, RowThreadsByteIdenticalRunsBothModes) {
+  // Direct run_dynamics invariance for both engine modes (the per-player
+  // engine threads its row fills too).
+  const auto game = network_game_k8(2000);
+  const CombinedProtocol protocol{ImitationParams{}, ExplorationParams{},
+                                  0.5};
+  for (EngineMode mode : {EngineMode::kAggregate, EngineMode::kPerPlayer}) {
+    RunOptions options;
+    options.max_rounds = mode == EngineMode::kAggregate ? 60 : 25;
+    options.mode = mode;
+    std::optional<State> first_x;
+    std::array<std::uint64_t, 4> first_rng{};
+    for (const int row_threads : {1, 2, 4}) {
+      options.row_threads = row_threads;
+      Rng rng(5);
+      State x = State::uniform_random(game, rng);
+      run_dynamics(game, x, protocol, rng, options, nullptr);
+      if (!first_x.has_value()) {
+        first_x.emplace(std::move(x));
+        first_rng = rng.state();
+        continue;
+      }
+      EXPECT_TRUE(x == *first_x) << "row_threads=" << row_threads;
+      EXPECT_EQ(rng.state(), first_rng) << "row_threads=" << row_threads;
+    }
+  }
+}
+
+TEST(EngineOracle, AsymmetricCheckpointKillResumeMatchesReferenceRun) {
+  // Asymmetric persistence-level interchange: a BATCHED-kernel trial of
+  // each asymmetric family checkpointed at round 9, killed, and resumed
+  // must bitwise-match the uninterrupted PER-PAIR reference trial —
+  // asymmetric snapshots carry no trace of which kernel wrote them.
+  for (const char* scenario : {"asymmetric", "multicommodity"}) {
+    SCOPED_TRACE(scenario);
+    sweep::ScenarioSpec spec;
+    spec.name = scenario;
+    const auto instance = sweep::make_scenario(spec, 900);
+    const auto protocol = sweep::parse_protocol_spec("imitation");
+    const std::uint64_t seed = 88;
+    const std::int64_t total_rounds = 60;
+
+    Rng reference_rng(seed);
+    const sweep::TrialOutcome reference = instance->run_trial(
+        protocol, family_dynamics(total_rounds, true), reference_rng);
+
+    const std::string snap = ::testing::TempDir() + "/oracle_asym_" +
+                             std::string(scenario) + ".snap";
+    Rng killed_rng(seed);
+    instance->run_trial_checkpointed(protocol, family_dynamics(9, false),
+                                     killed_rng,
+                                     sweep::TrialCheckpoint{snap, 0});
+    const sweep::TrialOutcome resumed = instance->resume_trial(
+        protocol, family_dynamics(total_rounds, false), snap);
+    EXPECT_EQ(resumed, reference);
+    EXPECT_GT(reference.rounds, 9.0);  // the resumed leg did real work
+    std::remove(snap.c_str());
   }
 }
 

@@ -49,6 +49,10 @@ using namespace cid;
       "  --rounds N      TOTAL round cap, default 100000\n"
       "  --seed S        RNG seed, default 1\n"
       "  --engine E      aggregate (default) | perplayer\n"
+      "  --row-threads K fan per-origin probability-row fills across K\n"
+      "                  threads inside each round (default 1; output is\n"
+      "                  bitwise identical for every K — worth it only for\n"
+      "                  large games)\n"
       "  --start S       uniform (default) | even | all:K | state:PATH\n"
       "                  (state:PATH loads a cid-state v1 file, e.g. a\n"
       "                  previous run's --save-state output)\n"
@@ -83,6 +87,7 @@ struct Options {
   std::int64_t rounds = 100000;
   std::uint64_t seed = 1;
   EngineMode engine = EngineMode::kAggregate;
+  int row_threads = 1;
   std::string start = "uniform";
   std::string stop = "stable";
   std::int64_t trace_every = 10;
@@ -120,6 +125,8 @@ Options parse_args(int argc, char** argv) {
       if (v == "aggregate") opt.engine = EngineMode::kAggregate;
       else if (v == "perplayer") opt.engine = EngineMode::kPerPlayer;
       else usage("unknown engine");
+    } else if (flag == "--row-threads") {
+      opt.row_threads = std::atoi(need_value(i));
     } else if (flag == "--start") opt.start = need_value(i);
     else if (flag == "--stop") opt.stop = need_value(i);
     else if (flag == "--trace-every") {
@@ -142,6 +149,7 @@ Options parse_args(int argc, char** argv) {
     usage("exactly one of --game and --resume is required");
   }
   if (opt.lambda <= 0.0 || opt.lambda > 1.0) usage("lambda out of (0,1]");
+  if (opt.row_threads < 1) usage("--row-threads must be >= 1");
   if (opt.trace_every < 1) usage("--trace-every must be >= 1");
   if (opt.checkpoint_every < 0) usage("--checkpoint-every must be >= 0");
   if (opt.checkpoint_keep < 0) usage("--checkpoint-keep must be >= 0");
@@ -288,10 +296,11 @@ int main(int argc, char** argv) {
     run_options.max_rounds = opt.rounds;
     run_options.mode = engine;
     run_options.start_round = start_round;
+    run_options.row_threads = opt.row_threads;
     const WallTimer run_timer;
     const RunResult result =
         run_dynamics(*game, *x, *protocol, rng, run_options,
-                     persist::stop_from_spec(config.stop), observer);
+                     persist::cached_stop_from_spec(config.stop), observer);
     const double run_seconds = run_timer.seconds();
     if (event_log.has_value()) event_log->close();
 

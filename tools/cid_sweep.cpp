@@ -53,6 +53,9 @@ using namespace cid;
       "                    asymmetric scenarios check deltaeps as the\n"
       "                    stricter class-wise nu-stability)\n"
       "  --engine E        aggregate (default) | perplayer\n"
+      "  --row-threads K   threads for the per-origin row fills INSIDE one\n"
+      "                    round (default 1; trials stay bitwise identical\n"
+      "                    — prefer --threads unless single trials are huge)\n"
       "  --param K=V       scenario parameter (repeatable)\n"
       "  --lambda L        protocol migration scale, default 0.25\n"
       "  --out PREFIX      write PREFIX_{trials,cells}.{csv,jsonl}\n"
@@ -137,6 +140,8 @@ Options parse_args(int argc, char** argv) {
       else if (v == "perplayer") {
         opt.grid.dynamics.mode = EngineMode::kPerPlayer;
       } else usage("unknown engine");
+    } else if (flag == "--row-threads") {
+      opt.grid.dynamics.row_threads = std::atoi(need_value(i));
     } else if (flag == "--manifest") {
       opt.run.manifest_path = need_value(i);
     } else if (flag == "--resume") {
@@ -166,6 +171,9 @@ Options parse_args(int argc, char** argv) {
   }
   if (opt.grid.dynamics.max_rounds < 0) usage("--rounds must be >= 0");
   if (opt.run.threads < 0) usage("--threads must be >= 0");
+  if (opt.grid.dynamics.row_threads < 1) {
+    usage("--row-threads must be >= 1");
+  }
   if (opt.run.manifest_flush_every < 1) {
     usage("--checkpoint-every must be >= 1");
   }
