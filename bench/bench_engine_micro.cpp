@@ -79,10 +79,17 @@ struct CellResult {
   double rounds_per_sec = 0.0;
   double evals_per_round = 0.0;
   std::int64_t movers = 0;
+  /// Deterministic work counter from the metrics layer: the fraction of
+  /// support rows the kernel proved zero and skipped (row fill AND draw).
+  /// Gated by scripts/check_bench_regression.py — a drop means the engine
+  /// started paying for rows it used to prune. 0 under CID_METRICS=0
+  /// (and not emitted into the JSON, so the gate skips it).
+  double rows_pruned_fraction = 0.0;
 };
 
 CellResult finish_cell(const WallTimer& timer, std::int64_t rounds,
-                       std::int64_t latency_evals, std::int64_t movers) {
+                       std::int64_t latency_evals, std::int64_t movers,
+                       const obs::EngineMetrics& metrics) {
   CellResult cell;
   cell.wall_seconds = timer.seconds();
   cell.rounds_per_sec =
@@ -94,19 +101,31 @@ CellResult finish_cell(const WallTimer& timer, std::int64_t rounds,
                                    static_cast<double>(rounds)
                              : 0.0;
   cell.movers = movers;
+  const std::int64_t considered = metrics.rows_filled + metrics.rows_pruned;
+  cell.rows_pruned_fraction =
+      considered > 0
+          ? static_cast<double>(metrics.rows_pruned) /
+                static_cast<double>(considered)
+          : 0.0;
   return cell;
 }
 
+/// Every cell runs METERED (RunOptions::metrics attached): the checked-in
+/// baseline therefore prices the instrumentation in, and the same-runner
+/// CI gate catches a hot-path metrics regression as a wall-clock one.
 CellResult run_cell(const CongestionGame& game, const Protocol& protocol,
                     EngineMode mode, std::int64_t rounds) {
   Rng rng(1);
   State x = State::uniform_random(game, rng);
+  obs::EngineMetrics metrics;
   RunOptions options;
   options.max_rounds = rounds;
   options.mode = mode;
+  options.metrics = &metrics;
   const WallTimer timer;
   const RunResult rr = run_dynamics(game, x, protocol, rng, options, nullptr);
-  return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers);
+  return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers,
+                     metrics);
 }
 
 /// Cell 5: every round pays one full support-restricted stability scan —
@@ -121,9 +140,11 @@ CellResult run_stopcheck_cell(const CongestionGame& game,
                               bool baseline) {
   Rng rng(1);
   State x = State::uniform_random(game, rng);
+  obs::EngineMetrics metrics;
   RunOptions options;
   options.max_rounds = rounds;
   options.mode = EngineMode::kAggregate;
+  options.metrics = &metrics;
   const WallTimer timer;
   RunResult rr;
   if (baseline) {
@@ -139,7 +160,8 @@ CellResult run_stopcheck_cell(const CongestionGame& game,
     };
     rr = run_dynamics(game, x, protocol, rng, options, stop);
   }
-  return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers);
+  return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers,
+                     metrics);
 }
 
 /// Cell 6: the class-local engine. --baseline drives the per-pair
@@ -149,6 +171,7 @@ CellResult run_asymmetric_cell(const AsymmetricGame& game,
   Rng rng(1);
   AsymmetricState x = AsymmetricState::uniform_random(game, rng);
   const AsymmetricImitationParams params;
+  obs::EngineMetrics metrics;
   const WallTimer timer;
   std::int64_t movers = 0;
   std::int64_t evals = 0;
@@ -160,14 +183,15 @@ CellResult run_asymmetric_cell(const AsymmetricGame& game,
     AsymmetricRoundWorkspace ws;
     AsymmetricRoundResult rr;
     for (std::int64_t r = 0; r < rounds; ++r) {
-      draw_asymmetric_round(game, x, params, rng, ws, rr);
+      draw_asymmetric_round(game, x, params, rng, ws, rr, /*row_threads=*/1,
+                            &metrics);
       x.apply(game, rr.moves, ws.apply_scratch);
       ws.ctx.refresh(ws.apply_scratch.touched);
       movers += rr.movers;
     }
     evals = ws.ctx.latency_evals();
   }
-  return finish_cell(timer, rounds, evals, movers);
+  return finish_cell(timer, rounds, evals, movers, metrics);
 }
 
 }  // namespace
@@ -211,7 +235,7 @@ int main(int argc, char** argv) {
 
   JsonReport report("engine_micro");
   cid::Table table({"id", "cell", "rounds", "wall s", "rounds/s",
-                    "evals/round", "movers"});
+                    "evals/round", "pruned", "movers"});
   const auto record = [&](int id, const char* label, std::int64_t rounds,
                           const CellResult& cell) {
     table.row()
@@ -221,14 +245,20 @@ int main(int argc, char** argv) {
         .cell(cell.wall_seconds, 3)
         .cell(cell.rounds_per_sec, 1)
         .cell(cell.evals_per_round, 2)
+        .cell(cell.rows_pruned_fraction, 3)
         .cell(cell.movers);
-    report.cell()
-        .metric("id", static_cast<double>(id))
+    auto& json = report.cell();
+    json.metric("id", static_cast<double>(id))
         .metric("rounds", static_cast<double>(rounds))
         .metric("wall_cell_seconds", cell.wall_seconds)
         .metric("rounds_per_sec", cell.rounds_per_sec)
         .metric("evals_per_round", cell.evals_per_round)
         .metric("movers", static_cast<double>(cell.movers));
+    // Omitted (not zero) under CID_METRICS=0, so the regression gate
+    // only compares it when both reports actually measured it.
+    if (cid::obs::kMetricsCompiled) {
+      json.metric("rows_pruned_fraction", cell.rows_pruned_fraction);
+    }
   };
   for (const Spec& spec : specs) {
     const std::int64_t rounds = quick ? spec.quick_rounds : spec.rounds;

@@ -9,10 +9,16 @@ hardware-dependent output, and the threshold absorbs runner noise. When
 the two reports cover different cell sets (a PR added or removed bench
 cells), the gate compares the summed per-cell wall over the SHARED cells
 instead of the report totals, so new cells don't read as regressions. The
-deterministic result fields (rounds_mean, evals_per_round, ...) are
-compared too, but only WARN on drift: an intentional algorithm change may
-move them, and the reviewer should see that in the job log rather than
-silently.
+deterministic result fields are compared too. Most only WARN on drift
+(an intentional algorithm change may move them, and the reviewer should
+see that in the job log rather than silently), but the WORK counters are
+gated direction-sensitively: a cell doing MORE latency evaluations per
+round, or pruning a SMALLER fraction of support rows, than the
+checked-in baseline fails the gate — those are the exact quantities the
+engine PRs optimised, and runner hardware cannot move them.
+Improvements (fewer evals, more pruning) only warn, as a nudge to
+refresh the baseline. Work counters missing from either report (e.g. a
+CID_METRICS=0 build omits rows_pruned_fraction) are skipped.
 
 Works for every JsonReport bench: cells are keyed by their "id" metric when
 present (bench_engine_micro) or by "n" (bench_convergence_n), and every
@@ -27,6 +33,36 @@ import sys
 # wall_cell_seconds; both are wall clocks.)
 HARDWARE_DEPENDENT = {"wall_seconds", "wall_cell_seconds",
                       "cell_wall_seconds", "rounds_per_sec", "evals_per_sec"}
+
+# Deterministic work counters, gated direction-sensitively: (metric name,
+# bad direction, relative tolerance). "up" fails when the candidate value
+# exceeds baseline * (1 + tol); "down" fails when it falls below
+# baseline * (1 - tol). The tolerance absorbs seed-path wobble from
+# intentional cell re-specs, not hardware (these fields are bit-exact
+# across runners for an unchanged binary).
+WORK_COUNTER_GATES = [
+    ("evals_per_round", "up", 0.01),
+    ("rows_pruned_fraction", "down", 0.01),
+]
+
+
+def gate_work_counter(label, metric, bad_direction, tol, base, cand):
+    """Returns an error string when the candidate regressed the counter,
+    None otherwise (printing a WARNING for in-tolerance or improving
+    drift so the log still surfaces it)."""
+    b, c = float(base), float(cand)
+    if b == c:
+        return None
+    if bad_direction == "up":
+        regressed = c > b * (1.0 + tol)
+    else:
+        regressed = c < b * (1.0 - tol)
+    if regressed:
+        return (f"{label} {metric} regressed: {b} -> {c} "
+                f"(bad direction: {bad_direction}, tol {tol:.0%})")
+    print(f"WARNING: {label} {metric} drifted {b} -> {c} "
+          f"(improvement or within tolerance; refresh the baseline?)")
+    return None
 
 
 def load(path):
@@ -93,19 +129,36 @@ def main():
           f"{base_wall:.4f} (baseline) -> {cand_wall:.4f} (candidate), "
           f"ratio {ratio:.2f}x, threshold {1 + threshold:.2f}x")
 
-    # Deterministic-field drift is informational, not fatal.
+    # Deterministic-field drift: work counters gate, the rest inform.
+    errors = []
+    gated = {name for name, _, _ in WORK_COUNTER_GATES}
     for key in sorted(set(base_cells) | set(cand_cells)):
         label = f"{key[0]}={key[1]}"
         if key not in base_cells or key not in cand_cells:
             print(f"WARNING: cell {label} present in only one report")
             continue
         shared = set(base_cells[key]) & set(cand_cells[key])
-        for metric in sorted(shared - HARDWARE_DEPENDENT - {key[0]}):
+        for name, bad_direction, tol in WORK_COUNTER_GATES:
+            if name not in shared:
+                continue
+            err = gate_work_counter(label, name, bad_direction, tol,
+                                    base_cells[key][name],
+                                    cand_cells[key][name])
+            if err is not None:
+                errors.append(err)
+        for metric in sorted(shared - HARDWARE_DEPENDENT - gated
+                             - {key[0]}):
             b, c = base_cells[key][metric], cand_cells[key][metric]
             if b != c:
                 print(f"WARNING: {label} {metric} drifted: {b} -> {c} "
                       f"(intentional? update the baseline)")
 
+    for err in errors:
+        print(f"FAIL: {err}")
+    if errors:
+        print(f"FAIL: {len(errors)} work-counter regression(s) — the "
+              f"engine is doing more work per round than the baseline")
+        return 1
     if ratio > 1 + threshold:
         print(f"FAIL: wall-clock regression {ratio:.2f}x exceeds "
               f"{1 + threshold:.2f}x")

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate a metrics JSONL file emitted by cid_sim/cid_sweep --metrics.
+
+Usage: check_metrics_jsonl.py FILE... [--require-kind KIND ...]
+
+Schema (src/obs/sink.hpp): every line is a standalone JSON object whose
+first keys are {"metrics_version":1,"kind":"<kind>"}. Known kinds:
+
+  snapshot  counter-registry dump: "seq" (monotonic per file),
+            "counters" object (name -> number, names sorted), and
+            "histograms" array of {name, bounds, buckets, count, sum}
+            where len(buckets) == len(bounds) + 1 (last bucket is
+            overflow) and count == sum(buckets).
+  trial     one sweep trial row: cell/protocol/n/trial identity plus the
+            outcome and deterministic work counters.
+
+Unknown kinds fail: a writer adding a record shape must bump this
+checker (and kMetricsVersion if the change is incompatible) in the same
+PR. --require-kind KIND (repeatable) additionally fails when the file
+contains no record of that kind — CI uses it to prove the smoke run
+actually exercised both writers.
+"""
+import json
+import sys
+
+METRICS_VERSION = 1
+
+TRIAL_NUMERIC_FIELDS = [
+    "cell", "n", "trial", "rounds", "converged", "movers", "potential",
+    "social_cost", "latency_evals", "ran_rounds", "engine_rows_filled",
+    "engine_rows_pruned",
+]
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_snapshot(record, where, errors, state):
+    seq = record.get("seq")
+    if not isinstance(seq, int):
+        errors.append(f"{where}: snapshot missing integer 'seq'")
+    else:
+        last = state.get("last_seq")
+        if last is not None and seq <= last:
+            errors.append(f"{where}: snapshot seq {seq} not monotonic "
+                          f"(previous {last})")
+        state["last_seq"] = seq
+    counters = record.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{where}: snapshot missing 'counters' object")
+    else:
+        for name, value in counters.items():
+            if not name or not is_number(value):
+                errors.append(f"{where}: bad counter entry "
+                              f"{name!r}: {value!r}")
+        names = list(counters)
+        if names != sorted(names):
+            errors.append(f"{where}: counter names not sorted")
+    histograms = record.get("histograms")
+    if not isinstance(histograms, list):
+        errors.append(f"{where}: snapshot missing 'histograms' array")
+        return
+    for hist in histograms:
+        name = hist.get("name") if isinstance(hist, dict) else None
+        label = f"{where} histogram {name!r}"
+        if not isinstance(hist, dict) or not name:
+            errors.append(f"{label}: not an object with a name")
+            continue
+        bounds = hist.get("bounds")
+        buckets = hist.get("buckets")
+        if (not isinstance(bounds, list) or not isinstance(buckets, list)
+                or len(buckets) != len(bounds) + 1):
+            errors.append(f"{label}: need len(buckets) == len(bounds)+1")
+            continue
+        if any(not is_number(b) for b in bounds) or \
+                bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            errors.append(f"{label}: bounds not strictly increasing")
+        if any(not isinstance(b, int) or b < 0 for b in buckets):
+            errors.append(f"{label}: bucket counts must be ints >= 0")
+        elif hist.get("count") != sum(buckets):
+            errors.append(f"{label}: count {hist.get('count')} != "
+                          f"sum(buckets) {sum(buckets)}")
+        if not is_number(hist.get("sum")):
+            errors.append(f"{label}: missing numeric 'sum'")
+
+
+def check_trial(record, where, errors):
+    if not isinstance(record.get("protocol"), str):
+        errors.append(f"{where}: trial missing string 'protocol'")
+    for field in TRIAL_NUMERIC_FIELDS:
+        if not is_number(record.get(field)):
+            errors.append(f"{where}: trial missing numeric '{field}'")
+
+
+def check_file(path, errors, kinds_seen):
+    state = {}
+    lines = 0
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            where = f"{path}:{i}"
+            line = line.strip()
+            if not line:
+                errors.append(f"{where}: blank line")
+                continue
+            lines += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON: {e}")
+                continue
+            if not isinstance(record, dict):
+                errors.append(f"{where}: line is not a JSON object")
+                continue
+            if record.get("metrics_version") != METRICS_VERSION:
+                errors.append(f"{where}: metrics_version != "
+                              f"{METRICS_VERSION}: "
+                              f"{record.get('metrics_version')!r}")
+            kind = record.get("kind")
+            kinds_seen.add(kind)
+            if kind == "snapshot":
+                check_snapshot(record, where, errors, state)
+            elif kind == "trial":
+                check_trial(record, where, errors)
+            else:
+                errors.append(f"{where}: unknown kind {kind!r}")
+    if lines == 0:
+        errors.append(f"{path}: empty file")
+    return lines
+
+
+def main():
+    paths, required = [], []
+    args = iter(sys.argv[1:])
+    for arg in args:
+        if arg == "--require-kind":
+            required.append(next(args, None))
+        else:
+            paths.append(arg)
+    if not paths or None in required:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    kinds_seen = set()
+    total = sum(check_file(p, errors, kinds_seen) for p in paths)
+    for kind in required:
+        if kind not in kinds_seen:
+            errors.append(f"no '{kind}' record in {', '.join(paths)}")
+    for err in errors:
+        print(f"FAIL: {err}")
+    if errors:
+        print(f"FAIL: {len(errors)} schema violation(s)")
+        return 1
+    print(f"OK: {total} metrics record(s) across {len(paths)} file(s), "
+          f"kinds: {', '.join(sorted(k for k in kinds_seen if k))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,9 @@
 #include "latency/latency.hpp"        // IWYU pragma: export
 #include "lowerbound/maxcut.hpp"      // IWYU pragma: export
 #include "lowerbound/threshold_game.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"            // IWYU pragma: export
+#include "obs/progress.hpp"           // IWYU pragma: export
+#include "obs/sink.hpp"               // IWYU pragma: export
 #include "persist/binio.hpp"          // IWYU pragma: export
 #include "persist/checkpoint.hpp"     // IWYU pragma: export
 #include "persist/codec.hpp"          // IWYU pragma: export

@@ -224,11 +224,14 @@ void draw_serial(const AsymmetricGame& game, const AsymmetricState& x,
 void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
                    const AsymmetricImitationParams& params, Rng& rng,
                    AsymmetricRoundWorkspace& ws, AsymmetricRoundResult& out,
-                   int row_threads) {
+                   int row_threads, obs::EngineMetrics* metrics) {
   // Flatten the (class, origin) jobs: each owns a disjoint slice of
   // ws.rows sized by its class support. Job order == the serial path's
   // iteration order, so the serial draw phase below consumes the RNG
-  // identically.
+  // identically. (That also makes this path, run with one inline thread,
+  // the metered flavor of draw_serial: identical fills, verdicts, and
+  // RNG order, plus separable row-fill/draw timing.)
+  const std::int64_t fill_start = metrics != nullptr ? obs::now_ns() : 0;
   const auto num_classes = static_cast<std::size_t>(game.num_classes());
   ws.class_support.resize(num_classes);
   ws.job_class.clear();
@@ -272,8 +275,14 @@ void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
         fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
                                            support, row);
       });
+  const std::int64_t draw_start = metrics != nullptr ? obs::now_ns() : 0;
+  if (metrics != nullptr) metrics->row_fill_ns += draw_start - fill_start;
+  std::int64_t pruned = 0;
   for (std::size_t i = 0; i < ws.job_class.size(); ++i) {
-    if (ws.skip[i] != 0) continue;
+    if (ws.skip[i] != 0) {
+      ++pruned;
+      continue;
+    }
     const std::int32_t c = ws.job_class[i];
     const auto& support = ws.class_support[static_cast<std::size_t>(c)];
     const std::span<const double> row{ws.rows.data() + ws.job_offset[i],
@@ -287,6 +296,12 @@ void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
       out.movers += ws.counts[j];
     }
   }
+  if (metrics != nullptr) {
+    metrics->draw_ns += obs::now_ns() - draw_start;
+    metrics->rows_pruned += pruned;
+    metrics->rows_filled +=
+        static_cast<std::int64_t>(ws.job_class.size()) - pruned;
+  }
 }
 
 }  // namespace
@@ -295,19 +310,24 @@ void draw_asymmetric_round(const AsymmetricGame& game,
                            const AsymmetricState& x,
                            const AsymmetricImitationParams& params, Rng& rng,
                            AsymmetricRoundWorkspace& ws,
-                           AsymmetricRoundResult& out, int row_threads) {
+                           AsymmetricRoundResult& out, int row_threads,
+                           obs::EngineMetrics* metrics) {
   CID_ENSURE(params.lambda > 0.0 && params.lambda <= 1.0,
              "lambda must be in (0, 1]");
+  obs::EngineMetrics* const m = obs::kMetricsCompiled ? metrics : nullptr;
   out.moves.clear();
   out.movers = 0;
   if (!ws.ready) {
+    // The initial full cache build lands in the first round's row-fill
+    // phase, mirroring the symmetric kernel's accounting.
+    obs::PhaseTimer prep_timer(m != nullptr ? &m->row_fill_ns : nullptr);
     ws.ctx.reset(game, x);
     ws.ready = true;
   }
-  if (row_threads <= 1) {
+  if (row_threads <= 1 && m == nullptr) {
     draw_serial(game, x, params, rng, ws, out);
   } else {
-    draw_threaded(game, x, params, rng, ws, out, row_threads);
+    draw_threaded(game, x, params, rng, ws, out, row_threads, m);
   }
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "game/asymmetric.hpp"
+#include "obs/metrics.hpp"
 
 namespace cid {
 
@@ -128,11 +129,17 @@ struct AsymmetricRoundWorkspace {
 /// (game, x); callers stepping many rounds apply through
 /// x.apply(game, moves, ws.apply_scratch) and ws.ctx.refresh(touched).
 /// Output and RNG stream are bitwise invariant in row_threads.
+///
+/// `metrics`, when non-null, accrues row-fill/draw phase times and rows
+/// filled/pruned — purely observational, zero RNG, bitwise-identical
+/// rounds either way (the metered serial path runs the flattened-job
+/// kernel inline, which consumes the RNG in exactly serial order).
 void draw_asymmetric_round(const AsymmetricGame& game,
                            const AsymmetricState& x,
                            const AsymmetricImitationParams& params, Rng& rng,
                            AsymmetricRoundWorkspace& ws,
-                           AsymmetricRoundResult& out, int row_threads = 1);
+                           AsymmetricRoundResult& out, int row_threads = 1,
+                           obs::EngineMetrics* metrics = nullptr);
 
 /// Cached overload of is_asymmetric_imitation_stable: reads every latency
 /// from the context (bitwise-identical verdicts; the context-free version

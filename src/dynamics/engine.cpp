@@ -118,7 +118,8 @@ void fill_rows_parallel(const CongestionGame& game, const Protocol& protocol,
 
 void draw_aggregate(const CongestionGame& game, const State& x,
                     const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
-                    RoundResult& out, int row_threads) {
+                    RoundResult& out, int row_threads,
+                    obs::EngineMetrics* metrics) {
   const std::span<double> probs = ws.probs;
   const std::span<std::int64_t> counts = ws.counts;
   // Support/improvement pruning: origins whose whole row is provably zero
@@ -135,7 +136,7 @@ void draw_aggregate(const CongestionGame& game, const State& x,
       out.movers += counts[j];
     }
   };
-  if (row_threads <= 1) {
+  if (row_threads <= 1 && metrics == nullptr) {
     for (StrategyId from : ws.support) {
       if (protocol.row_provably_zero(game, ws.ctx, from, bounds)) {
         dcheck_pruned_row(game, ws.ctx, protocol, from, probs);
@@ -147,17 +148,38 @@ void draw_aggregate(const CongestionGame& game, const State& x,
     }
     return;
   }
-  fill_rows_parallel(game, protocol, ws, /*prune=*/true, bounds, row_threads);
+  // Metered serial runs take this two-phase route too: parallel_for with
+  // one thread executes inline in support order, so fill order, prune
+  // verdicts, and RNG consumption match the single-pass loop above
+  // bitwise — the only difference is two extra clock reads per round.
+  {
+    obs::PhaseTimer fill_timer(metrics != nullptr ? &metrics->row_fill_ns
+                                                  : nullptr);
+    fill_rows_parallel(game, protocol, ws, /*prune=*/true, bounds,
+                       row_threads);
+  }
+  obs::PhaseTimer draw_timer(metrics != nullptr ? &metrics->draw_ns
+                                                : nullptr);
   const auto k = static_cast<std::size_t>(game.num_strategies());
+  std::int64_t pruned = 0;
   for (std::size_t i = 0; i < ws.support.size(); ++i) {
-    if (ws.skip[i] != 0) continue;
+    if (ws.skip[i] != 0) {
+      ++pruned;
+      continue;
+    }
     emit(ws.support[i], std::span<const double>{ws.rows.data() + i * k, k});
+  }
+  if (metrics != nullptr) {
+    metrics->rows_pruned += pruned;
+    metrics->rows_filled +=
+        static_cast<std::int64_t>(ws.support.size()) - pruned;
   }
 }
 
 void draw_per_player(const CongestionGame& game, const State& x,
                      const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
-                     RoundResult& out, int row_threads) {
+                     RoundResult& out, int row_threads,
+                     obs::EngineMetrics* metrics) {
   const std::span<double> probs = ws.probs;
   const std::span<std::int64_t> tally = ws.counts;
   // No pruning here: every player consumes one uniform whether or not its
@@ -183,7 +205,7 @@ void draw_per_player(const CongestionGame& game, const State& x,
       out.movers += tally[j];
     }
   };
-  if (row_threads <= 1) {
+  if (row_threads <= 1 && metrics == nullptr) {
     for (StrategyId from : ws.support) {
       protocol.fill_move_probabilities(game, ws.ctx, from, probs);
       dcheck_row(probs, from);
@@ -191,11 +213,20 @@ void draw_per_player(const CongestionGame& game, const State& x,
     }
     return;
   }
-  fill_rows_parallel(game, protocol, ws, /*prune=*/false, RowBounds{},
-                     row_threads);
+  {
+    obs::PhaseTimer fill_timer(metrics != nullptr ? &metrics->row_fill_ns
+                                                  : nullptr);
+    fill_rows_parallel(game, protocol, ws, /*prune=*/false, RowBounds{},
+                       row_threads);
+  }
+  obs::PhaseTimer draw_timer(metrics != nullptr ? &metrics->draw_ns
+                                                : nullptr);
   const auto k = static_cast<std::size_t>(game.num_strategies());
   for (std::size_t i = 0; i < ws.support.size(); ++i) {
     emit(ws.support[i], std::span<const double>{ws.rows.data() + i * k, k});
+  }
+  if (metrics != nullptr) {
+    metrics->rows_filled += static_cast<std::int64_t>(ws.support.size());
   }
 }
 
@@ -278,16 +309,24 @@ RoundResult draw_reference_per_player(const CongestionGame& game,
 
 void draw_round(const CongestionGame& game, const State& x,
                 const Protocol& protocol, Rng& rng, EngineMode mode,
-                RoundWorkspace& ws, RoundResult& out, int row_threads) {
+                RoundWorkspace& ws, RoundResult& out, int row_threads,
+                obs::EngineMetrics* metrics) {
+  obs::EngineMetrics* const m = obs::kMetricsCompiled ? metrics : nullptr;
   out.moves.clear();
   out.movers = 0;
-  prepare(game, x, ws);
+  {
+    // A cold workspace rebuilds the full latency cache here, so that cost
+    // lands in the first round's row-fill phase; steady-state prepare()
+    // calls only resize-to-fit (no-ops) and recompute the support list.
+    obs::PhaseTimer prep_timer(m != nullptr ? &m->row_fill_ns : nullptr);
+    prepare(game, x, ws);
+  }
   switch (mode) {
     case EngineMode::kAggregate:
-      draw_aggregate(game, x, protocol, rng, ws, out, row_threads);
+      draw_aggregate(game, x, protocol, rng, ws, out, row_threads, m);
       return;
     case EngineMode::kPerPlayer:
-      draw_per_player(game, x, protocol, rng, ws, out, row_threads);
+      draw_per_player(game, x, protocol, rng, ws, out, row_threads, m);
       return;
   }
   CID_ENSURE(false, "unreachable engine mode");
@@ -339,6 +378,10 @@ RunResult run_dynamics_impl(const CongestionGame& game, State& x,
   CID_ENSURE(options.max_rounds >= 0, "max_rounds must be >= 0");
   CID_ENSURE(options.check_interval >= 1, "check_interval must be >= 1");
   CID_ENSURE(options.start_round >= 0, "start_round must be >= 0");
+  // Null under CID_METRICS=0 regardless of the caller, so the constant
+  // folds every metering branch below away.
+  obs::EngineMetrics* const m = obs::kMetricsCompiled ? options.metrics
+                                                      : nullptr;
   RunResult result;
   result.rounds = options.start_round;
   // One workspace for the whole run: after the first round's full cache
@@ -366,26 +409,47 @@ RunResult run_dynamics_impl(const CongestionGame& game, State& x,
   };
   for (std::int64_t round = options.start_round; round < options.max_rounds;
        ++round) {
-    if (has_stop && round % options.check_interval == 0 && stop_now(round)) {
-      result.converged = true;
-      break;
+    if (has_stop && round % options.check_interval == 0) {
+      bool stopped;
+      {
+        obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns
+                                                : nullptr);
+        if (m != nullptr) ++m->stop_checks;
+        stopped = stop_now(round);
+      }
+      if (stopped) {
+        result.converged = true;
+        break;
+      }
     }
     if (options.reference_kernel) {
-      rr = draw_round_reference(game, x, protocol, rng, options.mode);
+      {
+        obs::PhaseTimer draw_timer(m != nullptr ? &m->draw_ns : nullptr);
+        rr = draw_round_reference(game, x, protocol, rng, options.mode);
+      }
       if (observer) observer(game, x, rr.moves, round, false);
+      obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
       x.apply(game, rr.moves);
     } else {
       draw_round(game, x, protocol, rng, options.mode, ws, rr,
-                 options.row_threads);
+                 options.row_threads, m);
       if (observer) observer(game, x, rr.moves, round, false);
-      x.apply(game, rr.moves, ws.apply_scratch);
+      {
+        obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
+        x.apply(game, rr.moves, ws.apply_scratch);
+      }
+      obs::PhaseTimer refresh_timer(m != nullptr ? &m->ctx_refresh_ns
+                                                 : nullptr);
       ws.ctx.refresh(ws.apply_scratch.touched);
     }
     result.total_movers += rr.movers;
     ++result.rounds;
+    if (m != nullptr) ++m->rounds;
   }
-  if (!result.converged && has_stop && stop_now(result.rounds)) {
-    result.converged = true;
+  if (!result.converged && has_stop) {
+    obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns : nullptr);
+    if (m != nullptr) ++m->stop_checks;
+    if (stop_now(result.rounds)) result.converged = true;
   }
   if (observer) observer(game, x, {}, result.rounds, true);
   if (ws.ready) result.latency_evals = ws.ctx.latency_evals();

@@ -50,6 +50,7 @@
 #include "game/congestion_game.hpp"
 #include "game/latency_context.hpp"
 #include "game/state.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/protocol.hpp"
 #include "util/rng.hpp"
 
@@ -107,9 +108,16 @@ RoundResult draw_round(const CongestionGame& game, const State& x,
 /// order), so output and RNG stream are BITWISE invariant in the thread
 /// count. Threads are spawned per round — worth it only when s·k row work
 /// dwarfs the spawn cost (large non-singleton games).
+///
+/// `metrics`, when non-null, accumulates row-fill/draw phase times and
+/// rows filled/pruned counts. Purely observational: no RNG is consumed
+/// and the round is bitwise identical with or without it (the metered
+/// serial path routes through the same two-phase fill that row_threads=1
+/// parallel_for executes inline, preserving fill and draw order exactly).
 void draw_round(const CongestionGame& game, const State& x,
                 const Protocol& protocol, Rng& rng, EngineMode mode,
-                RoundWorkspace& ws, RoundResult& out, int row_threads = 1);
+                RoundWorkspace& ws, RoundResult& out, int row_threads = 1,
+                obs::EngineMetrics* metrics = nullptr);
 
 /// PER-PAIR REFERENCE ORACLE: the pre-batching engine, driving every pair
 /// through Protocol::move_probability with no caching. Consumes the RNG
@@ -165,6 +173,13 @@ struct RunOptions {
   /// round (see draw_round). 1 = serial (default); results are bitwise
   /// identical for every value. Ignored by the reference kernel.
   int row_threads = 1;
+  /// Observability hook: when non-null, the run accumulates phase timers
+  /// (ctx refresh, row fill, draw, apply, stop check) and work counters
+  /// into it. Consumes zero RNG and never changes results — metrics-on
+  /// and metrics-off runs are bitwise identical (tests/test_metrics.cpp).
+  /// Compiled out entirely under CID_METRICS=0. The pointed-to struct
+  /// must outlive the run; it is accumulated into, not reset.
+  obs::EngineMetrics* metrics = nullptr;
 };
 
 struct RunResult {

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace cid {
@@ -225,6 +226,8 @@ void write_text_file(const std::string& path, const std::string& text) {
   out << text;
   out.flush();
   CID_ENSURE(out.good(), "write failed (disk full?) for: " + path);
+  obs::record_persist_write(text.size(), /*fsyncs=*/0);
+  obs::record_persist_flush();
 }
 
 std::string read_text_file(const std::string& path) {

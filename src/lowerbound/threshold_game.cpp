@@ -267,6 +267,7 @@ ThresholdRun run_threshold_best_response(const ThresholdGame& game,
                                          std::int64_t max_steps) {
   ThresholdRun run;
   for (; run.steps < max_steps; ++run.steps) {
+    run.latency_evals += 2 * game.num_players();
     const auto improving = game.improving_players(s);
     if (improving.empty()) {
       run.converged = true;
@@ -285,6 +286,7 @@ ThresholdRun run_tripled_imitation(const TripledGame& tg, ThresholdState& s,
   for (; run.steps < max_steps; ++run.steps) {
     // Imitation-feasible improvements: strictly better AND the target
     // strategy is in use by a sibling (same strategy space).
+    run.latency_evals += 2 * game.num_players();
     std::vector<std::int32_t> improving;
     for (std::int32_t i = 0; i < game.num_players(); ++i) {
       if (!(game.latency_if_toggled(s, i) < game.latency_of(s, i) - kTie)) {

@@ -141,6 +141,12 @@ struct ThresholdRun {
   std::int64_t steps = 0;
   bool converged = false;
   bool unique_improver_throughout = true;
+  /// Latency evaluations performed: both dynamics scan every player with
+  /// one latency_of + one latency_if_toggled per step attempt (including
+  /// the final scan that certifies convergence), so this is
+  /// 2 · num_players · scans — the sequential-family counterpart of the
+  /// round kernels' cached-context latency_evals.
+  std::int64_t latency_evals = 0;
 };
 
 /// Sequential better-response with the first-improving pivot rule.

@@ -1,0 +1,109 @@
+#include "obs/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cid::obs {
+
+ProgressMeter::ProgressMeter(std::vector<std::string> labels,
+                             std::vector<std::int64_t> totals)
+    : start_ns_(now_ns()),
+      labels_(std::move(labels)),
+      totals_(std::move(totals)) {
+  for (std::size_t i = 0; i < labels_.size(); ++i) done_.emplace_back(0);
+  for (const std::int64_t t : totals_) trials_total_ += t;
+}
+
+void ProgressMeter::on_trial_done(std::size_t key_index,
+                                  std::int64_t rounds) noexcept {
+  done_[key_index].fetch_add(1, std::memory_order_relaxed);
+  trials_done_.fetch_add(1, std::memory_order_relaxed);
+  rounds_done_.fetch_add(rounds, std::memory_order_relaxed);
+}
+
+ProgressSnapshot ProgressMeter::snapshot() const {
+  ProgressSnapshot snap;
+  snap.trials_done = trials_done_.load(std::memory_order_relaxed);
+  snap.trials_total = trials_total_;
+  snap.rounds_done = rounds_done_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds =
+      static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  if (snap.elapsed_seconds > 0.0) {
+    snap.rounds_per_sec =
+        static_cast<double>(snap.rounds_done) / snap.elapsed_seconds;
+  }
+  if (snap.trials_done > 0) {
+    const double per_trial =
+        snap.elapsed_seconds / static_cast<double>(snap.trials_done);
+    snap.eta_seconds =
+        per_trial * static_cast<double>(snap.trials_total - snap.trials_done);
+  }
+  snap.keys.reserve(labels_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    snap.keys.push_back({labels_[i], done_[i].load(std::memory_order_relaxed),
+                         totals_[i]});
+  }
+  return snap;
+}
+
+namespace {
+
+std::string format_count(double value) {
+  char buf[32];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", value * 1e-6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", value * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_progress(const ProgressSnapshot& snap) {
+  const double pct =
+      snap.trials_total > 0
+          ? 100.0 * static_cast<double>(snap.trials_done) /
+                static_cast<double>(snap.trials_total)
+          : 100.0;
+  std::string line = "progress: " + std::to_string(snap.trials_done) + "/" +
+                     std::to_string(snap.trials_total) + " trials (";
+  char pct_buf[16];
+  std::snprintf(pct_buf, sizeof(pct_buf), "%.0f%%", pct);
+  line += pct_buf;
+  line += "), " + format_count(snap.rounds_per_sec) + " rounds/s";
+  if (snap.eta_seconds >= 0.0) {
+    line += ", ETA " + format_seconds(snap.eta_seconds);
+  }
+  // Per-key breakdown; once the sweep is wide, only unfinished keys.
+  std::size_t active = 0;
+  for (const ProgressKeyCount& k : snap.keys) {
+    if (k.done < k.total) ++active;
+  }
+  const bool elide_done = snap.keys.size() > 4;
+  bool first = true;
+  for (const ProgressKeyCount& k : snap.keys) {
+    if (elide_done && k.done >= k.total && active > 0) continue;
+    line += first ? " | " : ", ";
+    first = false;
+    line += k.label + " " + std::to_string(k.done) + "/" +
+            std::to_string(k.total);
+  }
+  return line;
+}
+
+}  // namespace cid::obs

@@ -1,0 +1,66 @@
+// Live sweep progress: a thread-safe completion meter the sweep pool
+// feeds from worker threads, snapshotted by a heartbeat thread into a
+// single human-readable line (trials done/total, rounds/s, ETA, per-cell
+// breakdown). Pure observation — reading it never blocks the workers
+// beyond a few relaxed atomic increments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cid::obs {
+
+struct ProgressKeyCount {
+  std::string label;
+  std::int64_t done = 0;
+  std::int64_t total = 0;
+};
+
+struct ProgressSnapshot {
+  std::int64_t trials_done = 0;
+  std::int64_t trials_total = 0;
+  std::int64_t rounds_done = 0;
+  double elapsed_seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  /// Estimated seconds to completion from mean trial wall time so far;
+  /// negative while no trial has finished (unknown).
+  double eta_seconds = -1.0;
+  std::vector<ProgressKeyCount> keys;
+};
+
+/// One counter per key (a sweep cell), plus run-wide totals. Constructed
+/// before the pool starts; on_trial_done is called from worker threads.
+class ProgressMeter {
+ public:
+  /// `labels[i]` names key i; `totals[i]` is how many trials key i will
+  /// run. trials_total need not equal the sum (resumed trials are
+  /// excluded from per-key totals but may be counted in neither).
+  ProgressMeter(std::vector<std::string> labels,
+                std::vector<std::int64_t> totals);
+
+  /// Records one finished trial of `rounds` rounds under key_index.
+  void on_trial_done(std::size_t key_index, std::int64_t rounds) noexcept;
+
+  ProgressSnapshot snapshot() const;
+
+ private:
+  std::int64_t start_ns_;
+  std::vector<std::string> labels_;
+  std::vector<std::int64_t> totals_;
+  std::deque<std::atomic<std::int64_t>> done_;  // per key
+  std::atomic<std::int64_t> trials_done_{0};
+  std::atomic<std::int64_t> rounds_done_{0};
+  std::int64_t trials_total_ = 0;
+};
+
+/// Formats a snapshot as the one-line heartbeat, e.g.
+///   progress: 37/160 trials (23%), 85.3k rounds/s, ETA 42s | unif n=64 12/40 ...
+/// Keys that have finished are elided once more than four are active.
+std::string format_progress(const ProgressSnapshot& snapshot);
+
+}  // namespace cid::obs

@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+
 namespace cid::persist {
 
 namespace {
@@ -255,6 +257,8 @@ void write_file_atomic(const std::string& path, const std::string& magic,
     ::fsync(dir_fd);
     ::close(dir_fd);
   }
+  obs::record_persist_write(blob.buffer().size(),
+                            /*fsyncs=*/1 + (dir_fd >= 0 ? 1 : 0));
 }
 
 std::string slurp_file(const std::string& path) {

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "persist/binio.hpp"
 #include "persist/block.hpp"
 
@@ -348,6 +349,7 @@ void EventLogWriter::write_raw(const std::string& bytes, const char* what) {
   check(std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
         what);
   bytes_written_ += bytes.size();
+  obs::record_persist_write(bytes.size(), /*fsyncs=*/0);
 }
 
 EventLogWriter EventLogWriter::create(const std::string& path,
@@ -596,6 +598,7 @@ void EventLogWriter::maybe_rotate() {
   check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
             std::fclose(file_) == 0,
         "pre-rotation flush");
+  obs::record_persist_flush();
   file_ = nullptr;
   rotated_disk_bytes_ += bytes_written_;
   const std::string segment = chain_segment_path(path_, rotate_seq_ + 1);
@@ -627,6 +630,7 @@ void EventLogWriter::maybe_rotate() {
 
 void EventLogWriter::flush() {
   check(file_ != nullptr && std::fflush(file_) == 0, "flush");
+  obs::record_persist_flush();
 }
 
 void EventLogWriter::close() {
@@ -636,6 +640,7 @@ void EventLogWriter::close() {
   const bool closed = std::fclose(file_) == 0;
   file_ = nullptr;
   check(ok && closed, "close");
+  obs::record_persist_flush();
 }
 
 RoundObserver EventLogWriter::observer() {

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "persist/binio.hpp"
 
 namespace cid::persist {
@@ -282,6 +283,8 @@ ManifestWriter ManifestWriter::create(const std::string& path,
       std::fwrite(header.data(), 1, header.size(), file) == header.size() &&
           std::fflush(file) == 0,
       "header write");
+  obs::record_persist_write(header.size(), /*fsyncs=*/0);
+  obs::record_persist_flush();
   writer.bytes_written_ = header.size();
   return writer;
 }
@@ -327,6 +330,7 @@ void ManifestWriter::append(std::uint32_t cell, std::uint32_t trial,
   check(std::fwrite(record.data(), 1, record.size(), file_) == record.size(),
         "record write");
   bytes_written_ += record.size();
+  obs::record_persist_write(record.size(), /*fsyncs=*/0);
   if (++since_flush_ >= flush_every_) {
     flush();
     since_flush_ = 0;
@@ -339,6 +343,7 @@ void ManifestWriter::maybe_rotate() {
   check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
             std::fclose(file_) == 0,
         "pre-rotation flush");
+  obs::record_persist_flush();
   file_ = nullptr;
   const std::string segment = chain_segment_path(path_, rotate_seq_ + 1);
   if (std::rename(path_.c_str(), segment.c_str()) != 0) {
@@ -356,11 +361,14 @@ void ManifestWriter::maybe_rotate() {
                     file_) == segment_header_.size() &&
             std::fflush(file_) == 0,
         "post-rotation header write");
+  obs::record_persist_write(segment_header_.size(), /*fsyncs=*/0);
+  obs::record_persist_flush();
   bytes_written_ = segment_header_.size();
 }
 
 void ManifestWriter::flush() {
   check(file_ != nullptr && std::fflush(file_) == 0, "flush");
+  obs::record_persist_flush();
 }
 
 void ManifestWriter::set_flush_every(std::int64_t every) {
@@ -378,6 +386,7 @@ void ManifestWriter::close() {
   const bool closed = std::fclose(file_) == 0;
   file_ = nullptr;
   check(ok && closed, "close");
+  obs::record_persist_flush();
 }
 
 }  // namespace cid::persist

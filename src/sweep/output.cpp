@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace cid::sweep {
 
 namespace {
@@ -24,7 +26,10 @@ std::uint64_t finish_or_throw(std::ofstream& out, const std::string& path) {
     throw std::runtime_error("write failed (disk full?) for '" + path + "'");
   }
   const auto pos = out.tellp();
-  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+  const std::uint64_t bytes = pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+  obs::record_persist_write(bytes, /*fsyncs=*/0);
+  obs::record_persist_flush();
+  return bytes;
 }
 
 // Full-precision doubles: round-tripping matters more than prettiness in

@@ -1,12 +1,16 @@
 #include "sweep/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "persist/manifest.hpp"
@@ -222,33 +226,105 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   }
   result.ran_trials = pending.size();
 
+  // Progress meter keyed per cell (label "protocol n=..."); totals count
+  // only this invocation's pending trials, so a resumed sweep reports the
+  // remaining work, not the whole grid.
+  std::unique_ptr<obs::ProgressMeter> meter;
+  if (options.progress && options.progress_every_seconds > 0.0) {
+    std::vector<std::string> labels;
+    std::vector<std::int64_t> totals(num_cells, 0);
+    labels.reserve(num_cells);
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+      const CellKey& key = result.trials[cell * trials_per_cell].key;
+      labels.push_back(key.protocol + " n=" + std::to_string(key.n));
+    }
+    for (const std::size_t i : pending) ++totals[i / trials_per_cell];
+    meter = std::make_unique<obs::ProgressMeter>(std::move(labels),
+                                                 std::move(totals));
+  }
+
   std::vector<double> wall(jobs.size(), 0.0);
   std::vector<TrialStats> stats(jobs.size());
-  parallel_for(static_cast<std::int64_t>(pending.size()), options.threads,
-               [&](std::int64_t p) {
-                 const std::size_t i = pending[static_cast<std::size_t>(p)];
-                 Job& job = jobs[i];
-                 const WallTimer timer;
-                 const TrialOutcome outcome =
-                     instances[job.n_index]->run_trial(
-                         grid.protocols[job.protocol_index], grid.dynamics,
-                         job.rng, &stats[i]);
-                 wall[i] = timer.seconds();
-                 TrialRow& row = result.trials[i];
-                 row.outcome = outcome;
-                 if (manifest.has_value()) {
-                   const std::lock_guard<std::mutex> lock(manifest_mutex);
-                   manifest->append(
-                       static_cast<std::uint32_t>(row.key.cell),
-                       static_cast<std::uint32_t>(row.trial), outcome);
-                 }
-               });
+  const std::int64_t launch_ns = obs::now_ns();
+  std::atomic<std::int64_t> queue_wait_ns{0};
+  std::atomic<std::int64_t> trial_run_ns{0};
+  std::mutex hook_mutex;
+  std::size_t hooks_fired = 0;
+  {
+    // Heartbeat thread, RAII-stopped so a throwing trial cannot leak it.
+    struct Monitor {
+      std::mutex mutex;
+      std::condition_variable cv;
+      bool stop = false;
+      std::thread thread;
+      ~Monitor() {
+        if (!thread.joinable()) return;
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          stop = true;
+        }
+        cv.notify_all();
+        thread.join();
+      }
+    } monitor;
+    if (meter != nullptr) {
+      monitor.thread = std::thread([&] {
+        const auto interval =
+            std::chrono::duration<double>(options.progress_every_seconds);
+        std::unique_lock<std::mutex> lock(monitor.mutex);
+        while (!monitor.cv.wait_for(lock, interval,
+                                    [&] { return monitor.stop; })) {
+          options.progress(meter->snapshot());
+        }
+      });
+    }
+    parallel_for(
+        static_cast<std::int64_t>(pending.size()), options.threads,
+        [&](std::int64_t p) {
+          const std::size_t i = pending[static_cast<std::size_t>(p)];
+          Job& job = jobs[i];
+          const std::int64_t start_ns = obs::now_ns();
+          queue_wait_ns.fetch_add(start_ns - launch_ns,
+                                  std::memory_order_relaxed);
+          const WallTimer timer;
+          const TrialOutcome outcome = instances[job.n_index]->run_trial(
+              grid.protocols[job.protocol_index], grid.dynamics, job.rng,
+              &stats[i]);
+          wall[i] = timer.seconds();
+          trial_run_ns.fetch_add(obs::now_ns() - start_ns,
+                                 std::memory_order_relaxed);
+          TrialRow& row = result.trials[i];
+          row.outcome = outcome;
+          if (manifest.has_value()) {
+            const std::lock_guard<std::mutex> lock(manifest_mutex);
+            manifest->append(static_cast<std::uint32_t>(row.key.cell),
+                             static_cast<std::uint32_t>(row.trial), outcome);
+          }
+          if (meter != nullptr) {
+            meter->on_trial_done(
+                i / trials_per_cell,
+                static_cast<std::int64_t>(outcome.rounds));
+          }
+          if (options.on_trial_done) {
+            const std::lock_guard<std::mutex> lock(hook_mutex);
+            options.on_trial_done(row, stats[i], ++hooks_fired,
+                                  pending.size());
+          }
+        });
+  }
+  // One final heartbeat after the pool drains (still under the same
+  // "reporting only" contract).
+  if (meter != nullptr) options.progress(meter->snapshot());
   if (manifest.has_value()) manifest->close();
   for (const std::size_t i : pending) {
     result.ran_rounds +=
         static_cast<std::int64_t>(result.trials[i].outcome.rounds);
     result.latency_evals += stats[i].latency_evals;
+    result.engine.merge(stats[i].engine);
   }
+  result.queue_wait_ns = queue_wait_ns.load(std::memory_order_relaxed);
+  result.trial_run_ns = trial_run_ns.load(std::memory_order_relaxed);
+  result.stats = std::move(stats);
   if (!result.complete) return result;  // cells left un-aggregated
 
   result.cells.reserve(num_cells);

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/progress.hpp"
 #include "sweep/scenario.hpp"
 #include "util/stats.hpp"
 
@@ -70,6 +72,22 @@ struct SweepResult {
   // deliberately kept out of the CSV/JSONL outputs and manifests.
   std::int64_t ran_rounds = 0;        // Σ rounds over executed trials
   std::int64_t latency_evals = 0;     // Σ kernel latency evaluations
+
+  /// Engine phase timers / work counters merged over executed trials.
+  /// Work counters (rounds, rows filled/pruned, stop checks) are
+  /// deterministic per grid; the *_ns fields are wall time. Populated only
+  /// under DynamicsConfig::collect_metrics (zeros otherwise).
+  obs::EngineMetrics engine;
+  /// Pool-level wall accounting (steady-clock ns, zero under
+  /// CID_METRICS=0): queue_wait_ns sums, over executed trials, the time
+  /// between sweep launch and that trial's start on a worker —
+  /// scheduling-dependent, reported in summaries only. trial_run_ns sums
+  /// the in-trial time.
+  std::int64_t queue_wait_ns = 0;
+  std::int64_t trial_run_ns = 0;
+  /// Per-trial stats, index-aligned with `trials` (cell-major,
+  /// trial-minor). Zeros for manifest-resumed or budget-skipped trials.
+  std::vector<TrialStats> stats;
 };
 
 struct SweepOptions {
@@ -97,6 +115,25 @@ struct SweepOptions {
   /// controlled-interruption hook for incremental sweeps and the resume
   /// tests; -1 = unlimited.
   std::int64_t max_new_trials = -1;
+
+  /// Live progress heartbeat: when `progress` is set and
+  /// progress_every_seconds > 0, a monitor thread invokes it with a fresh
+  /// ProgressSnapshot (keys = grid cells, totals = trials pending this
+  /// invocation) every interval, plus once after the pool drains. Pure
+  /// observation — persisted outputs are byte-identical with and without
+  /// it. The callback runs on the monitor thread (and once on the caller
+  /// thread at the end); it must not touch the grid or result.
+  double progress_every_seconds = 0.0;
+  std::function<void(const obs::ProgressSnapshot&)> progress;
+
+  /// Streaming per-trial hook, invoked under an internal mutex as each
+  /// executed trial finishes — in COMPLETION order, which is scheduling-
+  /// dependent; consumers needing determinism should read
+  /// SweepResult::stats (trial order) after the sweep instead. `done` /
+  /// `total` count this invocation's executed trials.
+  std::function<void(const TrialRow&, const TrialStats&, std::size_t done,
+                     std::size_t total)>
+      on_trial_done;
 };
 
 /// Runs the whole grid (or, with a manifest, the part of it not already

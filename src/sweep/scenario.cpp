@@ -222,6 +222,9 @@ class SymmetricInstance final : public ScenarioInstance {
     options.start_round = start_round;
     options.reference_kernel = dynamics.reference_kernel;
     options.row_threads = dynamics.row_threads;
+    options.metrics = (stats != nullptr && dynamics.collect_metrics)
+                          ? &stats->engine
+                          : nullptr;
 
     RoundObserver observer = nullptr;
     std::int64_t movers = base_movers;
@@ -263,7 +266,10 @@ class SymmetricInstance final : public ScenarioInstance {
                            make_stop(dynamics), observer)
             : run_dynamics(game_, x, *proto, rng, options,
                            make_cached_stop(dynamics), observer);
-    if (stats != nullptr) stats->latency_evals += rr.latency_evals;
+    if (stats != nullptr) {
+      stats->latency_evals += rr.latency_evals;
+      stats->ran_rounds += rr.rounds - start_round;
+    }
     TrialOutcome out;
     out.rounds = static_cast<double>(rr.rounds);
     out.converged = rr.converged;
@@ -449,6 +455,13 @@ class AsymmetricInstance final : public ScenarioInstance {
       persist::save_asymmetric_snapshot(snap, checkpoint->path);
     };
 
+    // Mirrors run_dynamics_impl's metering (engine.cpp): null unless the
+    // caller asked, so the unmetered loop is branch-for-branch identical
+    // to the pre-metrics code.
+    obs::EngineMetrics* const m =
+        (obs::kMetricsCompiled && stats != nullptr && dynamics.collect_metrics)
+            ? &stats->engine
+            : nullptr;
     TrialOutcome out;
     std::int64_t movers = base_movers;
     std::int64_t round = start_round;
@@ -457,24 +470,47 @@ class AsymmetricInstance final : public ScenarioInstance {
           round % checkpoint->every == 0) {
         snapshot_now(round, movers);
       }
-      if (round % dynamics.check_interval == 0 && stopped(x)) {
-        out.converged = true;
-        break;
+      if (round % dynamics.check_interval == 0) {
+        bool stop;
+        {
+          obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns
+                                                  : nullptr);
+          if (m != nullptr) ++m->stop_checks;
+          stop = stopped(x);
+        }
+        if (stop) {
+          out.converged = true;
+          break;
+        }
       }
       if (reference) {
+        obs::PhaseTimer draw_timer(m != nullptr ? &m->draw_ns : nullptr);
         movers += step_asymmetric_round(game_, x, params, rng).movers;
       } else {
         draw_asymmetric_round(game_, x, params, rng, ws, rr,
-                              dynamics.row_threads);
-        x.apply(game_, rr.moves, ws.apply_scratch);
-        ws.ctx.refresh(ws.apply_scratch.touched);
+                              dynamics.row_threads, m);
+        {
+          obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
+          x.apply(game_, rr.moves, ws.apply_scratch);
+        }
+        {
+          obs::PhaseTimer refresh_timer(m != nullptr ? &m->ctx_refresh_ns
+                                                     : nullptr);
+          ws.ctx.refresh(ws.apply_scratch.touched);
+        }
         movers += rr.movers;
       }
+      if (m != nullptr) ++m->rounds;
     }
-    if (!out.converged && stopped(x)) out.converged = true;
+    if (!out.converged) {
+      obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns : nullptr);
+      if (m != nullptr) ++m->stop_checks;
+      if (stopped(x)) out.converged = true;
+    }
     if (checkpoint != nullptr) snapshot_now(round, movers);
-    if (stats != nullptr && ws.ready) {
-      stats->latency_evals += ws.ctx.latency_evals();
+    if (stats != nullptr) {
+      if (ws.ready) stats->latency_evals += ws.ctx.latency_evals();
+      stats->ran_rounds += round - start_round;
     }
     out.rounds = static_cast<double>(round);
     out.movers = movers;
@@ -562,13 +598,12 @@ class ThresholdInstance final : public ScenarioInstance {
 
   TrialOutcome run_trial(const ProtocolSpec& protocol,
                          const DynamicsConfig& dynamics, Rng& rng,
-                         TrialStats* /*stats*/) const override {
-    // Sequential threshold dynamics bypass the round kernel; no counters.
+                         TrialStats* stats) const override {
     const auto cut = static_cast<std::uint32_t>(
         rng.uniform_int(std::uint64_t{1} << nodes_));
     const bool tripled = protocol.name == "imitation";
     ThresholdState s = initial_state(tripled, cut);
-    return run_steps(tripled, dynamics, rng, s, 0, nullptr);
+    return run_steps(tripled, dynamics, rng, s, 0, nullptr, stats);
   }
 
   TrialOutcome run_trial_checkpointed(
@@ -578,7 +613,7 @@ class ThresholdInstance final : public ScenarioInstance {
         rng.uniform_int(std::uint64_t{1} << nodes_));
     const bool tripled = protocol.name == "imitation";
     ThresholdState s = initial_state(tripled, cut);
-    return run_steps(tripled, dynamics, rng, s, 0, &checkpoint);
+    return run_steps(tripled, dynamics, rng, s, 0, &checkpoint, nullptr);
   }
 
   TrialOutcome resume_trial(const ProtocolSpec& protocol,
@@ -600,7 +635,8 @@ class ThresholdInstance final : public ScenarioInstance {
     ThresholdState s(game, std::move(snapshot.in_bits));
     Rng rng;
     rng.set_state(snapshot.rng_state);
-    return run_steps(tripled, dynamics, rng, s, snapshot.round, nullptr);
+    return run_steps(tripled, dynamics, rng, s, snapshot.round, nullptr,
+                     nullptr);
   }
 
  private:
@@ -618,7 +654,8 @@ class ThresholdInstance final : public ScenarioInstance {
   TrialOutcome run_steps(bool tripled, const DynamicsConfig& dynamics,
                          const Rng& rng, ThresholdState& s,
                          std::int64_t done_steps,
-                         const TrialCheckpoint* checkpoint) const {
+                         const TrialCheckpoint* checkpoint,
+                         TrialStats* stats) const {
     // Rebuilt per invocation (cheap: O(nodes^2)); pure function of inst_.
     const TripledGame tg =
         tripled ? triple_quadratic_threshold(inst_)
@@ -646,6 +683,7 @@ class ThresholdInstance final : public ScenarioInstance {
           tripled ? run_tripled_imitation(tg, s, budget)
                   : run_threshold_best_response(game, s, budget);
       steps += run.steps;
+      if (stats != nullptr) stats->latency_evals += run.latency_evals;
       if (checkpoint != nullptr) {
         snapshot_now(steps);
         snapshotted = true;
@@ -659,6 +697,7 @@ class ThresholdInstance final : public ScenarioInstance {
     // Covers the loop never running (budget already exhausted on entry);
     // every other exit wrote its snapshot inside the loop.
     if (checkpoint != nullptr && !snapshotted) snapshot_now(steps);
+    if (stats != nullptr) stats->ran_rounds += steps - done_steps;
 
     TrialOutcome out;
     out.rounds = static_cast<double>(steps);

@@ -115,6 +115,12 @@ struct DynamicsConfig {
   /// for large games — per-trial parallelism (SweepOptions::threads) is
   /// usually the better lever in a sweep.
   int row_threads = 1;
+  /// Collect engine phase timers / work counters into TrialStats::engine
+  /// (see RunOptions::metrics). Zero RNG, bitwise-identical trials either
+  /// way — excluded from manifest fingerprints like reference_kernel and
+  /// row_threads. No effect when the caller passes no TrialStats, or
+  /// under CID_METRICS=0.
+  bool collect_metrics = false;
 };
 
 /// Everything a trial reports. Deliberately wall-clock-free: these fields
@@ -144,10 +150,18 @@ struct TrialCheckpoint {
 /// caller may want in its run summary. Deterministic for a given trial,
 /// but unknown for trials merged from a manifest rather than re-run.
 struct TrialStats {
-  /// Latency-function evaluations the batched round kernel performed
-  /// (symmetric and asymmetric scenarios; the threshold family runs
-  /// sequential dynamics and reports 0, as do reference-kernel trials).
+  /// Latency-function evaluations the trial performed: the batched round
+  /// kernel's cached-context count for the symmetric and asymmetric
+  /// scenarios (0 under reference_kernel, which does not meter its
+  /// per-pair evaluations), and the sequential dynamics' per-step
+  /// latency_of/latency_if_toggled sweeps for the threshold family.
   std::int64_t latency_evals = 0;
+  /// Rounds (or sequential steps, for threshold-lb) this trial executed.
+  std::int64_t ran_rounds = 0;
+  /// Engine phase timers / work counters, populated only when
+  /// DynamicsConfig::collect_metrics is set (zeros otherwise; the
+  /// threshold family has no round kernel and leaves it empty).
+  obs::EngineMetrics engine;
 };
 
 class ScenarioInstance {

@@ -330,8 +330,16 @@ int replay(int argc, char** argv) {
       snapshot.game.potential(x), snapshot.game.average_latency(x),
       makespan(snapshot.game, x), x.support().size());
   if (!save_state_path.empty()) {
+    const obs::PersistIoTotals before = obs::persist_io_totals();
     save_state(x, save_state_path);
-    std::printf("state written to %s\n", save_state_path.c_str());
+    const std::int64_t bytes =
+        obs::persist_io_totals().bytes_written - before.bytes_written;
+    if (obs::kMetricsCompiled) {
+      std::printf("state written to %s (%lld bytes)\n",
+                  save_state_path.c_str(), static_cast<long long>(bytes));
+    } else {
+      std::printf("state written to %s\n", save_state_path.c_str());
+    }
   }
   if (!expect_path.empty()) {
     const persist::Snapshot expect = persist::load_snapshot(expect_path);
@@ -363,17 +371,31 @@ int export_snapshot(int argc, char** argv) {
     usage("export requires --game and/or --state output paths");
   }
   const persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
+  // Byte counts come from the persist I/O registry (src/obs/metrics.hpp)
+  // — the same counters cid_sweep's summary reports — with a slurp
+  // fallback for CID_METRICS=0 builds where the registry stays zero.
+  auto written_bytes = [](const obs::PersistIoTotals& before,
+                          const std::string& path) {
+    const std::int64_t delta =
+        obs::persist_io_totals().bytes_written - before.bytes_written;
+    return obs::kMetricsCompiled
+               ? static_cast<std::uint64_t>(delta)
+               : static_cast<std::uint64_t>(
+                     persist::slurp_file(path).size());
+  };
   std::uint64_t text_bytes = 0;
   if (!game_path.empty()) {
+    const obs::PersistIoTotals before = obs::persist_io_totals();
     save_game(snapshot.game, game_path);
-    const std::uint64_t bytes = persist::slurp_file(game_path).size();
+    const std::uint64_t bytes = written_bytes(before, game_path);
     text_bytes += bytes;
     std::printf("game written to %s (%llu bytes)\n", game_path.c_str(),
                 static_cast<unsigned long long>(bytes));
   }
   if (!state_path.empty()) {
+    const obs::PersistIoTotals before = obs::persist_io_totals();
     save_state(snapshot.state(), state_path);
-    const std::uint64_t bytes = persist::slurp_file(state_path).size();
+    const std::uint64_t bytes = written_bytes(before, state_path);
     text_bytes += bytes;
     std::printf("state written to %s (%llu bytes)\n", state_path.c_str(),
                 static_cast<unsigned long long>(bytes));

@@ -8,6 +8,7 @@
 //           [--checkpoint PATH [--checkpoint-every K] [--checkpoint-keep K]]
 //           [--resume PATH] [--event-log PATH [--no-log-compress]
 //           [--rotate-bytes N]] [--save-state PATH]
+//           [--metrics PATH [--metrics-every K]]
 //
 // Loads a game in the cid-game v1 text format (see src/game/io.hpp;
 // cid_gen writes such files), runs the chosen protocol, prints a trace
@@ -27,6 +28,7 @@
 #include <filesystem>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "cid/cid.hpp"
@@ -73,7 +75,14 @@ using namespace cid;
       "  --no-log-compress    write the uncompressed v1 event log format\n"
       "  --rotate-bytes N     rotate the event log to PATH.<seq> segments\n"
       "                       once the active file exceeds N bytes\n"
-      "  --save-state PATH    write the final state (cid-state v1 text)\n");
+      "  --save-state PATH    write the final state (cid-state v1 text)\n"
+      "  --metrics PATH       meter the engine (phase timers, row/prune\n"
+      "                       counters, persist io) and append JSONL\n"
+      "                       snapshots to PATH; also prints the counter\n"
+      "                       table. Zero RNG impact: the run's outputs\n"
+      "                       are bitwise identical with or without it\n"
+      "  --metrics-every K    also snapshot every K rounds (default 0 =\n"
+      "                       final snapshot only; requires --metrics)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -100,6 +109,8 @@ struct Options {
   bool log_compress = true;
   std::uint64_t rotate_bytes = 0;
   std::string save_state_path;
+  std::string metrics_path;
+  std::int64_t metrics_every = 0;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -143,7 +154,10 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--rotate-bytes") {
       opt.rotate_bytes = static_cast<std::uint64_t>(std::atoll(need_value(i)));
     } else if (flag == "--save-state") opt.save_state_path = need_value(i);
-    else usage(("unknown flag: " + flag).c_str());
+    else if (flag == "--metrics") opt.metrics_path = need_value(i);
+    else if (flag == "--metrics-every") {
+      opt.metrics_every = std::atoll(need_value(i));
+    } else usage(("unknown flag: " + flag).c_str());
   }
   if (opt.game_path.empty() == opt.resume_path.empty()) {
     usage("exactly one of --game and --resume is required");
@@ -161,6 +175,10 @@ Options parse_args(int argc, char** argv) {
   }
   if (opt.rotate_bytes > 0 && opt.event_log_path.empty()) {
     usage("--rotate-bytes requires --event-log PATH");
+  }
+  if (opt.metrics_every < 0) usage("--metrics-every must be >= 0");
+  if (opt.metrics_every > 0 && opt.metrics_path.empty()) {
+    usage("--metrics-every requires --metrics PATH");
   }
   return opt;
 }
@@ -292,11 +310,47 @@ int main(int argc, char** argv) {
                                           checkpointer->observer());
     }
 
+    // Engine metering (src/obs/): the counters accumulate into a local
+    // struct the run options point at; snapshots are rebuilt from it on
+    // demand. Pure observation — zero RNG, outputs bitwise identical.
+    obs::EngineMetrics engine_metrics;
+    obs::MetricsRegistry metrics_registry;
+    std::unique_ptr<obs::JsonlSink> metrics_sink;
+    const obs::PersistIoTotals io_before = obs::persist_io_totals();
+    auto write_metrics_snapshot = [&]() {
+      metrics_registry.reset_values();
+      metrics_registry.merge_engine("", engine_metrics);
+      const obs::PersistIoTotals io = obs::persist_io_totals();
+      metrics_registry.add_named("persist.bytes_written",
+                                 io.bytes_written - io_before.bytes_written);
+      metrics_registry.add_named("persist.writes", io.writes - io_before.writes);
+      metrics_registry.add_named("persist.fsyncs", io.fsyncs - io_before.fsyncs);
+      metrics_registry.add_named("persist.fflushes",
+                                 io.fflushes - io_before.fflushes);
+      metrics_sink->write(metrics_registry.snapshot());
+    };
+    if (!opt.metrics_path.empty()) {
+      metrics_sink = std::make_unique<obs::JsonlSink>(opt.metrics_path);
+      if (opt.metrics_every > 0) {
+        observer = persist::chain_observers(
+            std::move(observer),
+            [&](const CongestionGame&, const State&,
+                std::span<const Migration>, std::int64_t round, bool final) {
+              // The final snapshot is written after the run instead, once
+              // the event log has flushed its tail.
+              if (!final && round % opt.metrics_every == 0) {
+                write_metrics_snapshot();
+              }
+            });
+      }
+    }
+
     RunOptions run_options;
     run_options.max_rounds = opt.rounds;
     run_options.mode = engine;
     run_options.start_round = start_round;
     run_options.row_threads = opt.row_threads;
+    if (metrics_sink != nullptr) run_options.metrics = &engine_metrics;
     const WallTimer run_timer;
     const RunResult result =
         run_dynamics(*game, *x, *protocol, rng, run_options,
@@ -367,6 +421,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(v1),
           disk == 0 ? 0.0
                     : static_cast<double>(v1) / static_cast<double>(disk));
+    }
+    if (metrics_sink != nullptr) {
+      write_metrics_snapshot();
+      obs::TableSink("engine metrics").write(metrics_registry.snapshot());
+      metrics_sink->close();
+      std::printf("metrics written to %s (%llu bytes)\n",
+                  metrics_sink->path().c_str(),
+                  static_cast<unsigned long long>(
+                      metrics_sink->bytes_written()));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sim: %s\n", e.what());

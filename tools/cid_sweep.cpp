@@ -10,6 +10,8 @@
 //             [--out PREFIX] [--list]
 //             [--manifest PATH | --resume PATH] [--checkpoint-every K]
 //             [--max-new-trials N]
+//             [--metrics PATH [--metrics-every N]] [--metrics-prom PATH]
+//             [--progress [SEC]]
 //
 // Expands the grid scenario × protocol × n, runs every cell for --trials
 // independent repetitions across --threads workers (per-trial results are
@@ -22,9 +24,16 @@
 // recorded outcomes, so an interrupted grid continues where it stopped and
 // the final outputs are byte-identical to an uninterrupted run's at every
 // thread count. --resume is --manifest that insists the file exists.
+//
+// Observability (src/obs/): --metrics streams JSONL (per-trial rows in
+// deterministic trial order plus registry snapshots), --metrics-prom
+// writes a Prometheus text exposition, --progress prints a live heartbeat
+// to stderr. All three are pure observation — trial outcomes, manifests,
+// and CSV/JSONL outputs stay byte-identical with them on or off.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "cid/cid.hpp"
@@ -69,7 +78,19 @@ using namespace cid;
       "                    the active file exceeds N bytes (the whole\n"
       "                    chain is merged on load/resume)\n"
       "  --max-new-trials N    run at most N new trials, then exit\n"
-      "                    incomplete (resume later with --resume)\n");
+      "                    incomplete (resume later with --resume)\n"
+      "  --metrics PATH    append-only JSONL metrics stream: one \"trial\"\n"
+      "                    record per trial (deterministic trial order)\n"
+      "                    plus \"snapshot\" records of the counter registry\n"
+      "  --metrics-every N also snapshot the live registry every N\n"
+      "                    completed trials (default 0 = final snapshot\n"
+      "                    only; requires --metrics)\n"
+      "  --metrics-prom PATH  write the final registry state as\n"
+      "                    Prometheus text exposition (version 0.0.4)\n"
+      "  --progress [SEC]  live heartbeat on stderr every SEC seconds\n"
+      "                    (default 5): trials done/total, rounds/s, ETA,\n"
+      "                    per-cell breakdown. Observation only — outputs\n"
+      "                    are byte-identical with or without it\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -85,6 +106,9 @@ struct Options {
   sweep::SweepOptions run;
   std::string out_prefix;
   bool resume_required = false;
+  std::string metrics_path;
+  std::int64_t metrics_every = 0;
+  std::string prom_path;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -154,6 +178,18 @@ Options parse_args(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(need_value(i)));
     } else if (flag == "--max-new-trials") {
       opt.run.max_new_trials = std::atoll(need_value(i));
+    } else if (flag == "--metrics") {
+      opt.metrics_path = need_value(i);
+    } else if (flag == "--metrics-every") {
+      opt.metrics_every = std::atoll(need_value(i));
+    } else if (flag == "--metrics-prom") {
+      opt.prom_path = need_value(i);
+    } else if (flag == "--progress") {
+      // Optional value: "--progress 2.5" or bare "--progress" (5 s).
+      opt.run.progress_every_seconds = 5.0;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        opt.run.progress_every_seconds = std::atof(argv[++i]);
+      }
     } else if (flag == "--param") {
       const std::string kv = need_value(i);
       const auto eq = kv.find('=');
@@ -186,7 +222,19 @@ Options parse_args(int argc, char** argv) {
           "start a fresh resumable sweep)");
   }
   if (lambda <= 0.0 || lambda > 1.0) usage("lambda out of (0,1]");
+  if (opt.metrics_every < 0) usage("--metrics-every must be >= 0");
+  if (opt.metrics_every > 0 && opt.metrics_path.empty()) {
+    usage("--metrics-every requires --metrics");
+  }
+  if (opt.run.progress_every_seconds < 0.0) {
+    usage("--progress seconds must be >= 0");
+  }
   for (auto& protocol : opt.grid.protocols) protocol.lambda = lambda;
+  // Per-trial engine metering is opt-in: only pay for the phase timers
+  // when something will report them.
+  if (!opt.metrics_path.empty() || !opt.prom_path.empty()) {
+    opt.grid.dynamics.collect_metrics = true;
+  }
   return opt;
 }
 
@@ -214,9 +262,115 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(opt.grid.trials),
         sweep::resolve_threads(opt.run.threads));
 
+    // Observability plumbing. The registry is filled twice: the optional
+    // live hook accumulates in completion order for intermediate
+    // snapshots, then after the run it is rebuilt deterministically from
+    // the result (same totals, plus manifest-resumed trials).
+    const obs::PersistIoTotals io_before = obs::persist_io_totals();
+    obs::MetricsRegistry registry;
+    const auto trial_rounds_hist = registry.histogram(
+        "sweep.trial_rounds", {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6});
+    std::unique_ptr<obs::JsonlSink> sink;
+    if (!opt.metrics_path.empty()) {
+      sink = std::make_unique<obs::JsonlSink>(opt.metrics_path);
+    }
+    if (sink != nullptr && opt.metrics_every > 0) {
+      opt.run.on_trial_done = [&](const sweep::TrialRow& row,
+                                  const sweep::TrialStats& stats,
+                                  std::size_t done, std::size_t total) {
+        registry.merge_engine("", stats.engine);
+        registry.add_named("sweep.latency_evals", stats.latency_evals);
+        registry.add_named("sweep.ran_rounds", stats.ran_rounds);
+        registry.observe(trial_rounds_hist, row.outcome.rounds);
+        if (done % static_cast<std::size_t>(opt.metrics_every) == 0 &&
+            done < total) {
+          sink->write(registry.snapshot());
+        }
+      };
+    }
+    if (opt.run.progress_every_seconds > 0.0) {
+      opt.run.progress = [](const obs::ProgressSnapshot& snapshot) {
+        std::fprintf(stderr, "%s\n",
+                     obs::format_progress(snapshot).c_str());
+      };
+    }
+
     const WallTimer timer;
     const sweep::SweepResult result = sweep::run_sweep(opt.grid, opt.run);
     const double elapsed = timer.seconds();
+
+    auto print_persist_io = [&]() {
+      const obs::PersistIoTotals io = obs::persist_io_totals();
+      const std::int64_t bytes = io.bytes_written - io_before.bytes_written;
+      const std::int64_t writes = io.writes - io_before.writes;
+      if (writes == 0) return;
+      std::printf(
+          "persist io: %lld bytes in %lld writes, %lld fsyncs, "
+          "%lld fflushes\n",
+          static_cast<long long>(bytes), static_cast<long long>(writes),
+          static_cast<long long>(io.fsyncs - io_before.fsyncs),
+          static_cast<long long>(io.fflushes - io_before.fflushes));
+    };
+
+    // Final metrics outputs: rebuild the registry from the deterministic
+    // result, append per-trial rows in trial order, then the closing
+    // snapshot (and the Prometheus exposition, when asked for).
+    auto write_metrics_outputs = [&]() {
+      if (sink == nullptr && opt.prom_path.empty()) return;
+      registry.reset_values();
+      registry.merge_engine("", result.engine);
+      registry.add_named("sweep.trials_total",
+                         static_cast<std::int64_t>(result.trials.size()));
+      registry.add_named("sweep.trials_run",
+                         static_cast<std::int64_t>(result.ran_trials));
+      registry.add_named(
+          "sweep.trials_resumed",
+          static_cast<std::int64_t>(result.resumed_trials));
+      registry.add_named("sweep.ran_rounds", result.ran_rounds);
+      registry.add_named("sweep.latency_evals", result.latency_evals);
+      registry.add_named("sweep.queue_wait_ns", result.queue_wait_ns);
+      registry.add_named("sweep.trial_run_ns", result.trial_run_ns);
+      for (const sweep::TrialRow& row : result.trials) {
+        registry.observe(trial_rounds_hist, row.outcome.rounds);
+      }
+      const obs::PersistIoTotals io = obs::persist_io_totals();
+      registry.add_named("persist.bytes_written",
+                         io.bytes_written - io_before.bytes_written);
+      registry.add_named("persist.writes", io.writes - io_before.writes);
+      registry.add_named("persist.fsyncs", io.fsyncs - io_before.fsyncs);
+      registry.add_named("persist.fflushes",
+                         io.fflushes - io_before.fflushes);
+      if (sink != nullptr) {
+        for (std::size_t i = 0; i < result.trials.size(); ++i) {
+          const sweep::TrialRow& row = result.trials[i];
+          const sweep::TrialStats& stats = result.stats[i];
+          obs::JsonObject record = sink->record("trial");
+          record.num("cell", static_cast<std::int64_t>(row.key.cell))
+              .str("protocol", row.key.protocol)
+              .num("n", row.key.n)
+              .num("trial", static_cast<std::int64_t>(row.trial))
+              .num("rounds", row.outcome.rounds)
+              .num("converged",
+                   static_cast<std::int64_t>(row.outcome.converged))
+              .num("movers", row.outcome.movers)
+              .num("potential", row.outcome.potential)
+              .num("social_cost", row.outcome.social_cost)
+              .num("latency_evals", stats.latency_evals)
+              .num("ran_rounds", stats.ran_rounds)
+              .num("engine_rows_filled", stats.engine.rows_filled)
+              .num("engine_rows_pruned", stats.engine.rows_pruned);
+          sink->write_line(std::move(record));
+        }
+        sink->write(registry.snapshot());
+        sink->close();
+        std::printf("wrote %s (%llu bytes)\n", sink->path().c_str(),
+                    static_cast<unsigned long long>(sink->bytes_written()));
+      }
+      if (!opt.prom_path.empty()) {
+        obs::write_prometheus(opt.prom_path, registry.snapshot());
+        std::printf("wrote %s\n", opt.prom_path.c_str());
+      }
+    };
 
     // Kernel throughput over the trials actually executed this invocation
     // (resumed trials merged from a manifest were not re-measured).
@@ -246,6 +400,8 @@ int main(int argc, char** argv) {
           result.resumed_trials + result.ran_trials, result.trials.size(),
           opt.run.manifest_path.c_str());
       print_throughput();
+      print_persist_io();
+      write_metrics_outputs();
       return 0;
     }
 
@@ -296,6 +452,8 @@ int main(int argc, char** argv) {
                                       static_cast<double>(manifest_bytes));
       }
     }
+    print_persist_io();
+    write_metrics_outputs();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sweep: %s\n", e.what());
     return 1;
