@@ -26,6 +26,7 @@
 #include <cstring>
 
 #include "common.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace cid;
 
@@ -60,6 +61,10 @@ int main(int argc, char** argv) {
   grid.dynamics.stop = sweep::StopRule::kDeltaEps;
   grid.dynamics.delta = delta;
   grid.dynamics.eps = eps;
+  // Convergence telemetry (zero-perturbation: the trial outcomes above are
+  // byte-identical with or without it) — rounds_to_eps per cell feeds the
+  // direction-sensitive CI gate in scripts/check_bench_regression.py.
+  grid.dynamics.telemetry_every = 4;
 
   sweep::SweepOptions options;
   options.threads = 0;  // one worker per hardware thread
@@ -100,6 +105,26 @@ int main(int argc, char** argv) {
     const double phi_star = game.potential(State::spread_evenly(game));
     const double log_ratio = std::log2(phi0 / phi_star);
 
+    // Telemetry-derived hitting time of the 10%-of-final-potential
+    // neighborhood, averaged over the cell's trials (sampled rounds, so a
+    // multiple of telemetry_every). Deterministic per grid; empty under
+    // CID_METRICS=0, in which case the metric is omitted and the gate
+    // skips it.
+    double eps_round_sum = 0.0;
+    int eps_round_trials = 0;
+    for (std::size_t t = 0; t < result.trials.size(); ++t) {
+      if (result.trials[t].key.cell != cell.key.cell) continue;
+      if (t >= result.stats.size() || result.stats[t].telemetry.empty()) {
+        continue;
+      }
+      const obs::TelemetrySummary summary =
+          obs::summarize_telemetry(result.stats[t].telemetry);
+      if (summary.rounds_to_eps >= 0) {
+        eps_round_sum += static_cast<double>(summary.rounds_to_eps);
+        ++eps_round_trials;
+      }
+    }
+
     table.row()
         .cell(n)
         .cell_pm(cell.rounds.mean, cell.rounds_sem, 1)
@@ -107,7 +132,7 @@ int main(int argc, char** argv) {
         .cell(game.elasticity(), 1)
         .cell(game.nu(), 2)
         .cell(log_ratio, 3);
-    report.cell()
+    bench::JsonReport& row = report.cell()
         .metric("n", static_cast<double>(n))
         .metric("rounds_mean", cell.rounds.mean)
         .metric("rounds_sem", cell.rounds_sem)
@@ -116,6 +141,9 @@ int main(int argc, char** argv) {
         .metric("noneq_rounds_sem", noneq.sem)
         .metric("log2_phi_ratio", log_ratio)
         .metric("cell_wall_seconds", cell.wall_seconds);
+    if (eps_round_trials > 0) {
+      row.metric("rounds_to_eps", eps_round_sum / eps_round_trials);
+    }
     ns.push_back(std::log2(static_cast<double>(n)));
     taus.push_back(cell.rounds.mean);
   }

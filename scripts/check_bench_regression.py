@@ -43,6 +43,10 @@ HARDWARE_DEPENDENT = {"wall_seconds", "wall_cell_seconds",
 WORK_COUNTER_GATES = [
     ("evals_per_round", "up", 0.01),
     ("rows_pruned_fraction", "down", 0.01),
+    # Telemetry-derived hitting time (bench_convergence_n): mean sampled
+    # round where Phi first enters the 10%-of-final neighborhood. More
+    # rounds than the baseline = the dynamics converge slower.
+    ("rounds_to_eps", "up", 0.01),
 ]
 
 

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSONL file from cid_sim/cid_sweep --telemetry
+(or `cid_replay telemetry`).
+
+Usage: check_telemetry_jsonl.py FILE... [--expect-phi-nonincreasing]
+                                        [--require-kind KIND ...]
+
+Schema (src/obs/telemetry.hpp): every line is a standalone JSON object
+whose first keys are {"telemetry_version":1,"kind":"<kind>"}. Kinds:
+
+  round    one sampled pre-round observation: round, phi, l_av,
+           l_plus_av, makespan, movers, support, im_gap.
+  final    the post-run observation of a CONVERGED run: same fields,
+           movers == 0; at most one per series, after every round row.
+  summary  cid_sweep per-trial aggregate: rounds, converged, phi_first,
+           phi_last, rounds_to_eps, phi_half_life; cross-checked against
+           the series when it precedes the summary in the same file.
+
+cid_sweep lines additionally carry cell/protocol/n/trial identity
+fields; series are grouped by that identity (a cid_sim file is one
+anonymous series). Within each series rounds must be strictly
+increasing — the sampling stride is constant, but this checker does not
+assume which stride was used.
+
+--expect-phi-nonincreasing additionally requires the Rosenthal
+potential to never increase along each series (up to a 1e-9 relative
+slack for float noise) — the paper's supermartingale property holds
+per-round for the sequential/imitation-only cells CI smokes, not for
+exploration protocols, so it is opt-in.
+
+Unknown kinds fail: a writer adding a record shape must bump this
+checker (and kTelemetryVersion if the change is incompatible) in the
+same PR.
+"""
+import json
+import sys
+
+TELEMETRY_VERSION = 1
+
+SERIES_NUMERIC_FIELDS = [
+    "round", "phi", "l_av", "l_plus_av", "makespan", "movers", "support",
+    "im_gap",
+]
+SUMMARY_NUMERIC_FIELDS = [
+    "rounds", "converged", "phi_first", "phi_last", "rounds_to_eps",
+    "phi_half_life",
+]
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def identity(record):
+    return (record.get("cell"), record.get("protocol"), record.get("n"),
+            record.get("trial"))
+
+
+def check_series_record(record, where, errors, series):
+    for field in SERIES_NUMERIC_FIELDS:
+        if not is_number(record.get(field)):
+            errors.append(f"{where}: missing numeric '{field}'")
+            return
+    if series["closed"]:
+        errors.append(f"{where}: record after the series' final record")
+    last = series["last_round"]
+    if last is not None and record["round"] <= last:
+        errors.append(f"{where}: round {record['round']} not strictly "
+                      f"increasing (previous {last})")
+    series["last_round"] = record["round"]
+    series["rows"].append(record)
+    if record["kind"] == "final":
+        series["closed"] = True
+        if record["movers"] != 0:
+            errors.append(f"{where}: final record has movers "
+                          f"{record['movers']} (must be 0)")
+
+
+def check_summary(record, where, errors, series):
+    for field in SUMMARY_NUMERIC_FIELDS:
+        if not is_number(record.get(field)):
+            errors.append(f"{where}: summary missing numeric '{field}'")
+            return
+    rows = series["rows"]
+    if not rows:
+        return  # summary for a series captured elsewhere (e.g. resumed leg)
+    if record["phi_first"] != rows[0]["phi"]:
+        errors.append(f"{where}: phi_first {record['phi_first']} != first "
+                      f"record's phi {rows[0]['phi']}")
+    if record["phi_last"] != rows[-1]["phi"]:
+        errors.append(f"{where}: phi_last {record['phi_last']} != last "
+                      f"record's phi {rows[-1]['phi']}")
+    sampled = {r["round"] for r in rows}
+    for field in ("rounds_to_eps", "phi_half_life"):
+        value = record[field]
+        if value != -1 and value not in sampled:
+            errors.append(f"{where}: {field} {value} is not a sampled round")
+
+
+def check_phi_nonincreasing(path, series_map, errors):
+    for key, series in series_map.items():
+        prev = None
+        for record in series["rows"]:
+            phi = record["phi"]
+            if prev is not None and phi > prev * (1 + 1e-9) + 1e-12:
+                errors.append(
+                    f"{path}: series {key}: phi increases at round "
+                    f"{record['round']} ({prev} -> {phi})")
+            prev = phi
+
+
+def check_file(path, errors, kinds_seen, expect_phi_nonincreasing):
+    series_map = {}
+    lines = 0
+    with open(path) as f:
+        for i, line in enumerate(f, 1):
+            where = f"{path}:{i}"
+            line = line.strip()
+            if not line:
+                errors.append(f"{where}: blank line")
+                continue
+            lines += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON: {e}")
+                continue
+            if not isinstance(record, dict):
+                errors.append(f"{where}: line is not a JSON object")
+                continue
+            if record.get("telemetry_version") != TELEMETRY_VERSION:
+                errors.append(f"{where}: telemetry_version != "
+                              f"{TELEMETRY_VERSION}: "
+                              f"{record.get('telemetry_version')!r}")
+            kind = record.get("kind")
+            kinds_seen.add(kind)
+            series = series_map.setdefault(
+                identity(record),
+                {"rows": [], "last_round": None, "closed": False})
+            if kind in ("round", "final"):
+                check_series_record(record, where, errors, series)
+            elif kind == "summary":
+                check_summary(record, where, errors, series)
+            else:
+                errors.append(f"{where}: unknown kind {kind!r}")
+    if lines == 0:
+        errors.append(f"{path}: empty file")
+    if expect_phi_nonincreasing:
+        check_phi_nonincreasing(path, series_map, errors)
+    return lines
+
+
+def main():
+    paths, required = [], []
+    expect_phi_nonincreasing = False
+    args = iter(sys.argv[1:])
+    for arg in args:
+        if arg == "--require-kind":
+            required.append(next(args, None))
+        elif arg == "--expect-phi-nonincreasing":
+            expect_phi_nonincreasing = True
+        else:
+            paths.append(arg)
+    if not paths or None in required:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    kinds_seen = set()
+    total = sum(
+        check_file(p, errors, kinds_seen, expect_phi_nonincreasing)
+        for p in paths)
+    for kind in required:
+        if kind not in kinds_seen:
+            errors.append(f"no '{kind}' record in {', '.join(paths)}")
+    for err in errors:
+        print(f"FAIL: {err}")
+    if errors:
+        print(f"FAIL: {len(errors)} schema violation(s)")
+        return 1
+    print(f"OK: {total} telemetry record(s) across {len(paths)} file(s), "
+          f"kinds: {', '.join(sorted(k for k in kinds_seen if k))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file from --trace (cid_sim/cid_sweep).
+
+Usage: check_trace_json.py FILE... [--require-name NAME ...]
+
+Format (src/obs/trace_span.cpp): {"traceEvents": [...],
+"displayTimeUnit": "ms"} where every event carries name/cat/ph/ts/pid/tid,
+ph is "X" (complete span, with "dur") or "i" (instant), timestamps are
+epoch-relative microseconds, pid is the constant 1, and tids are small
+per-thread integers. Checks:
+
+  * the file parses as JSON with a non-empty traceEvents array;
+  * every event has the required fields with sane types and ts/dur >= 0;
+  * all events share one pid and tids are positive integers;
+  * per tid, complete spans NEST properly: sorted by start time, a span
+    must either start after the previous span ended or end within it —
+    partial overlap would render as garbage in chrome://tracing and
+    means two spans claimed the same thread concurrently.
+
+--require-name NAME (repeatable) additionally fails when no event with
+that name exists — CI uses it to prove the smoke actually captured
+sweep.trial and engine-phase spans.
+"""
+import json
+import sys
+
+REQUIRED_PHASES = ("X", "i")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_events(path, events, errors, names_seen):
+    pids = set()
+    by_tid = {}
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing string 'name'")
+            continue
+        names_seen.add(name)
+        ph = ev.get("ph")
+        if ph not in REQUIRED_PHASES:
+            errors.append(f"{where} ({name}): ph {ph!r} not in "
+                          f"{REQUIRED_PHASES}")
+            continue
+        if ev.get("cat") != "cid":
+            errors.append(f"{where} ({name}): cat != 'cid'")
+        ts = ev.get("ts")
+        if not is_number(ts) or ts < 0:
+            errors.append(f"{where} ({name}): bad ts {ts!r}")
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int):
+            errors.append(f"{where} ({name}): bad pid {pid!r}")
+            continue
+        pids.add(pid)
+        if not isinstance(tid, int) or tid < 1:
+            errors.append(f"{where} ({name}): bad tid {tid!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not is_number(dur) or dur < 0:
+                errors.append(f"{where} ({name}): complete span with bad "
+                              f"dur {dur!r}")
+                continue
+            by_tid.setdefault(tid, []).append((ts, ts + dur, name, i))
+    if len(pids) > 1:
+        errors.append(f"{path}: events span multiple pids {sorted(pids)}")
+    for tid, spans in sorted(by_tid.items()):
+        spans.sort()
+        stack = []  # (end, name) of currently-open enclosing spans
+        for start, end, name, i in spans:
+            # Tolerance: ts strings carry 3 decimals (nanoseconds), so
+            # anything under 1 ns is formatting noise, not overlap.
+            while stack and start >= stack[-1][0] - 1e-3:
+                stack.pop()
+            if stack and end > stack[-1][0] + 1e-3:
+                errors.append(
+                    f"{path}: tid {tid}: span '{name}' "
+                    f"(traceEvents[{i}], [{start}, {end}]) overlaps "
+                    f"enclosing '{stack[-1][1]}' ending at {stack[-1][0]}")
+                continue
+            stack.append((end, name))
+
+
+def check_file(path, errors, names_seen):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: not valid JSON: {e}")
+        return 0
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: top level is not an object")
+        return 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append(f"{path}: missing or empty 'traceEvents' array")
+        return 0
+    check_events(path, events, errors, names_seen)
+    return len(events)
+
+
+def main():
+    paths, required = [], []
+    args = iter(sys.argv[1:])
+    for arg in args:
+        if arg == "--require-name":
+            required.append(next(args, None))
+        else:
+            paths.append(arg)
+    if not paths or None in required:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    names_seen = set()
+    total = sum(check_file(p, errors, names_seen) for p in paths)
+    for name in required:
+        if name not in names_seen:
+            errors.append(f"no '{name}' event in {', '.join(paths)}")
+    for err in errors:
+        print(f"FAIL: {err}")
+    if errors:
+        print(f"FAIL: {len(errors)} trace violation(s)")
+        return 1
+    print(f"OK: {total} trace event(s) across {len(paths)} file(s), "
+          f"names: {', '.join(sorted(names_seen))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

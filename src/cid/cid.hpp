@@ -36,6 +36,8 @@
 #include "obs/metrics.hpp"            // IWYU pragma: export
 #include "obs/progress.hpp"           // IWYU pragma: export
 #include "obs/sink.hpp"               // IWYU pragma: export
+#include "obs/telemetry.hpp"          // IWYU pragma: export
+#include "obs/trace_span.hpp"         // IWYU pragma: export
 #include "persist/binio.hpp"          // IWYU pragma: export
 #include "persist/checkpoint.hpp"     // IWYU pragma: export
 #include "persist/codec.hpp"          // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace_span.hpp"
 #include "sweep/pool.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -224,7 +225,8 @@ void draw_serial(const AsymmetricGame& game, const AsymmetricState& x,
 void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
                    const AsymmetricImitationParams& params, Rng& rng,
                    AsymmetricRoundWorkspace& ws, AsymmetricRoundResult& out,
-                   int row_threads, obs::EngineMetrics* metrics) {
+                   int row_threads, obs::EngineMetrics* metrics,
+                   bool trace) {
   // Flatten the (class, origin) jobs: each owns a disjoint slice of
   // ws.rows sized by its class support. Job order == the serial path's
   // iteration order, so the serial draw phase below consumes the RNG
@@ -232,51 +234,56 @@ void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
   // the metered flavor of draw_serial: identical fills, verdicts, and
   // RNG order, plus separable row-fill/draw timing.)
   const std::int64_t fill_start = metrics != nullptr ? obs::now_ns() : 0;
-  const auto num_classes = static_cast<std::size_t>(game.num_classes());
-  ws.class_support.resize(num_classes);
-  ws.job_class.clear();
-  ws.job_from.clear();
-  ws.job_offset.clear();
-  std::size_t offset = 0;
-  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
-    auto& support = ws.class_support[static_cast<std::size_t>(c)];
-    x.support(c, support);
-    for (StrategyId from : support) {
-      ws.job_class.push_back(c);
-      ws.job_from.push_back(from);
-      ws.job_offset.push_back(offset);
-      offset += support.size();
+  {
+    obs::TraceSpan fill_span(trace ? "engine.row_fill" : nullptr);
+    const auto num_classes = static_cast<std::size_t>(game.num_classes());
+    ws.class_support.resize(num_classes);
+    ws.job_class.clear();
+    ws.job_from.clear();
+    ws.job_offset.clear();
+    std::size_t offset = 0;
+    for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+      auto& support = ws.class_support[static_cast<std::size_t>(c)];
+      x.support(c, support);
+      for (StrategyId from : support) {
+        ws.job_class.push_back(c);
+        ws.job_from.push_back(from);
+        ws.job_offset.push_back(offset);
+        offset += support.size();
+      }
     }
+    ws.rows.resize(offset);
+    ws.skip.assign(ws.job_class.size(), 0);
+    ws.class_min.resize(num_classes);
+    const std::span<double> min_used = ws.class_min;
+    for (std::int32_t c = 0; c < game.num_classes(); ++c) {
+      min_used[static_cast<std::size_t>(c)] = class_min_used_latency(
+          ws.ctx, c, ws.class_support[static_cast<std::size_t>(c)]);
+    }
+    sweep::parallel_for(
+        static_cast<std::int64_t>(ws.job_class.size()), row_threads,
+        [&](std::int64_t i) {
+          const auto ji = static_cast<std::size_t>(i);
+          const std::int32_t c = ws.job_class[ji];
+          const StrategyId from = ws.job_from[ji];
+          const auto& support = ws.class_support[static_cast<std::size_t>(c)];
+          const std::span<double> row{ws.rows.data() + ws.job_offset[ji],
+                                      support.size()};
+          if (class_row_provably_zero(
+                  game, ws.ctx, params, c, from,
+                  min_used[static_cast<std::size_t>(c)])) {
+            ws.skip[ji] = 1;
+            dcheck_pruned_class_row(game, ws.ctx, params, c, from, support,
+                                    row);
+            return;
+          }
+          fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
+                                             support, row);
+        });
   }
-  ws.rows.resize(offset);
-  ws.skip.assign(ws.job_class.size(), 0);
-  ws.class_min.resize(num_classes);
-  const std::span<double> min_used = ws.class_min;
-  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
-    min_used[static_cast<std::size_t>(c)] = class_min_used_latency(
-        ws.ctx, c, ws.class_support[static_cast<std::size_t>(c)]);
-  }
-  sweep::parallel_for(
-      static_cast<std::int64_t>(ws.job_class.size()), row_threads,
-      [&](std::int64_t i) {
-        const auto ji = static_cast<std::size_t>(i);
-        const std::int32_t c = ws.job_class[ji];
-        const StrategyId from = ws.job_from[ji];
-        const auto& support = ws.class_support[static_cast<std::size_t>(c)];
-        const std::span<double> row{ws.rows.data() + ws.job_offset[ji],
-                                    support.size()};
-        if (class_row_provably_zero(game, ws.ctx, params, c, from,
-                                    min_used[static_cast<std::size_t>(c)])) {
-          ws.skip[ji] = 1;
-          dcheck_pruned_class_row(game, ws.ctx, params, c, from, support,
-                                  row);
-          return;
-        }
-        fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
-                                           support, row);
-      });
   const std::int64_t draw_start = metrics != nullptr ? obs::now_ns() : 0;
   if (metrics != nullptr) metrics->row_fill_ns += draw_start - fill_start;
+  obs::TraceSpan draw_span(trace ? "engine.draw" : nullptr);
   std::int64_t pruned = 0;
   for (std::size_t i = 0; i < ws.job_class.size(); ++i) {
     if (ws.skip[i] != 0) {
@@ -311,10 +318,11 @@ void draw_asymmetric_round(const AsymmetricGame& game,
                            const AsymmetricImitationParams& params, Rng& rng,
                            AsymmetricRoundWorkspace& ws,
                            AsymmetricRoundResult& out, int row_threads,
-                           obs::EngineMetrics* metrics) {
+                           obs::EngineMetrics* metrics, bool trace) {
   CID_ENSURE(params.lambda > 0.0 && params.lambda <= 1.0,
              "lambda must be in (0, 1]");
   obs::EngineMetrics* const m = obs::kMetricsCompiled ? metrics : nullptr;
+  const bool tr = obs::kMetricsCompiled && trace;
   out.moves.clear();
   out.movers = 0;
   if (!ws.ready) {
@@ -324,10 +332,10 @@ void draw_asymmetric_round(const AsymmetricGame& game,
     ws.ctx.reset(game, x);
     ws.ready = true;
   }
-  if (row_threads <= 1 && m == nullptr) {
+  if (row_threads <= 1 && m == nullptr && !tr) {
     draw_serial(game, x, params, rng, ws, out);
   } else {
-    draw_threaded(game, x, params, rng, ws, out, row_threads, m);
+    draw_threaded(game, x, params, rng, ws, out, row_threads, m, tr);
   }
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -35,6 +36,15 @@
 #include "obs/metrics.hpp"
 
 namespace cid {
+
+/// The asymmetric mirror of RoundObserver (dynamics/engine.hpp): invoked
+/// once per round with the PRE-round state and that round's class
+/// migrations before they are applied, and once more after the final
+/// round with an empty move list and `final = true`. The sweep's
+/// asymmetric run loop feeds it; obs::TelemetryRecorder plugs in here.
+using AsymmetricRoundObserver = std::function<void(
+    const AsymmetricGame&, const AsymmetricState& x,
+    std::span<const ClassMigration> moves, std::int64_t round, bool final)>;
 
 class AsymmetricLatencyContext {
  public:
@@ -134,12 +144,17 @@ struct AsymmetricRoundWorkspace {
 /// filled/pruned — purely observational, zero RNG, bitwise-identical
 /// rounds either way (the metered serial path runs the flattened-job
 /// kernel inline, which consumes the RNG in exactly serial order).
+///
+/// `trace` emits row-fill/draw spans into the obs/trace_span.hpp collector
+/// for this one round, under the same bitwise contract as `metrics` (the
+/// traced serial path routes through the inline flattened-job kernel).
 void draw_asymmetric_round(const AsymmetricGame& game,
                            const AsymmetricState& x,
                            const AsymmetricImitationParams& params, Rng& rng,
                            AsymmetricRoundWorkspace& ws,
                            AsymmetricRoundResult& out, int row_threads = 1,
-                           obs::EngineMetrics* metrics = nullptr);
+                           obs::EngineMetrics* metrics = nullptr,
+                           bool trace = false);
 
 /// Cached overload of is_asymmetric_imitation_stable: reads every latency
 /// from the context (bitwise-identical verdicts; the context-free version

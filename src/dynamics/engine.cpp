@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace_span.hpp"
 #include "sweep/pool.hpp"
 #include "util/assert.hpp"
 
@@ -119,7 +120,7 @@ void fill_rows_parallel(const CongestionGame& game, const Protocol& protocol,
 void draw_aggregate(const CongestionGame& game, const State& x,
                     const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
                     RoundResult& out, int row_threads,
-                    obs::EngineMetrics* metrics) {
+                    obs::EngineMetrics* metrics, bool trace) {
   const std::span<double> probs = ws.probs;
   const std::span<std::int64_t> counts = ws.counts;
   // Support/improvement pruning: origins whose whole row is provably zero
@@ -136,7 +137,7 @@ void draw_aggregate(const CongestionGame& game, const State& x,
       out.movers += counts[j];
     }
   };
-  if (row_threads <= 1 && metrics == nullptr) {
+  if (row_threads <= 1 && metrics == nullptr && !trace) {
     for (StrategyId from : ws.support) {
       if (protocol.row_provably_zero(game, ws.ctx, from, bounds)) {
         dcheck_pruned_row(game, ws.ctx, protocol, from, probs);
@@ -148,18 +149,20 @@ void draw_aggregate(const CongestionGame& game, const State& x,
     }
     return;
   }
-  // Metered serial runs take this two-phase route too: parallel_for with
-  // one thread executes inline in support order, so fill order, prune
-  // verdicts, and RNG consumption match the single-pass loop above
-  // bitwise — the only difference is two extra clock reads per round.
+  // Metered (or traced) serial runs take this two-phase route too:
+  // parallel_for with one thread executes inline in support order, so fill
+  // order, prune verdicts, and RNG consumption match the single-pass loop
+  // above bitwise — the only difference is a few extra clock reads.
   {
     obs::PhaseTimer fill_timer(metrics != nullptr ? &metrics->row_fill_ns
                                                   : nullptr);
+    obs::TraceSpan fill_span(trace ? "engine.row_fill" : nullptr);
     fill_rows_parallel(game, protocol, ws, /*prune=*/true, bounds,
                        row_threads);
   }
   obs::PhaseTimer draw_timer(metrics != nullptr ? &metrics->draw_ns
                                                 : nullptr);
+  obs::TraceSpan draw_span(trace ? "engine.draw" : nullptr);
   const auto k = static_cast<std::size_t>(game.num_strategies());
   std::int64_t pruned = 0;
   for (std::size_t i = 0; i < ws.support.size(); ++i) {
@@ -179,7 +182,7 @@ void draw_aggregate(const CongestionGame& game, const State& x,
 void draw_per_player(const CongestionGame& game, const State& x,
                      const Protocol& protocol, Rng& rng, RoundWorkspace& ws,
                      RoundResult& out, int row_threads,
-                     obs::EngineMetrics* metrics) {
+                     obs::EngineMetrics* metrics, bool trace) {
   const std::span<double> probs = ws.probs;
   const std::span<std::int64_t> tally = ws.counts;
   // No pruning here: every player consumes one uniform whether or not its
@@ -205,7 +208,7 @@ void draw_per_player(const CongestionGame& game, const State& x,
       out.movers += tally[j];
     }
   };
-  if (row_threads <= 1 && metrics == nullptr) {
+  if (row_threads <= 1 && metrics == nullptr && !trace) {
     for (StrategyId from : ws.support) {
       protocol.fill_move_probabilities(game, ws.ctx, from, probs);
       dcheck_row(probs, from);
@@ -216,11 +219,13 @@ void draw_per_player(const CongestionGame& game, const State& x,
   {
     obs::PhaseTimer fill_timer(metrics != nullptr ? &metrics->row_fill_ns
                                                   : nullptr);
+    obs::TraceSpan fill_span(trace ? "engine.row_fill" : nullptr);
     fill_rows_parallel(game, protocol, ws, /*prune=*/false, RowBounds{},
                        row_threads);
   }
   obs::PhaseTimer draw_timer(metrics != nullptr ? &metrics->draw_ns
                                                 : nullptr);
+  obs::TraceSpan draw_span(trace ? "engine.draw" : nullptr);
   const auto k = static_cast<std::size_t>(game.num_strategies());
   for (std::size_t i = 0; i < ws.support.size(); ++i) {
     emit(ws.support[i], std::span<const double>{ws.rows.data() + i * k, k});
@@ -310,8 +315,9 @@ RoundResult draw_reference_per_player(const CongestionGame& game,
 void draw_round(const CongestionGame& game, const State& x,
                 const Protocol& protocol, Rng& rng, EngineMode mode,
                 RoundWorkspace& ws, RoundResult& out, int row_threads,
-                obs::EngineMetrics* metrics) {
+                obs::EngineMetrics* metrics, bool trace) {
   obs::EngineMetrics* const m = obs::kMetricsCompiled ? metrics : nullptr;
+  const bool tr = obs::kMetricsCompiled && trace;
   out.moves.clear();
   out.movers = 0;
   {
@@ -323,10 +329,10 @@ void draw_round(const CongestionGame& game, const State& x,
   }
   switch (mode) {
     case EngineMode::kAggregate:
-      draw_aggregate(game, x, protocol, rng, ws, out, row_threads, m);
+      draw_aggregate(game, x, protocol, rng, ws, out, row_threads, m, tr);
       return;
     case EngineMode::kPerPlayer:
-      draw_per_player(game, x, protocol, rng, ws, out, row_threads, m);
+      draw_per_player(game, x, protocol, rng, ws, out, row_threads, m, tr);
       return;
   }
   CID_ENSURE(false, "unreachable engine mode");
@@ -407,13 +413,19 @@ RunResult run_dynamics_impl(const CongestionGame& game, State& x,
     }
     return (*stop)(game, x, round);
   };
+  // Span tracing samples every K-th round (trace_engine_sample_interval)
+  // so multi-million-round runs stay bounded; a disarmed collector makes
+  // `tr` constant false at the cost of one relaxed load per round.
+  const std::int64_t trace_every = obs::trace_engine_sample_interval();
   for (std::int64_t round = options.start_round; round < options.max_rounds;
        ++round) {
+    const bool tr = obs::trace_enabled() && round % trace_every == 0;
     if (has_stop && round % options.check_interval == 0) {
       bool stopped;
       {
         obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns
                                                 : nullptr);
+        obs::TraceSpan stop_span(tr ? "engine.stop_check" : nullptr);
         if (m != nullptr) ++m->stop_checks;
         stopped = stop_now(round);
       }
@@ -425,21 +437,25 @@ RunResult run_dynamics_impl(const CongestionGame& game, State& x,
     if (options.reference_kernel) {
       {
         obs::PhaseTimer draw_timer(m != nullptr ? &m->draw_ns : nullptr);
+        obs::TraceSpan draw_span(tr ? "engine.draw" : nullptr);
         rr = draw_round_reference(game, x, protocol, rng, options.mode);
       }
       if (observer) observer(game, x, rr.moves, round, false);
       obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
+      obs::TraceSpan apply_span(tr ? "engine.apply" : nullptr);
       x.apply(game, rr.moves);
     } else {
       draw_round(game, x, protocol, rng, options.mode, ws, rr,
-                 options.row_threads, m);
+                 options.row_threads, m, tr);
       if (observer) observer(game, x, rr.moves, round, false);
       {
         obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
+        obs::TraceSpan apply_span(tr ? "engine.apply" : nullptr);
         x.apply(game, rr.moves, ws.apply_scratch);
       }
       obs::PhaseTimer refresh_timer(m != nullptr ? &m->ctx_refresh_ns
                                                  : nullptr);
+      obs::TraceSpan refresh_span(tr ? "engine.ctx_refresh" : nullptr);
       ws.ctx.refresh(ws.apply_scratch.touched);
     }
     result.total_movers += rr.movers;
@@ -448,6 +464,8 @@ RunResult run_dynamics_impl(const CongestionGame& game, State& x,
   }
   if (!result.converged && has_stop) {
     obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns : nullptr);
+    obs::TraceSpan stop_span(obs::trace_enabled() ? "engine.stop_check"
+                                                  : nullptr);
     if (m != nullptr) ++m->stop_checks;
     if (stop_now(result.rounds)) result.converged = true;
   }

@@ -114,10 +114,15 @@ RoundResult draw_round(const CongestionGame& game, const State& x,
 /// and the round is bitwise identical with or without it (the metered
 /// serial path routes through the same two-phase fill that row_threads=1
 /// parallel_for executes inline, preserving fill and draw order exactly).
+///
+/// `trace` emits row-fill/draw spans into the obs/trace_span.hpp
+/// collector for this one round (the run loop samples which rounds to
+/// trace). Same bitwise contract as `metrics`: the traced path runs the
+/// identical two-phase kernel, only with clock reads around it.
 void draw_round(const CongestionGame& game, const State& x,
                 const Protocol& protocol, Rng& rng, EngineMode mode,
                 RoundWorkspace& ws, RoundResult& out, int row_threads = 1,
-                obs::EngineMetrics* metrics = nullptr);
+                obs::EngineMetrics* metrics = nullptr, bool trace = false);
 
 /// PER-PAIR REFERENCE ORACLE: the pre-batching engine, driving every pair
 /// through Protocol::move_probability with no caching. Consumes the RNG

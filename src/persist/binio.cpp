@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace cid::persist {
 
@@ -218,6 +219,10 @@ std::string_view SectionScan::require(std::uint16_t tag,
 
 void write_file_atomic(const std::string& path, const std::string& magic,
                        std::uint8_t version, const std::string& payload) {
+  // Checkpoint/snapshot writes are rare (checkpoint cadence, not round
+  // cadence), so every one gets an unsampled span — the fsync cost is
+  // exactly what a timeline reader wants to see.
+  obs::TraceSpan span(obs::trace_enabled() ? "persist.write" : nullptr);
   const std::string tmp = path + ".tmp";
   BinWriter blob;
   blob.raw(magic.data(), magic.size());

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "persist/binio.hpp"
 #include "persist/block.hpp"
 
@@ -595,6 +596,7 @@ void EventLogWriter::maybe_rotate() {
       bytes_written_ < options_.rotate_bytes) {
     return;
   }
+  obs::trace_instant("eventlog.rotate");
   check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
             std::fclose(file_) == 0,
         "pre-rotation flush");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "persist/binio.hpp"
 
 namespace cid::persist {
@@ -340,6 +341,7 @@ void ManifestWriter::append(std::uint32_t cell, std::uint32_t trial,
 
 void ManifestWriter::maybe_rotate() {
   if (rotate_bytes_ == 0 || bytes_written_ < rotate_bytes_) return;
+  obs::trace_instant("manifest.rotate");
   check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
             std::fclose(file_) == 0,
         "pre-rotation flush");

@@ -13,6 +13,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/sink.hpp"
+#include "obs/trace_span.hpp"
 #include "persist/manifest.hpp"
 #include "sweep/pool.hpp"
 #include "util/assert.hpp"
@@ -291,9 +293,25 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
               grid.protocols[job.protocol_index], grid.dynamics, job.rng,
               &stats[i]);
           wall[i] = timer.seconds();
-          trial_run_ns.fetch_add(obs::now_ns() - start_ns,
+          const std::int64_t end_ns = obs::now_ns();
+          trial_run_ns.fetch_add(end_ns - start_ns,
                                  std::memory_order_relaxed);
           TrialRow& row = result.trials[i];
+          // One complete span per trial on the worker's own timeline.
+          // Workers run trials serially, so per-thread spans never
+          // overlap; queue wait rides along as an arg rather than its
+          // own span to keep the per-tid nesting clean.
+          if (obs::trace_enabled()) {
+            obs::JsonObject args;
+            args.str("scenario", row.key.scenario);
+            args.str("protocol", row.key.protocol);
+            args.num("n", row.key.n);
+            args.num("cell", std::int64_t{row.key.cell});
+            args.num("trial", std::int64_t{row.trial});
+            args.num("queue_wait_ns", start_ns - launch_ns);
+            args.num("rounds", static_cast<std::int64_t>(outcome.rounds));
+            obs::trace_emit("sweep.trial", start_ns, end_ns, args.take());
+          }
           row.outcome = outcome;
           if (manifest.has_value()) {
             const std::lock_guard<std::mutex> lock(manifest_mutex);

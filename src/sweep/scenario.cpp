@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "game/state.hpp"
 #include "graph/generators.hpp"
 #include "lowerbound/threshold_game.hpp"
+#include "obs/trace_span.hpp"
 #include "persist/binio.hpp"
 #include "persist/codec.hpp"
 #include "persist/snapshot.hpp"
@@ -181,16 +183,18 @@ class SymmetricInstance final : public ScenarioInstance {
     return run_from(protocol, dynamics, rng, x, 0, 0, nullptr, stats);
   }
 
-  TrialOutcome run_trial_checkpointed(
-      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
-      const TrialCheckpoint& checkpoint) const override {
+  TrialOutcome run_trial_checkpointed(const ProtocolSpec& protocol,
+                                      const DynamicsConfig& dynamics, Rng& rng,
+                                      const TrialCheckpoint& checkpoint,
+                                      TrialStats* stats) const override {
     State x = make_start(rng);
-    return run_from(protocol, dynamics, rng, x, 0, 0, &checkpoint, nullptr);
+    return run_from(protocol, dynamics, rng, x, 0, 0, &checkpoint, stats);
   }
 
   TrialOutcome resume_trial(const ProtocolSpec& protocol,
                             const DynamicsConfig& dynamics,
-                            const std::string& snapshot_path) const override {
+                            const std::string& snapshot_path,
+                            TrialStats* stats) const override {
     persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
     if (serialize_game(snapshot.game) != serialize_game(game_)) {
       throw persist::persist_error(
@@ -202,7 +206,7 @@ class SymmetricInstance final : public ScenarioInstance {
     Rng rng;
     rng.set_state(snapshot.rng_state);
     return run_from(protocol, dynamics, rng, x, snapshot.round,
-                    snapshot.movers, nullptr, nullptr);
+                    snapshot.movers, nullptr, stats);
   }
 
  private:
@@ -225,6 +229,15 @@ class SymmetricInstance final : public ScenarioInstance {
     options.metrics = (stats != nullptr && dynamics.collect_metrics)
                           ? &stats->engine
                           : nullptr;
+
+    // Convergence telemetry rides the engine's observer hook. Every record
+    // is a pure function of (pre-round state, moves, round), so a
+    // checkpointed or resumed leg records exactly the rows the
+    // uninterrupted run would — sampling keys off absolute round numbers.
+    std::optional<obs::TelemetryRecorder> telemetry;
+    if (stats != nullptr && dynamics.telemetry_every > 0) {
+      telemetry.emplace(dynamics.telemetry_every);
+    }
 
     RoundObserver observer = nullptr;
     std::int64_t movers = base_movers;
@@ -256,6 +269,20 @@ class SymmetricInstance final : public ScenarioInstance {
         persist::save_snapshot(snap, checkpoint->path);
       };
     }
+    if (telemetry.has_value()) {
+      RoundObserver record = telemetry->observer();
+      if (observer) {
+        observer = [record = std::move(record), rest = std::move(observer)](
+                       const CongestionGame& game, const State& pre,
+                       std::span<const Migration> moves, std::int64_t round,
+                       bool final) {
+          record(game, pre, moves, round, final);
+          rest(game, pre, moves, round, final);
+        };
+      } else {
+        observer = std::move(record);
+      }
+    }
 
     // Batched trials route stop checks through the kernel's latency cache;
     // reference trials keep the context-free predicates, so flipping
@@ -266,6 +293,10 @@ class SymmetricInstance final : public ScenarioInstance {
                            make_stop(dynamics), observer)
             : run_dynamics(game_, x, *proto, rng, options,
                            make_cached_stop(dynamics), observer);
+    if (telemetry.has_value()) {
+      telemetry->finish(rr.converged);
+      stats->telemetry = telemetry->take_records();
+    }
     if (stats != nullptr) {
       stats->latency_evals += rr.latency_evals;
       stats->ran_rounds += rr.rounds - start_round;
@@ -372,16 +403,18 @@ class AsymmetricInstance final : public ScenarioInstance {
     return run_loop(protocol, dynamics, rng, x, 0, 0, nullptr, stats);
   }
 
-  TrialOutcome run_trial_checkpointed(
-      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
-      const TrialCheckpoint& checkpoint) const override {
+  TrialOutcome run_trial_checkpointed(const ProtocolSpec& protocol,
+                                      const DynamicsConfig& dynamics, Rng& rng,
+                                      const TrialCheckpoint& checkpoint,
+                                      TrialStats* stats) const override {
     AsymmetricState x = AsymmetricState::uniform_random(game_, rng);
-    return run_loop(protocol, dynamics, rng, x, 0, 0, &checkpoint, nullptr);
+    return run_loop(protocol, dynamics, rng, x, 0, 0, &checkpoint, stats);
   }
 
   TrialOutcome resume_trial(const ProtocolSpec& protocol,
                             const DynamicsConfig& dynamics,
-                            const std::string& snapshot_path) const override {
+                            const std::string& snapshot_path,
+                            TrialStats* stats) const override {
     persist::AsymmetricSnapshot snapshot =
         persist::load_asymmetric_snapshot(snapshot_path);
     persist::BinWriter ours, theirs;
@@ -396,7 +429,7 @@ class AsymmetricInstance final : public ScenarioInstance {
     Rng rng;
     rng.set_state(snapshot.rng_state);
     return run_loop(protocol, dynamics, rng, x, snapshot.round,
-                    snapshot.movers, nullptr, nullptr);
+                    snapshot.movers, nullptr, stats);
   }
 
  private:
@@ -462,10 +495,19 @@ class AsymmetricInstance final : public ScenarioInstance {
         (obs::kMetricsCompiled && stats != nullptr && dynamics.collect_metrics)
             ? &stats->engine
             : nullptr;
+    // Telemetry mirrors the symmetric engine's observer protocol: one
+    // pure record per sampled round against the PRE-round state + the
+    // round's moves, one buffered final record (emitted iff converged).
+    std::optional<obs::TelemetryRecorder> telemetry;
+    if (stats != nullptr && dynamics.telemetry_every > 0) {
+      telemetry.emplace(dynamics.telemetry_every);
+    }
+    const std::int64_t trace_every = obs::trace_engine_sample_interval();
     TrialOutcome out;
     std::int64_t movers = base_movers;
     std::int64_t round = start_round;
     for (; round < dynamics.max_rounds; ++round) {
+      const bool tr = obs::trace_enabled() && round % trace_every == 0;
       if (checkpoint != nullptr && checkpoint->every > 0 &&
           round % checkpoint->every == 0) {
         snapshot_now(round, movers);
@@ -475,6 +517,7 @@ class AsymmetricInstance final : public ScenarioInstance {
         {
           obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns
                                                   : nullptr);
+          obs::TraceSpan stop_span(tr ? "engine.stop_check" : nullptr);
           if (m != nullptr) ++m->stop_checks;
           stop = stopped(x);
         }
@@ -484,18 +527,41 @@ class AsymmetricInstance final : public ScenarioInstance {
         }
       }
       if (reference) {
-        obs::PhaseTimer draw_timer(m != nullptr ? &m->draw_ns : nullptr);
-        movers += step_asymmetric_round(game_, x, params, rng).movers;
+        if (telemetry.has_value()) {
+          // Split draw/observe/apply so the recorder sees the pre-round
+          // state with the round's moves — identical migrations, RNG
+          // stream, and post-round state as step_asymmetric_round.
+          AsymmetricRoundResult ref;
+          {
+            obs::PhaseTimer draw_timer(m != nullptr ? &m->draw_ns : nullptr);
+            obs::TraceSpan draw_span(tr ? "engine.draw" : nullptr);
+            ref = draw_asymmetric_round_reference(game_, x, params, rng);
+          }
+          telemetry->observe(game_, x, ref.moves, round, false);
+          obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
+          obs::TraceSpan apply_span(tr ? "engine.apply" : nullptr);
+          x.apply(game_, ref.moves);
+          movers += ref.movers;
+        } else {
+          obs::PhaseTimer draw_timer(m != nullptr ? &m->draw_ns : nullptr);
+          obs::TraceSpan draw_span(tr ? "engine.draw" : nullptr);
+          movers += step_asymmetric_round(game_, x, params, rng).movers;
+        }
       } else {
         draw_asymmetric_round(game_, x, params, rng, ws, rr,
-                              dynamics.row_threads, m);
+                              dynamics.row_threads, m, tr);
+        if (telemetry.has_value()) {
+          telemetry->observe(game_, x, rr.moves, round, false);
+        }
         {
           obs::PhaseTimer apply_timer(m != nullptr ? &m->apply_ns : nullptr);
+          obs::TraceSpan apply_span(tr ? "engine.apply" : nullptr);
           x.apply(game_, rr.moves, ws.apply_scratch);
         }
         {
           obs::PhaseTimer refresh_timer(m != nullptr ? &m->ctx_refresh_ns
                                                      : nullptr);
+          obs::TraceSpan refresh_span(tr ? "engine.ctx_refresh" : nullptr);
           ws.ctx.refresh(ws.apply_scratch.touched);
         }
         movers += rr.movers;
@@ -504,8 +570,15 @@ class AsymmetricInstance final : public ScenarioInstance {
     }
     if (!out.converged) {
       obs::PhaseTimer stop_timer(m != nullptr ? &m->stop_check_ns : nullptr);
+      obs::TraceSpan stop_span(obs::trace_enabled() ? "engine.stop_check"
+                                                    : nullptr);
       if (m != nullptr) ++m->stop_checks;
       if (stopped(x)) out.converged = true;
+    }
+    if (telemetry.has_value()) {
+      telemetry->observe(game_, x, {}, round, true);
+      telemetry->finish(out.converged);
+      stats->telemetry = telemetry->take_records();
     }
     if (checkpoint != nullptr) snapshot_now(round, movers);
     if (stats != nullptr) {
@@ -606,19 +679,21 @@ class ThresholdInstance final : public ScenarioInstance {
     return run_steps(tripled, dynamics, rng, s, 0, nullptr, stats);
   }
 
-  TrialOutcome run_trial_checkpointed(
-      const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
-      const TrialCheckpoint& checkpoint) const override {
+  TrialOutcome run_trial_checkpointed(const ProtocolSpec& protocol,
+                                      const DynamicsConfig& dynamics, Rng& rng,
+                                      const TrialCheckpoint& checkpoint,
+                                      TrialStats* stats) const override {
     const auto cut = static_cast<std::uint32_t>(
         rng.uniform_int(std::uint64_t{1} << nodes_));
     const bool tripled = protocol.name == "imitation";
     ThresholdState s = initial_state(tripled, cut);
-    return run_steps(tripled, dynamics, rng, s, 0, &checkpoint, nullptr);
+    return run_steps(tripled, dynamics, rng, s, 0, &checkpoint, stats);
   }
 
   TrialOutcome resume_trial(const ProtocolSpec& protocol,
                             const DynamicsConfig& dynamics,
-                            const std::string& snapshot_path) const override {
+                            const std::string& snapshot_path,
+                            TrialStats* stats) const override {
     persist::ThresholdSnapshot snapshot =
         persist::load_threshold_snapshot(snapshot_path);
     const bool tripled = protocol.name == "imitation";
@@ -636,7 +711,7 @@ class ThresholdInstance final : public ScenarioInstance {
     Rng rng;
     rng.set_state(snapshot.rng_state);
     return run_steps(tripled, dynamics, rng, s, snapshot.round, nullptr,
-                     nullptr);
+                     stats);
   }
 
  private:

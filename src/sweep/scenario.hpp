@@ -41,6 +41,7 @@
 #include <string>
 
 #include "dynamics/engine.hpp"
+#include "obs/telemetry.hpp"
 #include "protocols/protocol.hpp"
 #include "util/rng.hpp"
 
@@ -121,6 +122,12 @@ struct DynamicsConfig {
   /// row_threads. No effect when the caller passes no TrialStats, or
   /// under CID_METRICS=0.
   bool collect_metrics = false;
+  /// Record convergence telemetry (obs/telemetry.hpp) every this-many
+  /// rounds into TrialStats::telemetry; 0 (default) records nothing.
+  /// Same contract as collect_metrics: zero RNG, bitwise-identical
+  /// trials, excluded from manifest fingerprints, no effect without a
+  /// TrialStats or under CID_METRICS=0.
+  std::int64_t telemetry_every = 0;
 };
 
 /// Everything a trial reports. Deliberately wall-clock-free: these fields
@@ -162,6 +169,12 @@ struct TrialStats {
   /// DynamicsConfig::collect_metrics is set (zeros otherwise; the
   /// threshold family has no round kernel and leaves it empty).
   obs::EngineMetrics engine;
+  /// Downsampled convergence telemetry, populated only when
+  /// DynamicsConfig::telemetry_every > 0 (empty otherwise; the threshold
+  /// family has no round observables and always leaves it empty). A
+  /// resumed trial records only ITS leg — the killed leg's file plus the
+  /// resumed leg's concatenates to the uninterrupted series bitwise.
+  std::vector<obs::TelemetryRecord> telemetry;
 };
 
 class ScenarioInstance {
@@ -185,7 +198,8 @@ class ScenarioInstance {
   /// games all produce CIDSNAP files (src/persist/snapshot.hpp).
   virtual TrialOutcome run_trial_checkpointed(
       const ProtocolSpec& protocol, const DynamicsConfig& dynamics, Rng& rng,
-      const TrialCheckpoint& checkpoint) const = 0;
+      const TrialCheckpoint& checkpoint,
+      TrialStats* stats = nullptr) const = 0;
 
   /// Continues a trial from a snapshot written by run_trial_checkpointed
   /// against THIS instance with THIS (protocol, dynamics) pair, to the
@@ -196,7 +210,8 @@ class ScenarioInstance {
   /// does not match this instance (wrong file / wrong scenario).
   virtual TrialOutcome resume_trial(const ProtocolSpec& protocol,
                                     const DynamicsConfig& dynamics,
-                                    const std::string& snapshot_path) const = 0;
+                                    const std::string& snapshot_path,
+                                    TrialStats* stats = nullptr) const = 0;
 };
 
 using ScenarioFactory =

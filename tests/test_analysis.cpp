@@ -4,6 +4,8 @@
 #include "analysis/trace.hpp"
 #include "dynamics/engine.hpp"
 #include "game/builders.hpp"
+#include "game/potential.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/imitation.hpp"
 #include "util/assert.hpp"
 
@@ -41,6 +43,42 @@ TEST(Experiment, Validation) {
   EXPECT_THROW(run_trials(0, 1, [](Rng&) { return 0.0; }),
                invariant_violation);
   EXPECT_THROW(run_trials(1, 1, TrialFn{}), invariant_violation);
+}
+
+TEST(PotentialTracker, ResyncMatchesFullRebuildAndCountsIt) {
+  const auto game = make_uniform_links_game(4, make_monomial(1.0, 2.0), 160);
+  Rng rng(13);
+  State x = State::uniform_random(game, rng);
+  PotentialTracker tracker(game, x);
+
+  auto& registry = obs::global_metrics();
+  const auto resyncs = registry.counter("analysis.potential_resyncs");
+  // Construction already resynced once (it IS a full recomputation).
+  const std::int64_t before = registry.value(resyncs);
+
+  // Drift the tracker through incremental apply() updates, then resync:
+  // the result must be exactly the from-scratch potential — resync is a
+  // full rebuild, not a correction of the incremental estimate.
+  const ImitationProtocol protocol;
+  RunOptions opts;
+  opts.max_rounds = 30;
+  const RoundObserver track = [&](const CongestionGame& g, const State& s,
+                                  std::span<const Migration> moves,
+                                  std::int64_t, bool final) {
+    if (!final) tracker.apply(g, s, moves);
+  };
+  run_dynamics(game, x, protocol, rng, opts, nullptr, track);
+  EXPECT_NEAR(tracker.value(), game.potential(x),
+              1e-7 * (1.0 + game.potential(x)));
+
+  tracker.resync(game, x);
+  EXPECT_EQ(tracker.value(), game.potential(x));
+  if (obs::kMetricsCompiled) {
+    EXPECT_EQ(registry.value(resyncs) - before, 1);
+    EXPECT_GE(before, 1);
+  } else {
+    EXPECT_EQ(registry.value(resyncs), 0);
+  }
 }
 
 TEST(TraceRecorder, PotentialMatchesExactRecomputation) {

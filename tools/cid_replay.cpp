@@ -4,22 +4,33 @@
 //   cid_replay diff A B
 //   cid_replay replay --snapshot S --log L [--to ROUND]
 //                     [--save-state PATH] [--expect SNAPSHOT]
+//                     [--metrics PATH] [--metrics-prom PATH]
+//   cid_replay telemetry --snapshot S --log L --telemetry PATH
+//                     [--to ROUND] [--telemetry-every N]
 //   cid_replay export SNAPSHOT [--game PATH] [--state PATH]
 //
-// inspect  sniffs the magic (CIDSNAP snapshot, CIDELOG event log, CIDMANI
-//          sweep manifest) and prints a structural summary.
-// diff     compares two snapshots (field by field) or two event logs
-//          (first diverging round); exit code 1 when they differ.
-// replay   reconstructs a state by applying the event log's recorded
-//          migrations to the snapshot's state — ZERO RNG draws, pure
-//          deterministic replay — and prints the same final quantities as
-//          cid_sim; --expect verifies the result against another snapshot.
-// export   converts a binary snapshot to the cid-game/cid-state v1 text
-//          formats for diffing and editing.
+// inspect   sniffs the magic (CIDSNAP snapshot, CIDELOG event log, CIDMANI
+//           sweep manifest) and prints a structural summary.
+// diff      compares two snapshots (field by field) or two event logs
+//           (first diverging round); exit code 1 when they differ.
+// replay    reconstructs a state by applying the event log's recorded
+//           migrations to the snapshot's state — ZERO RNG draws, pure
+//           deterministic replay — and prints the same final quantities as
+//           cid_sim; --expect verifies the result against another
+//           snapshot; --metrics/--metrics-prom export replay.* counters
+//           plus the persist I/O deltas.
+// telemetry regenerates the convergence telemetry series offline from a
+//           snapshot + event log — byte-identical to what a live run with
+//           --telemetry at the same sampling stride captured, with zero
+//           RNG draws (every record is a pure function of the replayed
+//           pre-round state and the logged moves).
+// export    converts a binary snapshot to the cid-game/cid-state v1 text
+//           formats for diffing and editing.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "cid/cid.hpp"
@@ -36,6 +47,9 @@ using namespace cid;
       "       cid_replay diff A B\n"
       "       cid_replay replay --snapshot S --log L [--to ROUND]\n"
       "                  [--save-state PATH] [--expect SNAPSHOT]\n"
+      "                  [--metrics PATH] [--metrics-prom PATH]\n"
+      "       cid_replay telemetry --snapshot S --log L --telemetry PATH\n"
+      "                  [--to ROUND] [--telemetry-every N]\n"
       "       cid_replay export SNAPSHOT [--game PATH] [--state PATH]\n");
   std::exit(error == nullptr ? 0 : 2);
 }
@@ -286,6 +300,7 @@ int diff(const std::string& a_path, const std::string& b_path) {
 
 int replay(int argc, char** argv) {
   std::string snapshot_path, log_path, save_state_path, expect_path;
+  std::string metrics_path, prom_path;
   std::int64_t to_round = -1;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -298,12 +313,15 @@ int replay(int argc, char** argv) {
     else if (flag == "--to") to_round = std::atoll(need_value(i));
     else if (flag == "--save-state") save_state_path = need_value(i);
     else if (flag == "--expect") expect_path = need_value(i);
+    else if (flag == "--metrics") metrics_path = need_value(i);
+    else if (flag == "--metrics-prom") prom_path = need_value(i);
     else usage(("unknown flag: " + flag).c_str());
   }
   if (snapshot_path.empty() || log_path.empty()) {
     usage("replay requires --snapshot and --log");
   }
 
+  const obs::PersistIoTotals io_before = obs::persist_io_totals();
   const persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
   const persist::EventLog log = persist::read_event_log_series(log_path);
   State x = snapshot.state();
@@ -341,6 +359,42 @@ int replay(int argc, char** argv) {
       std::printf("state written to %s\n", save_state_path.c_str());
     }
   }
+  // Observability exports: replay.* counters plus persist I/O deltas
+  // accumulated since entry (snapshot/log reads leave the write counters
+  // alone; --save-state shows up here). Same sinks cid_sim/cid_sweep use.
+  if (!metrics_path.empty() || !prom_path.empty()) {
+    std::int64_t migrations = 0;
+    for (const persist::RoundEvents& events : log.rounds) {
+      if (events.round < snapshot.round) continue;
+      if (events.round >= snapshot.round + applied) break;
+      for (const Migration& m : events.moves) migrations += m.count;
+    }
+    obs::MetricsRegistry registry;
+    registry.add_named("replay.rounds_applied", applied);
+    registry.add_named("replay.migrations_applied", migrations);
+    registry.add_named("replay.log_rounds",
+                       static_cast<std::int64_t>(log.rounds.size()));
+    registry.add_named("replay.log_bytes",
+                       static_cast<std::int64_t>(log.file_bytes));
+    const obs::PersistIoTotals io = obs::persist_io_totals();
+    registry.add_named("persist.bytes_written",
+                       io.bytes_written - io_before.bytes_written);
+    registry.add_named("persist.writes", io.writes - io_before.writes);
+    registry.add_named("persist.fsyncs", io.fsyncs - io_before.fsyncs);
+    registry.add_named("persist.fflushes",
+                       io.fflushes - io_before.fflushes);
+    if (!metrics_path.empty()) {
+      obs::JsonlSink sink(metrics_path);
+      sink.write(registry.snapshot());
+      sink.close();
+      std::printf("wrote %s (%llu bytes)\n", sink.path().c_str(),
+                  static_cast<unsigned long long>(sink.bytes_written()));
+    }
+    if (!prom_path.empty()) {
+      obs::write_prometheus(prom_path, registry.snapshot());
+      std::printf("wrote %s\n", prom_path.c_str());
+    }
+  }
   if (!expect_path.empty()) {
     const persist::Snapshot expect = persist::load_snapshot(expect_path);
     if (expect.state() == x && expect.round == snapshot.round + applied) {
@@ -350,6 +404,80 @@ int replay(int argc, char** argv) {
       return 1;
     }
   }
+  return 0;
+}
+
+// `cid_replay telemetry`: the offline regeneration leg of the telemetry
+// purity contract. Walks the event log exactly like replay_rounds (same
+// gapless validation) but fires the recorder on the PRE-round state with
+// that round's logged moves before applying them — the same observation
+// points the live engine observer sees — then mirrors the engines' final
+// observer call and resolves convergence through the snapshot's recorded
+// stop spec. The resulting file is byte-identical to a live capture at
+// the same stride, with zero RNG draws.
+int replay_telemetry(int argc, char** argv) {
+  std::string snapshot_path, log_path, out_path;
+  std::int64_t to_round = -1;
+  std::int64_t every = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&](int& j) -> const char* {
+      if (j + 1 >= argc) usage("missing value for flag");
+      return argv[++j];
+    };
+    if (flag == "--snapshot") snapshot_path = need_value(i);
+    else if (flag == "--log") log_path = need_value(i);
+    else if (flag == "--telemetry") out_path = need_value(i);
+    else if (flag == "--to") to_round = std::atoll(need_value(i));
+    else if (flag == "--telemetry-every") every = std::atoll(need_value(i));
+    else usage(("unknown flag: " + flag).c_str());
+  }
+  if (snapshot_path.empty() || log_path.empty() || out_path.empty()) {
+    usage("telemetry requires --snapshot, --log, and --telemetry");
+  }
+  if (every < 1) usage("--telemetry-every must be >= 1");
+
+  const persist::Snapshot snapshot = persist::load_snapshot(snapshot_path);
+  const persist::EventLog log = persist::read_event_log_series(log_path);
+  State x = snapshot.state();
+  const std::int64_t end =
+      to_round >= 0 ? to_round
+                    : (log.rounds.empty() ? snapshot.round
+                                          : log.rounds.back().round + 1);
+
+  obs::TelemetryRecorder recorder(every);
+  std::int64_t applied = 0;
+  for (const persist::RoundEvents& events : log.rounds) {
+    if (events.round < snapshot.round) continue;
+    if (events.round >= end) break;
+    if (events.round != snapshot.round + applied) {
+      throw std::runtime_error(
+          "event log round " + std::to_string(events.round) +
+          " breaks gapless ordering (expected " +
+          std::to_string(snapshot.round + applied) + ")");
+    }
+    recorder.observe(snapshot.game, x, events.moves, events.round, false);
+    x.apply(snapshot.game, events.moves);
+    ++applied;
+  }
+  const std::int64_t final_round = snapshot.round + applied;
+  recorder.observe(snapshot.game, x, {}, final_round, true);
+  // The engines cannot know convergence at the final observer call and
+  // neither can a replay; a live run's RunResult supplies it there, the
+  // snapshot's stop spec evaluated on the final state supplies it here
+  // (bitwise-equal verdicts — see persist::stop_from_spec).
+  const StopPredicate stop = persist::stop_from_spec(snapshot.config.stop);
+  recorder.finish(stop(snapshot.game, x, final_round));
+
+  const std::uint64_t bytes =
+      obs::write_telemetry_file(out_path, recorder.records());
+  std::printf("replayed %lld rounds (%lld -> %lld) with zero RNG draws\n",
+              static_cast<long long>(applied),
+              static_cast<long long>(snapshot.round),
+              static_cast<long long>(final_round));
+  std::printf("telemetry written to %s (%zu records, %llu bytes)\n",
+              out_path.c_str(), recorder.records().size(),
+              static_cast<unsigned long long>(bytes));
   return 0;
 }
 
@@ -424,6 +552,7 @@ int main(int argc, char** argv) {
       return diff(argv[2], argv[3]);
     }
     if (command == "replay") return replay(argc, argv);
+    if (command == "telemetry") return replay_telemetry(argc, argv);
     if (command == "export") return export_snapshot(argc, argv);
     usage(("unknown subcommand: " + command).c_str());
   } catch (const std::exception& e) {

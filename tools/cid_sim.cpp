@@ -82,7 +82,20 @@ using namespace cid;
       "                       table. Zero RNG impact: the run's outputs\n"
       "                       are bitwise identical with or without it\n"
       "  --metrics-every K    also snapshot every K rounds (default 0 =\n"
-      "                       final snapshot only; requires --metrics)\n");
+      "                       final snapshot only; requires --metrics)\n"
+      "  --telemetry PATH     record per-round science observables (phi,\n"
+      "                       latencies, makespan, movers, support,\n"
+      "                       imitation gap) and write them as JSONL (CSV\n"
+      "                       when PATH ends in .csv). Zero RNG impact;\n"
+      "                       cid_replay telemetry regenerates the byte-\n"
+      "                       identical file from a snapshot + event log\n"
+      "  --telemetry-every K  telemetry sampling cadence in rounds\n"
+      "                       (default 1; requires --telemetry)\n"
+      "  --trace PATH         capture Chrome trace-event JSON spans (engine\n"
+      "                       phases sampled, persist writes) to PATH —\n"
+      "                       open in chrome://tracing or Perfetto\n"
+      "  --trace-sample K     engine-phase span sampling interval in\n"
+      "                       rounds (default 64; requires --trace)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -111,6 +124,10 @@ struct Options {
   std::string save_state_path;
   std::string metrics_path;
   std::int64_t metrics_every = 0;
+  std::string telemetry_path;
+  std::int64_t telemetry_every = 0;  // 0 = unset (1 when --telemetry given)
+  std::string trace_path;
+  std::int64_t trace_sample = 0;     // 0 = unset (library default)
 };
 
 Options parse_args(int argc, char** argv) {
@@ -157,6 +174,12 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--metrics") opt.metrics_path = need_value(i);
     else if (flag == "--metrics-every") {
       opt.metrics_every = std::atoll(need_value(i));
+    } else if (flag == "--telemetry") opt.telemetry_path = need_value(i);
+    else if (flag == "--telemetry-every") {
+      opt.telemetry_every = std::atoll(need_value(i));
+    } else if (flag == "--trace") opt.trace_path = need_value(i);
+    else if (flag == "--trace-sample") {
+      opt.trace_sample = std::atoll(need_value(i));
     } else usage(("unknown flag: " + flag).c_str());
   }
   if (opt.game_path.empty() == opt.resume_path.empty()) {
@@ -179,6 +202,15 @@ Options parse_args(int argc, char** argv) {
   if (opt.metrics_every < 0) usage("--metrics-every must be >= 0");
   if (opt.metrics_every > 0 && opt.metrics_path.empty()) {
     usage("--metrics-every requires --metrics PATH");
+  }
+  if (opt.telemetry_every < 0) usage("--telemetry-every must be >= 1");
+  if (opt.telemetry_every > 0 && opt.telemetry_path.empty()) {
+    usage("--telemetry-every requires --telemetry PATH");
+  }
+  if (opt.telemetry_every == 0) opt.telemetry_every = 1;
+  if (opt.trace_sample < 0) usage("--trace-sample must be >= 1");
+  if (opt.trace_sample > 0 && opt.trace_path.empty()) {
+    usage("--trace-sample requires --trace PATH");
   }
   return opt;
 }
@@ -275,9 +307,29 @@ int main(int argc, char** argv) {
                 engine == EngineMode::kAggregate ? "aggregate" : "perplayer",
                 static_cast<long long>(opt.rounds));
 
+    // Span tracing is armed before any observer or persist writer runs so
+    // the timeline covers the whole run (pure observation: zero RNG, no
+    // output byte changes — the PR 6 contract).
+    if (!opt.trace_path.empty()) {
+      if (opt.trace_sample > 0) {
+        obs::set_trace_engine_sample_interval(opt.trace_sample);
+      }
+      obs::start_tracing();
+    }
+
     // Observers: trace + optional event log + optional checkpoint cadence.
     TraceRecorder trace(*game, *x, opt.trace_every);
     RoundObserver observer = trace.observer();
+
+    // Convergence telemetry rides the same observer chain; the recorder
+    // buffers records and the file is written after the run (finish()
+    // needs the converged verdict to decide on the final record).
+    std::optional<obs::TelemetryRecorder> telemetry;
+    if (!opt.telemetry_path.empty()) {
+      telemetry.emplace(opt.telemetry_every);
+      observer = persist::chain_observers(std::move(observer),
+                                          telemetry->observer());
+    }
 
     std::optional<persist::EventLogWriter> event_log;
     persist::EventLogOptions log_options;
@@ -422,6 +474,14 @@ int main(int argc, char** argv) {
           disk == 0 ? 0.0
                     : static_cast<double>(v1) / static_cast<double>(disk));
     }
+    if (telemetry.has_value()) {
+      telemetry->finish(result.converged);
+      const std::uint64_t bytes =
+          obs::write_telemetry_file(opt.telemetry_path, telemetry->records());
+      std::printf("telemetry written to %s (%zu records, %llu bytes)\n",
+                  opt.telemetry_path.c_str(), telemetry->records().size(),
+                  static_cast<unsigned long long>(bytes));
+    }
     if (metrics_sink != nullptr) {
       write_metrics_snapshot();
       obs::TableSink("engine metrics").write(metrics_registry.snapshot());
@@ -430,6 +490,11 @@ int main(int argc, char** argv) {
                   metrics_sink->path().c_str(),
                   static_cast<unsigned long long>(
                       metrics_sink->bytes_written()));
+    }
+    if (!opt.trace_path.empty()) {
+      const std::size_t events = obs::stop_tracing_to(opt.trace_path);
+      std::printf("trace written to %s (%zu events)\n",
+                  opt.trace_path.c_str(), events);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sim: %s\n", e.what());

@@ -11,6 +11,8 @@
 //             [--manifest PATH | --resume PATH] [--checkpoint-every K]
 //             [--max-new-trials N]
 //             [--metrics PATH [--metrics-every N]] [--metrics-prom PATH]
+//             [--telemetry PATH [--telemetry-every N]]
+//             [--trace PATH [--trace-sample K]]
 //             [--progress [SEC]]
 //
 // Expands the grid scenario × protocol × n, runs every cell for --trials
@@ -27,13 +29,19 @@
 //
 // Observability (src/obs/): --metrics streams JSONL (per-trial rows in
 // deterministic trial order plus registry snapshots), --metrics-prom
-// writes a Prometheus text exposition, --progress prints a live heartbeat
-// to stderr. All three are pure observation — trial outcomes, manifests,
-// and CSV/JSONL outputs stay byte-identical with them on or off.
+// writes a Prometheus text exposition, --telemetry captures the tagged
+// per-round convergence series (one "round"/"final" record per sampled
+// round per trial plus a per-trial "summary" row), --trace records a
+// Chrome trace-event timeline of the worker pool and sampled engine
+// phases, --progress prints a live heartbeat to stderr. All are pure
+// observation — trial outcomes, manifests, and CSV/JSONL outputs stay
+// byte-identical with them on or off, and none consume RNG.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "cid/cid.hpp"
@@ -87,6 +95,20 @@ using namespace cid;
       "                    only; requires --metrics)\n"
       "  --metrics-prom PATH  write the final registry state as\n"
       "                    Prometheus text exposition (version 0.0.4)\n"
+      "  --telemetry PATH  write the tagged per-round convergence series\n"
+      "                    (telemetry_version JSONL: round/final records\n"
+      "                    per trial in deterministic trial order, plus a\n"
+      "                    \"summary\" row per trial with rounds_to_eps and\n"
+      "                    phi_half_life). Zero RNG; resumed trials carry\n"
+      "                    no records (their rounds were not re-run)\n"
+      "  --telemetry-every N  sample every N-th round (default 1;\n"
+      "                    requires --telemetry)\n"
+      "  --trace PATH      write a Chrome trace-event JSON timeline:\n"
+      "                    per-worker sweep.trial spans (with cell args)\n"
+      "                    and sampled engine phase spans. Load in\n"
+      "                    chrome://tracing or Perfetto\n"
+      "  --trace-sample K  sample engine phase spans every K-th round\n"
+      "                    (default 64; requires --trace)\n"
       "  --progress [SEC]  live heartbeat on stderr every SEC seconds\n"
       "                    (default 5): trials done/total, rounds/s, ETA,\n"
       "                    per-cell breakdown. Observation only — outputs\n"
@@ -109,6 +131,10 @@ struct Options {
   std::string metrics_path;
   std::int64_t metrics_every = 0;
   std::string prom_path;
+  std::string telemetry_path;
+  std::int64_t telemetry_every = 0;  // 0 = unset (defaults to 1)
+  std::string trace_path;
+  std::int64_t trace_sample = 0;  // 0 = unset (library default, 64)
 };
 
 Options parse_args(int argc, char** argv) {
@@ -184,6 +210,14 @@ Options parse_args(int argc, char** argv) {
       opt.metrics_every = std::atoll(need_value(i));
     } else if (flag == "--metrics-prom") {
       opt.prom_path = need_value(i);
+    } else if (flag == "--telemetry") {
+      opt.telemetry_path = need_value(i);
+    } else if (flag == "--telemetry-every") {
+      opt.telemetry_every = std::atoll(need_value(i));
+    } else if (flag == "--trace") {
+      opt.trace_path = need_value(i);
+    } else if (flag == "--trace-sample") {
+      opt.trace_sample = std::atoll(need_value(i));
     } else if (flag == "--progress") {
       // Optional value: "--progress 2.5" or bare "--progress" (5 s).
       opt.run.progress_every_seconds = 5.0;
@@ -226,6 +260,14 @@ Options parse_args(int argc, char** argv) {
   if (opt.metrics_every > 0 && opt.metrics_path.empty()) {
     usage("--metrics-every requires --metrics");
   }
+  if (opt.telemetry_every < 0) usage("--telemetry-every must be >= 1");
+  if (opt.telemetry_every > 0 && opt.telemetry_path.empty()) {
+    usage("--telemetry-every requires --telemetry");
+  }
+  if (opt.trace_sample < 0) usage("--trace-sample must be >= 1");
+  if (opt.trace_sample > 0 && opt.trace_path.empty()) {
+    usage("--trace-sample requires --trace");
+  }
   if (opt.run.progress_every_seconds < 0.0) {
     usage("--progress seconds must be >= 0");
   }
@@ -234,6 +276,13 @@ Options parse_args(int argc, char** argv) {
   // when something will report them.
   if (!opt.metrics_path.empty() || !opt.prom_path.empty()) {
     opt.grid.dynamics.collect_metrics = true;
+  }
+  // Telemetry rides inside the trials (each TrialStats carries its
+  // series); deliberately NOT part of the manifest fingerprint, like
+  // collect_metrics — a telemetry-capturing rerun resumes plain sweeps.
+  if (!opt.telemetry_path.empty()) {
+    opt.grid.dynamics.telemetry_every =
+        opt.telemetry_every > 0 ? opt.telemetry_every : 1;
   }
   return opt;
 }
@@ -293,6 +342,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n",
                      obs::format_progress(snapshot).c_str());
       };
+    }
+
+    // Arm tracing before the pool spins up so worker registration and the
+    // first trials land inside the capture window.
+    if (!opt.trace_path.empty()) {
+      if (opt.trace_sample > 0) {
+        obs::set_trace_engine_sample_interval(opt.trace_sample);
+      }
+      obs::start_tracing();
     }
 
     const WallTimer timer;
@@ -372,6 +430,83 @@ int main(int argc, char** argv) {
       }
     };
 
+    // Tagged multi-trial telemetry stream: every trial's sampled series in
+    // deterministic trial order (result.stats is index-aligned with
+    // result.trials), each line tagged with its cell identity, followed by
+    // one "summary" row per trial. Resumed trials merged from a manifest
+    // carry no records — their rounds were not re-executed.
+    auto write_telemetry_outputs = [&]() {
+      if (opt.telemetry_path.empty()) return;
+      std::ofstream out(opt.telemetry_path,
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("cannot open telemetry path: " +
+                                 opt.telemetry_path);
+      }
+      std::uint64_t bytes = 0;
+      std::size_t recorded_trials = 0;
+      auto identity = [&](obs::JsonObject& line, std::string_view kind,
+                          const sweep::TrialRow& row) -> obs::JsonObject& {
+        return line
+            .num("telemetry_version", std::int64_t{obs::kTelemetryVersion})
+            .str("kind", kind)
+            .num("cell", static_cast<std::int64_t>(row.key.cell))
+            .str("protocol", row.key.protocol)
+            .num("n", row.key.n)
+            .num("trial", static_cast<std::int64_t>(row.trial));
+      };
+      auto emit = [&](obs::JsonObject&& line) {
+        const std::string text = line.take() + "\n";
+        out.write(text.data(),
+                  static_cast<std::streamsize>(text.size()));
+        bytes += text.size();
+      };
+      for (std::size_t i = 0; i < result.trials.size(); ++i) {
+        const sweep::TrialRow& row = result.trials[i];
+        const sweep::TrialStats& stats = result.stats[i];
+        if (stats.telemetry.empty()) continue;
+        ++recorded_trials;
+        for (const obs::TelemetryRecord& rec : stats.telemetry) {
+          obs::JsonObject line;
+          identity(line, rec.final_record ? "final" : "round", row);
+          obs::append_telemetry_fields(line, rec);
+          emit(std::move(line));
+        }
+        const obs::TelemetrySummary summary =
+            obs::summarize_telemetry(stats.telemetry);
+        obs::JsonObject line;
+        identity(line, "summary", row)
+            .num("rounds", row.outcome.rounds)
+            .num("converged",
+                 static_cast<std::int64_t>(row.outcome.converged))
+            .num("phi_first", summary.phi_first)
+            .num("phi_last", summary.phi_last)
+            .num("rounds_to_eps", summary.rounds_to_eps)
+            .num("phi_half_life", summary.phi_half_life);
+        emit(std::move(line));
+      }
+      out.flush();
+      if (!out) {
+        throw std::runtime_error("short write to telemetry path: " +
+                                 opt.telemetry_path);
+      }
+      out.close();
+      obs::record_persist_write(bytes, 0);
+      std::printf("wrote %s (%llu bytes, series for %zu of %zu trials)\n",
+                  opt.telemetry_path.c_str(),
+                  static_cast<unsigned long long>(bytes), recorded_trials,
+                  result.trials.size());
+    };
+
+    // Drain the span buffers last so the telemetry/metrics writes above
+    // appear in the timeline via their persist hooks.
+    auto write_trace_output = [&]() {
+      if (opt.trace_path.empty()) return;
+      const std::size_t events = obs::stop_tracing_to(opt.trace_path);
+      std::printf("wrote %s (%zu trace events)\n", opt.trace_path.c_str(),
+                  events);
+    };
+
     // Kernel throughput over the trials actually executed this invocation
     // (resumed trials merged from a manifest were not re-measured).
     auto print_throughput = [&]() {
@@ -400,8 +535,10 @@ int main(int argc, char** argv) {
           result.resumed_trials + result.ran_trials, result.trials.size(),
           opt.run.manifest_path.c_str());
       print_throughput();
+      write_telemetry_outputs();
       print_persist_io();
       write_metrics_outputs();
+      write_trace_output();
       return 0;
     }
 
@@ -452,8 +589,10 @@ int main(int argc, char** argv) {
                                       static_cast<double>(manifest_bytes));
       }
     }
+    write_telemetry_outputs();
     print_persist_io();
     write_metrics_outputs();
+    write_trace_output();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sweep: %s\n", e.what());
     return 1;
