@@ -21,11 +21,22 @@
 //           a fast link, n=2e5, class-local imitation on the cached
 //           per-class rows. Per-pair baseline: ~1.5e4 rounds/s vs
 //           ~3.7e5 batched (25x).
+//   cell 7  ROW-FILL-BOUND: per-player, singleton m=256, n=4e3,
+//           exploration — wide rows that never prune and a cheap
+//           cumulative-scan draw, so nearly all wall-clock is the
+//           per-origin row fill. Prices the monomorphized ProtocolKernel
+//           + SIMD select loop against the virtual frontend
+//           (--baseline).
+//   cell 8  ROW-FILL-BOUND: per-player, singleton m=512, n=2e3,
+//           imitation — k² row entries per round against only n·log k
+//           draw work, the most fill-dominated cell in the table.
 //
 // Flags: --quick (CI-sized round counts), --json PATH (see bench/common.hpp),
 // --baseline (run cells 5/6 on the pre-PR paths — uncached stop
-// predicates / per-pair asymmetric rounds — to reproduce the speedup
-// ratios quoted above; not used by CI).
+// predicates / per-pair asymmetric rounds — and cells 7/8 on the
+// virtual-frontend batched path (EngineTuning::virtual_frontend), i.e.
+// the pre-ProtocolKernel engine, to reproduce the speedup ratios quoted
+// above; not used by CI).
 #include <cstring>
 #include <string>
 
@@ -114,16 +125,21 @@ CellResult finish_cell(const WallTimer& timer, std::int64_t rounds,
 /// baseline therefore prices the instrumentation in, and the same-runner
 /// CI gate catches a hot-path metrics regression as a wall-clock one.
 CellResult run_cell(const CongestionGame& game, const Protocol& protocol,
-                    EngineMode mode, std::int64_t rounds) {
+                    EngineMode mode, std::int64_t rounds,
+                    bool virtual_frontend = false) {
   Rng rng(1);
   State x = State::uniform_random(game, rng);
   obs::EngineMetrics metrics;
-  RunOptions options;
-  options.max_rounds = rounds;
-  options.mode = mode;
-  options.metrics = &metrics;
+  EngineInvocation call;
+  call.options.max_rounds = rounds;
+  call.options.mode = mode;
+  call.options.metrics = &metrics;
+  // Pins the VirtualKernel adapter (virtual dispatch per row) instead of
+  // the monomorphized kernel — the pre-ProtocolKernel batched path,
+  // bitwise-identical output by contract, so only wall-clock moves.
+  call.options.virtual_frontend = virtual_frontend;
   const WallTimer timer;
-  const RunResult rr = run_dynamics(game, x, protocol, rng, options, nullptr);
+  const RunResult rr = run_dynamics(game, x, protocol, rng, call);
   return finish_cell(timer, rr.rounds, rr.latency_evals, rr.total_movers,
                      metrics);
 }
@@ -278,6 +294,29 @@ int main(int argc, char** argv) {
     record(6,
            baseline ? "asymmetric k=17x4 PER-PAIR" : "asymmetric k=17x4",
            rounds, run_asymmetric_cell(asym, rounds, baseline));
+  }
+  // Cells 7/8: row-fill-bound workloads pricing the monomorphized
+  // ProtocolKernel + SIMD row against the virtual frontend (--baseline).
+  const ExplorationProtocol exploration;
+  const auto singleton_wide = make_monomial_fan_game(256, 1.0, 1.0, 4000);
+  const auto singleton_pp_wide = make_monomial_fan_game(512, 1.0, 1.0, 2000);
+  {
+    const std::int64_t rounds = quick ? 160 : 800;
+    record(7,
+           baseline ? "perplayer singleton m=256 explore VIRTUAL"
+                    : "perplayer singleton m=256 explore",
+           rounds,
+           run_cell(singleton_wide, exploration, EngineMode::kPerPlayer,
+                    rounds, baseline));
+  }
+  {
+    const std::int64_t rounds = quick ? 60 : 300;
+    record(8,
+           baseline ? "perplayer singleton m=512 VIRTUAL"
+                    : "perplayer singleton m=512",
+           rounds,
+           run_cell(singleton_pp_wide, imitation, EngineMode::kPerPlayer,
+                    rounds, baseline));
   }
   table.print(std::string("engine micro (fixed workloads") +
               (quick ? ", --quick" : "") + (baseline ? ", --baseline" : "") +

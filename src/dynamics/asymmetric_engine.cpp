@@ -3,21 +3,25 @@
 #include <algorithm>
 #include <limits>
 
-#include "obs/trace_span.hpp"
-#include "sweep/pool.hpp"
 #include "util/assert.hpp"
-#include "util/rng.hpp"
 
 namespace cid {
 
 void AsymmetricLatencyContext::recompute_resource(std::size_t e) {
   const std::int64_t load = x_->congestion(static_cast<Resource>(e));
-  const LatencyFunction& fn = game_->latency(static_cast<Resource>(e));
   // Exactly the evaluations the uncached game methods perform, so cached
-  // reads reproduce them bit-for-bit.
+  // reads reproduce them bit-for-bit; under CID_SIMD they route through
+  // the flattened LatencyTable (bitwise-equal by contract), a =0 build
+  // keeps the virtual dispatch.
   non_monotone_ -= ell_plus_[e] < ell_[e] ? 1 : 0;
-  ell_[e] = fn.value(static_cast<double>(load));
-  ell_plus_[e] = fn.value(static_cast<double>(load + 1));
+  if constexpr (kSimdCompiled) {
+    ell_[e] = table_.value(e, static_cast<double>(load));
+    ell_plus_[e] = table_.value(e, static_cast<double>(load + 1));
+  } else {
+    const LatencyFunction& fn = game_->latency(static_cast<Resource>(e));
+    ell_[e] = fn.value(static_cast<double>(load));
+    ell_plus_[e] = fn.value(static_cast<double>(load + 1));
+  }
   non_monotone_ += ell_plus_[e] < ell_[e] ? 1 : 0;
   load_[e] = load;
   evals_ += 2;
@@ -31,6 +35,14 @@ void AsymmetricLatencyContext::reset(const AsymmetricGame& game,
   const auto num_classes = static_cast<std::size_t>(game.num_classes());
   ell_.assign(m, 0.0);
   ell_plus_.assign(m, 0.0);
+  if constexpr (kSimdCompiled) {
+    // Classify every latency function once per reset (cold path).
+    table_.clear();
+    table_.reserve(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      table_.add(game.latency(static_cast<Resource>(e)));
+    }
+  }
   load_.resize(m);
   strat_.resize(num_classes);
   strat_epoch_.resize(num_classes);
@@ -149,170 +161,6 @@ void fill_asymmetric_move_probabilities(
   }
 }
 
-namespace {
-
-/// Debug-only audit of a pruned (class, origin): the claimed-zero row must
-/// actually be all zeros (cf. dcheck_pruned_row in engine.cpp).
-void dcheck_pruned_class_row(
-    [[maybe_unused]] const AsymmetricGame& game,
-    [[maybe_unused]] const AsymmetricLatencyContext& ctx,
-    [[maybe_unused]] const AsymmetricImitationParams& params,
-    [[maybe_unused]] std::int32_t c, [[maybe_unused]] StrategyId from,
-    [[maybe_unused]] std::span<const StrategyId> support,
-    [[maybe_unused]] std::span<double> scratch) {
-#ifndef NDEBUG
-  fill_asymmetric_move_probabilities(game, ctx, params, c, from, support,
-                                     scratch);
-  for (double p : scratch) {
-    CID_DCHECK(p == 0.0, "asymmetric pruning skipped a nonzero row");
-  }
-#endif
-}
-
-/// Whether class-c origin `from`'s whole row is provably zero: nobody to
-/// sample, or — under plus-dominance — ℓ_{c,P}(x) within ν of the cheapest
-/// used strategy of the SAME class (imitation is class-local, so only the
-/// class support matters). min_used is min over the class support of the
-/// cached ℓ_{c,Q}(x).
-bool class_row_provably_zero(const AsymmetricGame& game,
-                             const AsymmetricLatencyContext& ctx,
-                             const AsymmetricImitationParams& params,
-                             std::int32_t c, StrategyId from,
-                             double min_used) {
-  if (game.player_class(c).num_players < 2) return true;
-  if (!ctx.plus_dominates()) return false;
-  const double nu = params.nu_cutoff ? game.nu() : 0.0;
-  return !(ctx.strategy_latency(c, from) > min_used + nu);
-}
-
-double class_min_used_latency(const AsymmetricLatencyContext& ctx,
-                              std::int32_t c,
-                              std::span<const StrategyId> support) {
-  double min_used = std::numeric_limits<double>::infinity();
-  for (StrategyId q : support) {
-    min_used = std::min(min_used, ctx.strategy_latency(c, q));
-  }
-  return min_used;
-}
-
-void draw_serial(const AsymmetricGame& game, const AsymmetricState& x,
-                 const AsymmetricImitationParams& params, Rng& rng,
-                 AsymmetricRoundWorkspace& ws, AsymmetricRoundResult& out) {
-  for (std::int32_t c = 0; c < game.num_classes(); ++c) {
-    x.support(c, ws.support);
-    const double min_used = class_min_used_latency(ws.ctx, c, ws.support);
-    ws.probs.resize(ws.support.size());
-    ws.counts.resize(ws.support.size());
-    for (StrategyId from : ws.support) {
-      if (class_row_provably_zero(game, ws.ctx, params, c, from, min_used)) {
-        dcheck_pruned_class_row(game, ws.ctx, params, c, from, ws.support,
-                                ws.probs);
-        continue;
-      }
-      fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
-                                         ws.support, ws.probs);
-      rng.multinomial(x.count(c, from), ws.probs, ws.counts);
-      for (std::size_t j = 0; j < ws.support.size(); ++j) {
-        if (ws.counts[j] == 0) continue;
-        out.moves.push_back(
-            ClassMigration{c, from, ws.support[j], ws.counts[j]});
-        out.movers += ws.counts[j];
-      }
-    }
-  }
-}
-
-void draw_threaded(const AsymmetricGame& game, const AsymmetricState& x,
-                   const AsymmetricImitationParams& params, Rng& rng,
-                   AsymmetricRoundWorkspace& ws, AsymmetricRoundResult& out,
-                   int row_threads, obs::EngineMetrics* metrics,
-                   bool trace) {
-  // Flatten the (class, origin) jobs: each owns a disjoint slice of
-  // ws.rows sized by its class support. Job order == the serial path's
-  // iteration order, so the serial draw phase below consumes the RNG
-  // identically. (That also makes this path, run with one inline thread,
-  // the metered flavor of draw_serial: identical fills, verdicts, and
-  // RNG order, plus separable row-fill/draw timing.)
-  const std::int64_t fill_start = metrics != nullptr ? obs::now_ns() : 0;
-  {
-    obs::TraceSpan fill_span(trace ? "engine.row_fill" : nullptr);
-    const auto num_classes = static_cast<std::size_t>(game.num_classes());
-    ws.class_support.resize(num_classes);
-    ws.job_class.clear();
-    ws.job_from.clear();
-    ws.job_offset.clear();
-    std::size_t offset = 0;
-    for (std::int32_t c = 0; c < game.num_classes(); ++c) {
-      auto& support = ws.class_support[static_cast<std::size_t>(c)];
-      x.support(c, support);
-      for (StrategyId from : support) {
-        ws.job_class.push_back(c);
-        ws.job_from.push_back(from);
-        ws.job_offset.push_back(offset);
-        offset += support.size();
-      }
-    }
-    ws.rows.resize(offset);
-    ws.skip.assign(ws.job_class.size(), 0);
-    ws.class_min.resize(num_classes);
-    const std::span<double> min_used = ws.class_min;
-    for (std::int32_t c = 0; c < game.num_classes(); ++c) {
-      min_used[static_cast<std::size_t>(c)] = class_min_used_latency(
-          ws.ctx, c, ws.class_support[static_cast<std::size_t>(c)]);
-    }
-    sweep::parallel_for(
-        static_cast<std::int64_t>(ws.job_class.size()), row_threads,
-        [&](std::int64_t i) {
-          const auto ji = static_cast<std::size_t>(i);
-          const std::int32_t c = ws.job_class[ji];
-          const StrategyId from = ws.job_from[ji];
-          const auto& support = ws.class_support[static_cast<std::size_t>(c)];
-          const std::span<double> row{ws.rows.data() + ws.job_offset[ji],
-                                      support.size()};
-          if (class_row_provably_zero(
-                  game, ws.ctx, params, c, from,
-                  min_used[static_cast<std::size_t>(c)])) {
-            ws.skip[ji] = 1;
-            dcheck_pruned_class_row(game, ws.ctx, params, c, from, support,
-                                    row);
-            return;
-          }
-          fill_asymmetric_move_probabilities(game, ws.ctx, params, c, from,
-                                             support, row);
-        });
-  }
-  const std::int64_t draw_start = metrics != nullptr ? obs::now_ns() : 0;
-  if (metrics != nullptr) metrics->row_fill_ns += draw_start - fill_start;
-  obs::TraceSpan draw_span(trace ? "engine.draw" : nullptr);
-  std::int64_t pruned = 0;
-  for (std::size_t i = 0; i < ws.job_class.size(); ++i) {
-    if (ws.skip[i] != 0) {
-      ++pruned;
-      continue;
-    }
-    const std::int32_t c = ws.job_class[i];
-    const auto& support = ws.class_support[static_cast<std::size_t>(c)];
-    const std::span<const double> row{ws.rows.data() + ws.job_offset[i],
-                                      support.size()};
-    ws.counts.resize(support.size());
-    rng.multinomial(x.count(c, ws.job_from[i]), row, ws.counts);
-    for (std::size_t j = 0; j < support.size(); ++j) {
-      if (ws.counts[j] == 0) continue;
-      out.moves.push_back(
-          ClassMigration{c, ws.job_from[i], support[j], ws.counts[j]});
-      out.movers += ws.counts[j];
-    }
-  }
-  if (metrics != nullptr) {
-    metrics->draw_ns += obs::now_ns() - draw_start;
-    metrics->rows_pruned += pruned;
-    metrics->rows_filled +=
-        static_cast<std::int64_t>(ws.job_class.size()) - pruned;
-  }
-}
-
-}  // namespace
-
 void draw_asymmetric_round(const AsymmetricGame& game,
                            const AsymmetricState& x,
                            const AsymmetricImitationParams& params, Rng& rng,
@@ -321,22 +169,8 @@ void draw_asymmetric_round(const AsymmetricGame& game,
                            obs::EngineMetrics* metrics, bool trace) {
   CID_ENSURE(params.lambda > 0.0 && params.lambda <= 1.0,
              "lambda must be in (0, 1]");
-  obs::EngineMetrics* const m = obs::kMetricsCompiled ? metrics : nullptr;
-  const bool tr = obs::kMetricsCompiled && trace;
-  out.moves.clear();
-  out.movers = 0;
-  if (!ws.ready) {
-    // The initial full cache build lands in the first round's row-fill
-    // phase, mirroring the symmetric kernel's accounting.
-    obs::PhaseTimer prep_timer(m != nullptr ? &m->row_fill_ns : nullptr);
-    ws.ctx.reset(game, x);
-    ws.ready = true;
-  }
-  if (row_threads <= 1 && m == nullptr && !tr) {
-    draw_serial(game, x, params, rng, ws, out);
-  } else {
-    draw_threaded(game, x, params, rng, ws, out, row_threads, m, tr);
-  }
+  draw_asymmetric_round(game, x, AsymmetricImitationKernel(params), rng, ws,
+                        out, row_threads, metrics, trace);
 }
 
 bool is_asymmetric_imitation_stable(const AsymmetricLatencyContext& ctx,

@@ -16,24 +16,36 @@
 // Both engines run on a BATCHED, cache-backed kernel: a per-round
 // LatencyContext (game/latency_context.hpp) is maintained incrementally
 // across rounds — State::apply reports the touched resources — and each
-// origin's probability row is produced by one
-// Protocol::fill_move_probabilities call instead of k virtual per-pair
-// calls. run_dynamics owns a reusable RoundWorkspace, so steady-state
-// rounds perform no heap allocation and no latency-function evaluation
-// beyond the entries a migration actually dirtied. The aggregate engine
-// additionally PRUNES origins whose whole probability row is provably
-// zero (Protocol::row_provably_zero — e.g. ℓ_P within ν of the cheapest
-// used strategy under imitation), skipping both the row fill and the
-// conditional-binomial draws without touching the RNG stream, and
-// RunOptions::row_threads can fan the remaining per-origin row fills
-// across sweep-pool workers with a deterministic serial draw phase.
+// origin's probability row is produced by one ProtocolKernel::fill_row
+// call instead of k virtual per-pair calls. The round loop itself is
+// MONOMORPHIZED over the kernel (dynamics/engine_kernel.hpp): the five
+// engine phases (stop check, row fill, draw, apply, cache refresh) are
+// templates over the ProtocolKernel concept (protocols/kernel.hpp), so
+// the paper's protocols run with zero virtual dispatch on the hot path
+// and singleton row fills take an auto-vectorizable select loop under
+// CID_SIMD. This header is the TYPE-ERASED FRONTEND over those
+// templates: every entrypoint below takes the virtual Protocol, resolves
+// it to its concrete kernel once per call (dispatch_protocol_kernel),
+// and is bitwise-identical to the templated API it wraps.
 //
-// The kernel consumes the RNG stream identically to the per-pair reference
-// path (draw_round_reference / RunOptions::reference_kernel) and produces
-// bitwise-identical rounds — enforced by tests/test_engine_oracle.cpp —
-// so checkpoints, event logs, and sweep manifests are interchangeable
-// between the two. (One deliberate pre-refactor delta, invisible at any
-// realistic scale: the per-player engine now locates the destination
+// run_dynamics owns a reusable RoundWorkspace, so steady-state rounds
+// perform no heap allocation and no latency-function evaluation beyond
+// the entries a migration actually dirtied. The aggregate engine
+// additionally PRUNES origins whose whole probability row is provably
+// zero (row_provably_zero — e.g. ℓ_P within ν of the cheapest used
+// strategy under imitation), skipping both the row fill and the
+// conditional-binomial draws without touching the RNG stream, and
+// EngineTuning::row_threads can fan the remaining per-origin row fills
+// across persistent sweep-pool workers with a deterministic serial draw
+// phase.
+//
+// Every kernel consumes the RNG stream identically to the per-pair
+// reference path (draw_round_reference / EngineTuning::reference_kernel)
+// and produces bitwise-identical rounds — enforced by
+// tests/test_engine_oracle.cpp and tests/test_kernel_concepts.cpp — so
+// checkpoints, event logs, and sweep manifests are interchangeable
+// between all of them. (One deliberate pre-refactor delta, invisible at
+// any realistic scale: the per-player engine now locates the destination
 // bucket against cumulative sums instead of iterated subtraction, which
 // can shift a boundary by an ulp.)
 //
@@ -82,12 +94,76 @@ struct RoundWorkspace {
   bool ready = false;  // ctx reflects the caller's current (game, x)
 };
 
-/// The per-round bounds fed to Protocol::row_provably_zero (support/
-/// improvement pruning): min cached ℓ_Q(x) over the support and over all
-/// strategies, plus the plus-dominance flag. O(k) reads; ctx must be
-/// consistent with x.
+/// The per-round bounds fed to row_provably_zero (support/improvement
+/// pruning): min cached ℓ_Q(x) over the support and over all strategies,
+/// plus the plus-dominance flag. O(k) reads; ctx must be consistent with x.
 RowBounds compute_row_bounds(const CongestionGame& game, const State& x,
                              const LatencyContext& ctx);
+
+/// Engine tuning knobs shared between RunOptions and the scenario layer's
+/// DynamicsConfig (sweep/scenario.hpp embeds this same struct, so the two
+/// option surfaces can never drift apart again). None of these fields
+/// affects results — every combination is bitwise-identical — and none of
+/// them enters a sweep-manifest grid fingerprint (persist/manifest.*
+/// serializes only the semantic DynamicsConfig fields).
+struct EngineTuning {
+  /// Testing hook: drive every round through the per-pair reference oracle
+  /// (draw_round_reference) instead of the batched kernel. Bitwise-
+  /// identical output either way — the oracle-equivalence suite flips this
+  /// flag to prove it on whole runs.
+  bool reference_kernel = false;
+  /// Audit hook: keep the batched round kernel but force the VirtualKernel
+  /// adapter (virtual dispatch per row) instead of the monomorphized
+  /// kernel dispatch_protocol_kernel would pick — i.e. the exact
+  /// pre-redesign batched path. Bitwise-identical by contract; the kernel
+  /// identity tests and bench_engine_micro --baseline flip this to prove
+  /// and to price the devirtualized/SIMD path. Implied by
+  /// reference_kernel; inert in the asymmetric engine (whose only kernel
+  /// is imitation).
+  bool virtual_frontend = false;
+  /// Worker threads for the per-origin probability-row fills inside one
+  /// round (see draw_round). 1 = serial (default); results are bitwise
+  /// identical for every value. Ignored by the reference kernel.
+  int row_threads = 1;
+  /// Scenario-layer switch: collect per-trial obs::EngineMetrics. The core
+  /// engine ignores it (RunOptions::metrics, the pointer the scenario
+  /// layer derives from this flag, is what the run loop consumes).
+  bool collect_metrics = false;
+  /// Scenario-layer switch: emit one telemetry record every N rounds
+  /// (0 = off). The core engine ignores it — the scenario layer turns it
+  /// into a RoundObserver.
+  std::int64_t telemetry_every = 0;
+};
+
+struct RunOptions : EngineTuning {
+  std::int64_t max_rounds = 1'000'000;
+  std::int64_t check_interval = 1;
+  EngineMode mode = EngineMode::kAggregate;
+  /// First round index to execute (max_rounds stays the TOTAL cap, not a
+  /// per-invocation budget). Non-zero when resuming from a checkpoint: the
+  /// caller restores (state, rng, round) from a snapshot and continues
+  /// with absolute round numbering, so observers, stop checks, and event
+  /// logs line up bit-exactly with the uninterrupted run.
+  std::int64_t start_round = 0;
+  /// Observability hook: when non-null, the run accumulates phase timers
+  /// (ctx refresh, row fill, draw, apply, stop check) and work counters
+  /// into it. Consumes zero RNG and never changes results — metrics-on
+  /// and metrics-off runs are bitwise identical (tests/test_metrics.cpp).
+  /// Compiled out entirely under CID_METRICS=0. The pointed-to struct
+  /// must outlive the run; it is accumulated into, not reset.
+  obs::EngineMetrics* metrics = nullptr;
+};
+
+struct RunResult {
+  std::int64_t rounds = 0;        // completed rounds (absolute index)
+  bool converged = false;         // stop predicate fired
+  std::int64_t total_movers = 0;  // migrations summed over THIS invocation
+  /// Latency-function evaluations the batched kernel performed this
+  /// invocation (cache resets + incremental refreshes; stop predicates and
+  /// observers are not counted). 0 under reference_kernel, which does not
+  /// meter its per-pair evaluations.
+  std::int64_t latency_evals = 0;
+};
 
 /// Draws one concurrent round (without applying it) on the batched kernel.
 /// Builds a fresh latency cache per call — loops that step many rounds
@@ -106,8 +182,8 @@ RoundResult draw_round(const CongestionGame& game, const State& x,
 /// across that many sweep-pool workers (two-phase: parallel pure fills
 /// into disjoint row slices, then the RNG draws serially in support
 /// order), so output and RNG stream are BITWISE invariant in the thread
-/// count. Threads are spawned per round — worth it only when s·k row work
-/// dwarfs the spawn cost (large non-singleton games).
+/// count. Workers are persistent (sweep/pool.hpp), so the per-round cost
+/// is a queue handoff, not a thread spawn.
 ///
 /// `metrics`, when non-null, accumulates row-fill/draw phase times and
 /// rows filled/pruned counts. Purely observational: no RNG is consumed
@@ -154,66 +230,55 @@ using StopPredicate = std::function<bool(const CongestionGame&,
 /// already consistent with the current state, so equilibrium checks
 /// (dynamics/equilibrium.hpp cached overloads) reuse the round kernel's
 /// ℓ_P/ℓ_e tables instead of recomputing every latency per check. Under
-/// RunOptions::reference_kernel the engine hands it a freshly rebuilt
+/// EngineTuning::reference_kernel the engine hands it a freshly rebuilt
 /// context instead (no cache reuse — the oracle path stays cache-free).
 using CachedStopPredicate =
     std::function<bool(const LatencyContext&, std::int64_t round)>;
 
-struct RunOptions {
-  std::int64_t max_rounds = 1'000'000;
-  std::int64_t check_interval = 1;
-  EngineMode mode = EngineMode::kAggregate;
-  /// First round index to execute (max_rounds stays the TOTAL cap, not a
-  /// per-invocation budget). Non-zero when resuming from a checkpoint: the
-  /// caller restores (state, rng, round) from a snapshot and continues
-  /// with absolute round numbering, so observers, stop checks, and event
-  /// logs line up bit-exactly with the uninterrupted run.
-  std::int64_t start_round = 0;
-  /// Testing hook: drive every round through the per-pair reference oracle
-  /// (draw_round_reference) instead of the batched kernel. Bitwise-
-  /// identical output either way — the oracle-equivalence suite flips this
-  /// flag to prove it on whole runs.
-  bool reference_kernel = false;
-  /// Worker threads for the per-origin probability-row fills inside one
-  /// round (see draw_round). 1 = serial (default); results are bitwise
-  /// identical for every value. Ignored by the reference kernel.
-  int row_threads = 1;
-  /// Observability hook: when non-null, the run accumulates phase timers
-  /// (ctx refresh, row fill, draw, apply, stop check) and work counters
-  /// into it. Consumes zero RNG and never changes results — metrics-on
-  /// and metrics-off runs are bitwise identical (tests/test_metrics.cpp).
-  /// Compiled out entirely under CID_METRICS=0. The pointed-to struct
-  /// must outlive the run; it is accumulated into, not reset.
-  obs::EngineMetrics* metrics = nullptr;
+/// One complete run_dynamics call, as data: options plus the (optional)
+/// stop predicate — at most one of `stop` / `cached_stop` may be non-empty;
+/// both empty means "run to max_rounds" — plus the (optional) observer.
+/// This replaces the old three-overload set (StopPredicate /
+/// CachedStopPredicate / nullptr_t disambiguator) with one entrypoint
+/// that composes: build it field by field, pass it anywhere, extend it
+/// without another overload.
+struct EngineInvocation {
+  RunOptions options;
+  StopPredicate stop;
+  CachedStopPredicate cached_stop;
+  RoundObserver observer;
 };
 
-struct RunResult {
-  std::int64_t rounds = 0;        // completed rounds (absolute index)
-  bool converged = false;         // stop predicate fired
-  std::int64_t total_movers = 0;  // migrations summed over THIS invocation
-  /// Latency-function evaluations the batched kernel performed this
-  /// invocation (cache resets + incremental refreshes; stop predicates and
-  /// observers are not counted). 0 under reference_kernel, which does not
-  /// meter its per-pair evaluations.
-  std::int64_t latency_evals = 0;
-};
+/// THE run entrypoint: runs until the invocation's stop predicate fires or
+/// options.max_rounds is exhausted. Resolves `protocol` to its concrete
+/// kernel once (dispatch_protocol_kernel) and drives the monomorphized
+/// run loop (dynamics/engine_kernel.hpp run_dynamics<K>), to which it is
+/// bitwise-identical by construction.
+RunResult run_dynamics(const CongestionGame& game, State& x,
+                       const Protocol& protocol, Rng& rng,
+                       const EngineInvocation& call);
 
-/// Runs until the predicate fires or max_rounds is exhausted.
+// ---- Deprecated shims -------------------------------------------------------
+// The pre-EngineInvocation overload set, kept so existing callers compile.
+// Each one just packs its arguments into an EngineInvocation. Deprecated:
+// new code should build an EngineInvocation (these carry no attribute only
+// because the repo builds with -Werror and existing tests still call them).
+
+/// DEPRECATED shim for run_dynamics(game, x, protocol, rng, invocation).
 RunResult run_dynamics(const CongestionGame& game, State& x,
                        const Protocol& protocol, Rng& rng,
                        const RunOptions& options, const StopPredicate& stop,
                        const RoundObserver& observer = nullptr);
 
-/// Cached-stop overload: checks run against the kernel's own latency
-/// cache (see CachedStopPredicate). Identical round/RNG behavior.
+/// DEPRECATED shim (cached-stop variant).
 RunResult run_dynamics(const CongestionGame& game, State& x,
                        const Protocol& protocol, Rng& rng,
                        const RunOptions& options,
                        const CachedStopPredicate& stop,
                        const RoundObserver& observer = nullptr);
 
-/// nullptr disambiguation (both std::function overloads accept it):
-/// "no stop predicate" — run to max_rounds.
+/// DEPRECATED shim (the PR 5 nullptr_t disambiguator: "no stop predicate"
+/// — run to max_rounds).
 RunResult run_dynamics(const CongestionGame& game, State& x,
                        const Protocol& protocol, Rng& rng,
                        const RunOptions& options, std::nullptr_t,

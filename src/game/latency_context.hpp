@@ -32,6 +32,7 @@
 
 #include "game/congestion_game.hpp"
 #include "game/state.hpp"
+#include "latency/kernel.hpp"
 
 namespace cid {
 
@@ -60,6 +61,16 @@ class LatencyContext {
   /// ℓ_e(x_e + 1).
   double resource_latency_plus(Resource e) const noexcept {
     return ell_plus_[static_cast<std::size_t>(e)];
+  }
+
+  /// The full ℓ_e(x_e) table, indexed by dense resource id — contiguous,
+  /// for the SIMD row kernels (protocols/kernel.hpp singleton fast paths)
+  /// that turn the per-pair ex-post merge into plain array reads.
+  std::span<const double> resource_latencies() const noexcept { return ell_; }
+
+  /// The full ℓ_e(x_e + 1) table (see resource_latencies()).
+  std::span<const double> resource_latencies_plus() const noexcept {
+    return ell_plus_;
   }
 
   /// ℓ_P(x) — bitwise equal to game.strategy_latency(x, p).
@@ -95,6 +106,7 @@ class LatencyContext {
 
   const CongestionGame* game_ = nullptr;
   const State* x_ = nullptr;
+  LatencyTable table_;  // devirtualized ℓ_e evaluation (CID_SIMD fast path)
   std::vector<double> ell_;
   std::vector<double> ell_plus_;
   std::vector<double> strat_;

@@ -1,0 +1,39 @@
+#include "latency/kernel.hpp"
+
+namespace cid {
+
+void LatencyTable::add(const LatencyFunction& fn) {
+  Entry en;
+  en.fn = &fn;
+  // Recognize one level of ScaledLatency as a divisor over its base. n_
+  // was stored from an int64, so double(divisor()) reproduces it exactly;
+  // deeper nesting (scaled-of-scaled, scaled-of-exponential) stays opaque.
+  const LatencyFunction* inner = &fn;
+  double divisor = 1.0;
+  if (const auto* scaled = dynamic_cast<const ScaledLatency*>(inner)) {
+    divisor = static_cast<double>(scaled->divisor());
+    inner = &scaled->base();
+  }
+  if (const auto* constant = dynamic_cast<const ConstantLatency*>(inner)) {
+    en.kind = Kind::kConstant;
+    en.a = constant->constant();
+  } else if (const auto* mono = dynamic_cast<const MonomialLatency*>(inner)) {
+    en.kind = Kind::kMonomial;
+    en.a = mono->coefficient();
+    en.b = mono->degree();
+    en.divisor = divisor;
+  } else if (const auto* poly =
+                 dynamic_cast<const PolynomialLatency*>(inner)) {
+    en.kind = Kind::kPolynomial;
+    en.offset = static_cast<std::uint32_t>(coef_.size());
+    en.len = static_cast<std::uint32_t>(poly->coefficients().size());
+    en.divisor = divisor;
+    coef_.insert(coef_.end(), poly->coefficients().begin(),
+                 poly->coefficients().end());
+  } else {
+    en.kind = Kind::kOpaque;  // virtual fallback handles any scaling itself
+  }
+  entries_.push_back(en);
+}
+
+}  // namespace cid

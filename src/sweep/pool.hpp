@@ -26,6 +26,13 @@ int resolve_threads(int requested);
 /// fn must confine its writes to per-index slots; the pool imposes no
 /// ordering. The first exception thrown by any job is rethrown on the
 /// caller's thread after all workers have drained.
+///
+/// Workers are PERSISTENT: a process-lifetime pool grown on demand, so a
+/// per-round caller (the engines' row-fill fan-out) pays a queue handoff,
+/// not a thread spawn. The calling thread always participates in its own
+/// invocation and returns only when it is fully drained, which makes
+/// nested parallel_for calls safe (the inner caller just works its own
+/// job). threads == 1 stays a plain inline loop on the caller's thread.
 void parallel_for(std::int64_t count, int threads,
                   const std::function<void(std::int64_t)>& fn);
 

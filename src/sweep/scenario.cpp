@@ -220,12 +220,14 @@ class SymmetricInstance final : public ScenarioInstance {
                         TrialStats* stats) const {
     const auto proto = build_protocol(protocol);
     RunOptions options;
+    // Tuning knobs flow through wholesale (shared EngineTuning base); the
+    // scenario-layer collect_metrics flag is realized as the metrics
+    // pointer the engine actually consumes.
+    static_cast<EngineTuning&>(options) = dynamics;
     options.max_rounds = dynamics.max_rounds;
     options.check_interval = dynamics.check_interval;
     options.mode = dynamics.mode;
     options.start_round = start_round;
-    options.reference_kernel = dynamics.reference_kernel;
-    options.row_threads = dynamics.row_threads;
     options.metrics = (stats != nullptr && dynamics.collect_metrics)
                           ? &stats->engine
                           : nullptr;
@@ -287,12 +289,15 @@ class SymmetricInstance final : public ScenarioInstance {
     // Batched trials route stop checks through the kernel's latency cache;
     // reference trials keep the context-free predicates, so flipping
     // reference_kernel audits the cached predicates end to end.
-    const RunResult rr =
-        dynamics.reference_kernel
-            ? run_dynamics(game_, x, *proto, rng, options,
-                           make_stop(dynamics), observer)
-            : run_dynamics(game_, x, *proto, rng, options,
-                           make_cached_stop(dynamics), observer);
+    EngineInvocation call;
+    call.options = options;
+    call.observer = std::move(observer);
+    if (dynamics.reference_kernel) {
+      call.stop = make_stop(dynamics);
+    } else {
+      call.cached_stop = make_cached_stop(dynamics);
+    }
+    const RunResult rr = run_dynamics(game_, x, *proto, rng, call);
     if (telemetry.has_value()) {
       telemetry->finish(rr.converged);
       stats->telemetry = telemetry->take_records();

@@ -95,39 +95,24 @@ enum class StopRule {
   kDeltaEps,         // Definition 1 (delta, eps, nu)-equilibrium
 };
 
-struct DynamicsConfig {
+/// The scenario layer's dynamics options. The tuning knobs — everything
+/// that can never change a trial's bits — live in the shared EngineTuning
+/// base (dynamics/engine.hpp), embedded by RunOptions too, so the two
+/// option surfaces cannot drift: reference_kernel / virtual_frontend /
+/// row_threads flow straight into the engine, collect_metrics /
+/// telemetry_every are realized here (as a RunOptions::metrics pointer and
+/// a telemetry RoundObserver; both no-ops without a TrialStats or under
+/// CID_METRICS=0; threshold-lb runs sequential dynamics and ignores the
+/// engine hooks entirely). Every EngineTuning field is EXCLUDED from
+/// manifest grid fingerprints — only the six semantic fields below enter
+/// them — so flipping a tuning knob resumes an existing sweep.
+struct DynamicsConfig : EngineTuning {
   std::int64_t max_rounds = 100'000;
   std::int64_t check_interval = 1;
   EngineMode mode = EngineMode::kAggregate;
   StopRule stop = StopRule::kDeltaEps;
   double delta = 0.1;
   double eps = 0.1;
-  /// Testing hook: drive rounds through the per-pair reference oracle
-  /// (and the context-free stop predicates) instead of the batched
-  /// cached-latency kernel — for the symmetric AND the asymmetric
-  /// class-local engines (threshold-lb runs sequential dynamics and
-  /// ignores it). Outcomes are bitwise identical either way — the
-  /// oracle-equivalence suite flips this per family to prove it.
-  /// Excluded from manifest fingerprints for exactly that reason.
-  bool reference_kernel = false;
-  /// Worker threads for the per-origin row fills inside one round (see
-  /// RunOptions::row_threads); trials are bitwise identical for every
-  /// value, so this too stays out of manifest fingerprints. Only pays off
-  /// for large games — per-trial parallelism (SweepOptions::threads) is
-  /// usually the better lever in a sweep.
-  int row_threads = 1;
-  /// Collect engine phase timers / work counters into TrialStats::engine
-  /// (see RunOptions::metrics). Zero RNG, bitwise-identical trials either
-  /// way — excluded from manifest fingerprints like reference_kernel and
-  /// row_threads. No effect when the caller passes no TrialStats, or
-  /// under CID_METRICS=0.
-  bool collect_metrics = false;
-  /// Record convergence telemetry (obs/telemetry.hpp) every this-many
-  /// rounds into TrialStats::telemetry; 0 (default) records nothing.
-  /// Same contract as collect_metrics: zero RNG, bitwise-identical
-  /// trials, excluded from manifest fingerprints, no effect without a
-  /// TrialStats or under CID_METRICS=0.
-  std::int64_t telemetry_every = 0;
 };
 
 /// Everything a trial reports. Deliberately wall-clock-free: these fields
