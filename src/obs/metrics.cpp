@@ -151,6 +151,8 @@ struct PersistIoIds {
   MetricsRegistry::CounterId writes;
   MetricsRegistry::CounterId fsyncs;
   MetricsRegistry::CounterId fflushes;
+  MetricsRegistry::CounterId write_failures;
+  MetricsRegistry::CounterId write_retries;
 };
 
 const PersistIoIds& persist_io_ids() {
@@ -159,6 +161,8 @@ const PersistIoIds& persist_io_ids() {
       global_metrics().counter("persist.writes"),
       global_metrics().counter("persist.fsyncs"),
       global_metrics().counter("persist.fflushes"),
+      global_metrics().counter("persist.write_failures"),
+      global_metrics().counter("persist.write_retries"),
   };
   return ids;
 }
@@ -179,12 +183,23 @@ void record_persist_flush() noexcept {
   global_metrics().add(persist_io_ids().fflushes, 1);
 }
 
+void record_persist_write_failure() noexcept {
+  if constexpr (!kMetricsCompiled) return;
+  global_metrics().add(persist_io_ids().write_failures, 1);
+}
+
+void record_persist_write_retry() noexcept {
+  if constexpr (!kMetricsCompiled) return;
+  global_metrics().add(persist_io_ids().write_retries, 1);
+}
+
 PersistIoTotals persist_io_totals() noexcept {
   if constexpr (!kMetricsCompiled) return {};
   const PersistIoIds& ids = persist_io_ids();
   const MetricsRegistry& reg = global_metrics();
-  return {reg.value(ids.bytes), reg.value(ids.writes), reg.value(ids.fsyncs),
-          reg.value(ids.fflushes)};
+  return {reg.value(ids.bytes),          reg.value(ids.writes),
+          reg.value(ids.fsyncs),         reg.value(ids.fflushes),
+          reg.value(ids.write_failures), reg.value(ids.write_retries)};
 }
 
 }  // namespace cid::obs

@@ -226,12 +226,18 @@ struct PersistIoTotals {
   std::int64_t writes = 0;         // write calls (records, blocks, files)
   std::int64_t fsyncs = 0;         // ::fsync calls issued (files + dirs)
   std::int64_t fflushes = 0;       // explicit durability fflushes
+  std::int64_t write_failures = 0;  // failed write/flush/rotate operations
+  std::int64_t write_retries = 0;   // recovery retries after a failure
 };
 
 /// Registers `bytes` written and `fsyncs` fsync calls on the global
 /// registry. No-op (and no atomics touched) under CID_METRICS=0.
 void record_persist_write(std::uint64_t bytes, int fsyncs) noexcept;
 void record_persist_flush() noexcept;
+/// One failed persist operation (write, flush, or rotation) / one recovery
+/// retry attempted after a failure — real or injected alike.
+void record_persist_write_failure() noexcept;
+void record_persist_write_retry() noexcept;
 PersistIoTotals persist_io_totals() noexcept;
 
 }  // namespace cid::obs

@@ -11,6 +11,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
+#include "util/fault.hpp"
 
 namespace cid::persist {
 
@@ -217,6 +218,59 @@ std::string_view SectionScan::require(std::uint16_t tag,
   return *body;
 }
 
+void checked_fwrite(std::FILE* file, const void* data, std::size_t size,
+                    const char* site, const std::string& path) {
+  if (util::faults_armed()) {
+    const util::FaultAction fault = util::fault_point(site);
+    switch (fault.kind) {
+      case util::FaultKind::kNone:
+        break;
+      case util::FaultKind::kShortWrite:
+        // Genuinely torn: half the payload reaches the stream (and the
+        // OS) before the failure, so recovery paths must truncate, not
+        // just rewrite.
+        std::fwrite(data, 1, size / 2, file);
+        std::fflush(file);
+        throw persist_error(path + ": injected torn write (" +
+                            fault.detail + ")");
+      case util::FaultKind::kEnospc:
+        throw persist_error(path + ": no space left on device (injected " +
+                            fault.detail + ")");
+      case util::FaultKind::kError:
+      case util::FaultKind::kCrash:  // only if a crash handler returned
+        throw persist_error(path + ": injected write error (" +
+                            fault.detail + ")");
+    }
+  }
+  if (std::fwrite(data, 1, size, file) != size) {
+    throw persist_error(path + ": write failed (" + std::to_string(size) +
+                        " bytes)");
+  }
+}
+
+void checked_fflush(std::FILE* file, const char* site,
+                    const std::string& path) {
+  if (util::faults_armed() &&
+      util::fault_point(site).kind != util::FaultKind::kNone) {
+    throw persist_error(path + ": injected flush error at " + site);
+  }
+  if (std::fflush(file) != 0) {
+    throw persist_error(path + ": flush failed");
+  }
+}
+
+bool fsync_parent_dir(const std::string& path) noexcept {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return false;  // some filesystems refuse dir fsync
+  const bool ok = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  return ok;
+}
+
 void write_file_atomic(const std::string& path, const std::string& magic,
                        std::uint8_t version, const std::string& payload) {
   // Checkpoint/snapshot writes are rare (checkpoint cadence, not round
@@ -236,34 +290,57 @@ void write_file_atomic(const std::string& path, const std::string& magic,
   // disk before the rename is journaled (delayed allocation on ext4/xfs
   // can otherwise journal the rename first, destroying the previous
   // checkpoint AND leaving the new one empty).
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) {
-    throw persist_error("cannot open '" + tmp + "' for writing");
+  //
+  // Every failure mode leaves the previous checkpoint intact (the rename
+  // is last), so a transient failure — real or injected — gets one retry
+  // with a fresh tmp file before surfacing. fault_crash (a test crash
+  // handler) is not persist_error and always propagates: a crash is not
+  // retried, it ends the run.
+  for (int attempt = 1;; ++attempt) {
+    try {
+      std::FILE* file = std::fopen(tmp.c_str(), "wb");
+      if (file == nullptr) {
+        throw persist_error("cannot open '" + tmp + "' for writing");
+      }
+      try {
+        checked_fwrite(file, blob.buffer().data(), blob.buffer().size(),
+                       "snapshot.write", tmp);
+        if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0) {
+          throw persist_error("write failed for '" + tmp + "'");
+        }
+      } catch (...) {
+        std::fclose(file);
+        std::remove(tmp.c_str());
+        throw;
+      }
+      if (std::fclose(file) != 0) {
+        std::remove(tmp.c_str());
+        throw persist_error("close failed for '" + tmp + "'");
+      }
+      if (util::faults_armed() &&
+          util::fault_point("snapshot.rename").kind !=
+              util::FaultKind::kNone) {
+        std::remove(tmp.c_str());
+        throw persist_error("cannot rename '" + tmp + "' to '" + path +
+                            "' (injected)");
+      }
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw persist_error("cannot rename '" + tmp + "' to '" + path +
+                            "'");
+      }
+      const bool dir_synced = fsync_parent_dir(path);
+      obs::record_persist_write(blob.buffer().size(),
+                                /*fsyncs=*/1 + (dir_synced ? 1 : 0));
+      return;
+    } catch (const persist_error& e) {
+      obs::record_persist_write_failure();
+      if (attempt >= 2) throw;
+      obs::record_persist_write_retry();
+      std::fprintf(stderr, "cid: %s — retrying checkpoint write\n",
+                   e.what());
+    }
   }
-  const bool wrote =
-      std::fwrite(blob.buffer().data(), 1, blob.buffer().size(), file) ==
-          blob.buffer().size() &&
-      std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
-  const bool closed = std::fclose(file) == 0;
-  if (!wrote || !closed) {
-    std::remove(tmp.c_str());
-    throw persist_error("write failed for '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw persist_error("cannot rename '" + tmp + "' to '" + path + "'");
-  }
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {  // best-effort: some filesystems refuse dir fsync
-    ::fsync(dir_fd);
-    ::close(dir_fd);
-  }
-  obs::record_persist_write(blob.buffer().size(),
-                            /*fsyncs=*/1 + (dir_fd >= 0 ? 1 : 0));
 }
 
 std::string slurp_file(const std::string& path) {

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -158,8 +159,33 @@ class SectionScan {
   std::string context_;
 };
 
-/// Writes magic+version+payload+crc to `path` via tmp-file + rename.
-/// Throws persist_error (naming the path) on any write or rename failure.
+/// Fault-aware fwrite: consults util::fault_point(site), then writes all
+/// `size` bytes to `file`. Throws persist_error naming `path` on a real
+/// short write / stream error or an injected fault. Injected short-write
+/// faults put HALF the payload into the stream (and flush it) before
+/// failing, so recovery paths are exercised against genuinely torn files.
+/// The one integration point between the fault layer and every persist
+/// writer — new writers should write through it.
+void checked_fwrite(std::FILE* file, const void* data, std::size_t size,
+                    const char* site, const std::string& path);
+
+/// Fault-aware fflush: consults util::fault_point(site), then flushes.
+/// Throws persist_error naming `path` on failure (real or injected).
+void checked_fflush(std::FILE* file, const char* site,
+                    const std::string& path);
+
+/// Best-effort fsync of `path`'s parent directory — what makes a rename
+/// or file creation itself durable, not just the file contents (a crashed
+/// kernel journal can otherwise forget the directory entry). Returns true
+/// when an fsync was issued (some filesystems refuse directory fsync).
+bool fsync_parent_dir(const std::string& path) noexcept;
+
+/// Writes magic+version+payload+crc to `path` via tmp-file + rename +
+/// parent-directory fsync. Transient write failures (real or injected at
+/// sites "snapshot.write"/"snapshot.rename") are retried once with a
+/// fresh tmp file; the rename is last, so the previous checkpoint
+/// survives every failure mode. Throws persist_error (naming the path)
+/// when the retry fails too.
 void write_file_atomic(const std::string& path, const std::string& magic,
                        std::uint8_t version, const std::string& payload);
 

@@ -1,6 +1,7 @@
 #include "persist/eventlog.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "obs/trace_span.hpp"
 #include "persist/binio.hpp"
 #include "persist/block.hpp"
+#include "util/fault.hpp"
 
 namespace cid::persist {
 
@@ -114,13 +116,19 @@ std::string frame_block(std::span<const RoundEvents> rounds) {
   return out.take();
 }
 
-/// Parses one v2 block at `pos`, appending its rounds to `out`; returns
-/// false when the remaining bytes are not one intact block (truncated or
-/// checksum-damaged tail — `out` is untouched in that case).
-bool parse_block(const std::string& data, std::size_t pos,
-                 std::size_t& next_pos, std::vector<RoundEvents>& out,
-                 const std::string& context) {
-  if (data.size() - pos < kBlockHeaderSize + 4) return false;
+/// Outcome of scanning one v2 block slot. kTruncated = the remaining
+/// bytes cannot hold one framed block (killed-writer tail: stop the
+/// scan). kCorrupt = the framing parses but the CRC disagrees (bit rot:
+/// `next_pos` points past the claimed frame so a tolerant reader can skip
+/// the slot and continue).
+enum class BlockParse { kOk, kTruncated, kCorrupt };
+
+/// Parses one v2 block at `pos`, appending its rounds to `out` (untouched
+/// unless the result is kOk).
+BlockParse parse_block(const std::string& data, std::size_t pos,
+                       std::size_t& next_pos, std::vector<RoundEvents>& out,
+                       const std::string& context) {
+  if (data.size() - pos < kBlockHeaderSize + 4) return BlockParse::kTruncated;
   const std::uint8_t codec =
       static_cast<std::uint8_t>(static_cast<unsigned char>(data[pos]));
   const std::uint32_t raw_size = read_le32(data.data() + pos + 1);
@@ -128,9 +136,15 @@ bool parse_block(const std::string& data, std::size_t pos,
   const std::uint64_t first_round = read_le64(data.data() + pos + 9);
   const std::uint32_t round_count = read_le32(data.data() + pos + 17);
   const std::size_t framed = kBlockHeaderSize + stored_size;
-  if (data.size() - pos < framed + 4) return false;
+  if (data.size() - pos < framed + 4) return BlockParse::kTruncated;
   const std::uint32_t stored_crc = read_le32(data.data() + pos + framed);
-  if (stored_crc != crc32(data.data() + pos, framed)) return false;
+  if (stored_crc != crc32(data.data() + pos, framed)) {
+    // If the size field itself is what rotted, this skip lands on garbage
+    // — but framed > 0 guarantees forward progress, and every subsequent
+    // misparse is just another counted corrupt/truncated slot.
+    next_pos = pos + framed + 4;
+    return BlockParse::kCorrupt;
+  }
 
   // Past the CRC the block is known-intact: structural violations from
   // here on are real corruption (or a format bug) and throw.
@@ -163,7 +177,7 @@ bool parse_block(const std::string& data, std::size_t pos,
   }
   in.expect_done();
   next_pos = pos + framed + 4;
-  return true;
+  return BlockParse::kOk;
 }
 
 /// Rotated segments carry the chain's running totals in their header, so
@@ -255,13 +269,26 @@ EventLog read_event_log(const std::string& path) {
       }
       log.rounds.push_back(std::move(events));
     } else {
-      if (!parse_block(data, pos, next_pos, log.rounds,
-                       path + ": event log block")) {
+      const BlockParse parsed = parse_block(data, pos, next_pos, log.rounds,
+                                            path + ": event log block");
+      if (parsed == BlockParse::kTruncated) {
         log.truncated_tail = true;
         break;
       }
+      if (parsed == BlockParse::kCorrupt) {
+        ++log.corrupt_blocks;
+        pos = next_pos;
+        continue;
+      }
     }
     pos = next_pos;
+  }
+  if (log.corrupt_blocks > 0) {
+    std::fprintf(stderr,
+                 "cid: event log '%s' is damaged: %zu corrupt block(s) "
+                 "skipped — %zu intact round(s) recovered (replay across "
+                 "the gap will fail)\n",
+                 path.c_str(), log.corrupt_blocks, log.rounds.size());
   }
   for (const RoundEvents& events : log.rounds) {
     log.v1_equivalent_bytes += v1_record_bytes(events.moves.size());
@@ -275,12 +302,26 @@ EventLog read_event_log_series(const std::string& path) {
   segments.push_back(path);
 
   EventLog merged;
-  for (const std::string& segment : segments) {
-    EventLog log = read_event_log(segment);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EventLog log;
+    try {
+      log = read_event_log(segments[i]);
+    } catch (const persist_error& e) {
+      // An unreadable ROTATED segment is skipped (its rounds are gone but
+      // the rest of the chain still reads); the active segment stays
+      // fatal — there is nothing newer to fall back to.
+      if (i + 1 == segments.size()) throw;
+      std::fprintf(stderr,
+                   "cid: skipping corrupt event log segment '%s': %s\n",
+                   segments[i].c_str(), e.what());
+      merged.corrupt_segments.push_back(segments[i]);
+      continue;
+    }
     merged.version = log.version;
     merged.truncated_tail = merged.truncated_tail || log.truncated_tail;
     merged.file_bytes += log.file_bytes;
     merged.v1_equivalent_bytes += log.v1_equivalent_bytes;
+    merged.corrupt_blocks += log.corrupt_blocks;
     for (RoundEvents& events : log.rounds) {
       merged.rounds.push_back(std::move(events));
     }
@@ -345,12 +386,59 @@ void EventLogWriter::check(bool ok, const char* what) const {
   }
 }
 
-void EventLogWriter::write_raw(const std::string& bytes, const char* what) {
-  check(file_ != nullptr, what);
-  check(std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
-        what);
-  bytes_written_ += bytes.size();
-  obs::record_persist_write(bytes.size(), /*fsyncs=*/0);
+void EventLogWriter::recover_file() {
+  if (file_ != nullptr) {
+    std::fclose(file_);  // flushes what it can; the size check judges it
+    file_ = nullptr;
+  }
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    throw persist_error(path_ + ": event log recovery failed: " +
+                        ec.message());
+  }
+  if (size < bytes_written_) {
+    throw persist_error(path_ + ": event log lost durable bytes (file holds " +
+                        std::to_string(size) + ", writer acknowledged " +
+                        std::to_string(bytes_written_) +
+                        ") — durability lost, not retrying");
+  }
+  if (size > bytes_written_) {
+    std::filesystem::resize_file(path_, bytes_written_, ec);
+    if (ec) {
+      throw persist_error(path_ + ": cannot drop torn event log bytes: " +
+                          ec.message());
+    }
+  }
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  if (file == nullptr) {
+    throw persist_error("cannot reopen '" + path_ +
+                        "' after event log write failure");
+  }
+  file_ = file;
+}
+
+void EventLogWriter::write_raw(const std::string& bytes, const char* site,
+                               const char* what) {
+  constexpr int kMaxWriteAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      check(file_ != nullptr, what);
+      checked_fwrite(file_, bytes.data(), bytes.size(), site, path_);
+      bytes_written_ += bytes.size();
+      obs::record_persist_write(bytes.size(), /*fsyncs=*/0);
+      return;
+    } catch (const persist_error& e) {
+      obs::record_persist_write_failure();
+      if (attempt >= kMaxWriteAttempts) throw;
+      obs::record_persist_write_retry();
+      std::fprintf(stderr,
+                   "cid: %s — recovering event log and retrying %s "
+                   "(attempt %d/%d)\n",
+                   e.what(), what, attempt + 1, kMaxWriteAttempts);
+      recover_file();  // throws when durability is actually lost
+    }
+  }
 }
 
 EventLogWriter EventLogWriter::create(const std::string& path,
@@ -368,12 +456,13 @@ EventLogWriter EventLogWriter::create(const std::string& path,
   EventLogWriter writer(path, file, options);
   writer.v1_equivalent_bytes_ = kV1HeaderSize;
   if (options.compress) {
-    writer.write_raw(encode_v2_header(options, 0, 0), "header write");
+    writer.write_raw(encode_v2_header(options, 0, 0), "eventlog.header",
+                     "header write");
   } else {
     BinWriter header;
     header.raw(kEventLogMagic, 7);
     header.u8(1);  // v1: fixed-width records
-    writer.write_raw(header.buffer(), "header write");
+    writer.write_raw(header.buffer(), "eventlog.header", "header write");
   }
   return writer;
 }
@@ -421,8 +510,11 @@ EventLogWriter EventLogWriter::open_for_append(const std::string& path,
     while (pos < data.size()) {
       std::vector<RoundEvents> block;
       std::size_t next_pos = pos;
-      if (!parse_block(data, pos, next_pos, block,
-                       path + ": event log block")) {
+      // Anything that is not an intact block — truncated tail OR bit rot —
+      // ends the intact prefix; the resume truncates it away and rewrites,
+      // keeping the resumed file byte-identical to an uninterrupted run.
+      if (parse_block(data, pos, next_pos, block,
+                      path + ": event log block") != BlockParse::kOk) {
         break;
       }
       if (block.empty()) break;  // defensive: zero-round blocks end scan
@@ -571,7 +663,8 @@ void EventLogWriter::append(std::int64_t round,
   next_expected_ = round + 1;
   v1_equivalent_bytes_ += v1_record_bytes(moves.size());
   if (!options_.compress) {
-    write_raw(encode_v1_record(round, moves), "record write");
+    write_raw(encode_v1_record(round, moves), "eventlog.block",
+              "record write");
     maybe_rotate();
     return;
   }
@@ -586,7 +679,7 @@ void EventLogWriter::append(std::int64_t round,
 
 void EventLogWriter::flush_block() {
   if (pending_.empty()) return;
-  write_raw(frame_block(pending_), "block write");
+  write_raw(frame_block(pending_), "eventlog.block", "block write");
   pending_.clear();
   maybe_rotate();
 }
@@ -597,41 +690,79 @@ void EventLogWriter::maybe_rotate() {
     return;
   }
   obs::trace_instant("eventlog.rotate");
-  check(std::fflush(file_) == 0 && std::ferror(file_) == 0 &&
-            std::fclose(file_) == 0,
-        "pre-rotation flush");
-  obs::record_persist_flush();
-  file_ = nullptr;
-  rotated_disk_bytes_ += bytes_written_;
-  const std::string segment = chain_segment_path(path_, rotate_seq_ + 1);
-  if (std::rename(path_.c_str(), segment.c_str()) != 0) {
-    throw persist_error(path_ + ": cannot rotate event log to '" + segment +
-                        "'");
-  }
-  ++rotate_seq_;
-  std::FILE* file = std::fopen(path_.c_str(), "wb");
-  if (file == nullptr) {
-    throw persist_error("cannot open '" + path_ +
-                        "' for writing after rotation");
-  }
-  file_ = file;
-  bytes_written_ = 0;
-  if (options_.compress) {
-    // The fresh segment's header carries the chain's running totals so a
-    // later resume never decodes the immutable history (open_for_append).
-    write_raw(encode_v2_header(options_, v1_equivalent_bytes_,
-                               next_expected_),
-              "post-rotation header write");
-  } else {
-    BinWriter header;
-    header.raw(kEventLogMagic, 7);
-    header.u8(1);
-    write_raw(header.buffer(), "post-rotation header write");
+  bool renamed = false;
+  try {
+    const bool flushed = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+    const bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;
+    check(flushed && closed, "pre-rotation flush");
+    obs::record_persist_flush();
+    const std::string segment = chain_segment_path(path_, rotate_seq_ + 1);
+    if (util::faults_armed() &&
+        util::fault_point("eventlog.rotate").kind != util::FaultKind::kNone) {
+      throw persist_error(path_ + ": injected event log rotation failure");
+    }
+    if (std::rename(path_.c_str(), segment.c_str()) != 0) {
+      throw persist_error(path_ + ": cannot rotate event log to '" + segment +
+                          "'");
+    }
+    renamed = true;
+    fsync_parent_dir(path_);  // make the rename itself durable
+    rotated_disk_bytes_ += bytes_written_;
+    ++rotate_seq_;
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    if (file == nullptr) {
+      throw persist_error("cannot open '" + path_ +
+                          "' for writing after rotation");
+    }
+    file_ = file;
+    bytes_written_ = 0;
+    if (options_.compress) {
+      // The fresh segment's header carries the chain's running totals so a
+      // later resume never decodes the immutable history (open_for_append).
+      write_raw(encode_v2_header(options_, v1_equivalent_bytes_,
+                                 next_expected_),
+                "eventlog.header", "post-rotation header write");
+    } else {
+      BinWriter header;
+      header.raw(kEventLogMagic, 7);
+      header.u8(1);
+      write_raw(header.buffer(), "eventlog.header",
+                "post-rotation header write");
+    }
+  } catch (const persist_error& e) {
+    obs::record_persist_write_failure();
+    if (renamed) {
+      // The active file is already renamed away and the fresh segment
+      // could not be established — nothing writable left to degrade to.
+      throw;
+    }
+    // Graceful degradation: rotation bounds file sizes, it is not a
+    // durability requirement. Validate/reopen the unrotated file, disable
+    // further rotation, and say so loudly.
+    options_.rotate_bytes = 0;
+    if (file_ == nullptr) recover_file();
+    std::fprintf(stderr,
+                 "cid: %s — event log rotation disabled, continuing "
+                 "unrotated\n",
+                 e.what());
   }
 }
 
 void EventLogWriter::flush() {
-  check(file_ != nullptr && std::fflush(file_) == 0, "flush");
+  check(file_ != nullptr, "flush");
+  try {
+    checked_fflush(file_, "eventlog.flush", path_);
+  } catch (const persist_error& e) {
+    obs::record_persist_write_failure();
+    obs::record_persist_write_retry();
+    std::fprintf(stderr,
+                 "cid: %s — reopening event log after flush failure\n",
+                 e.what());
+    // recover_file closes (flushing what the OS will take) and verifies
+    // every acknowledged byte reached the file, or throws durability-lost.
+    recover_file();
+  }
   obs::record_persist_flush();
 }
 

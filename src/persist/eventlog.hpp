@@ -41,7 +41,17 @@
 // Both versions survive the one corruption mode an append-only file
 // actually has — a truncated tail from a killed writer: per-record CRCs
 // (v1) or per-block CRCs (v2) let the reader drop the damaged tail and
-// open_for_append truncate back to the last intact prefix.
+// open_for_append truncate back to the last intact prefix. Beyond that,
+// the v2 READ path also tolerates bit rot: a CRC-bad block whose framing
+// still parses is skipped (counted in EventLog::corrupt_blocks, reported
+// on stderr) and the scan continues at the next block — replay across the
+// resulting round gap still fails loudly, but inspection and partial
+// recovery keep working. An unreadable ROTATED segment of a chain is
+// skipped whole (EventLog::corrupt_segments); the active segment stays
+// fatal. The writer retries transient write failures by truncating torn
+// bytes and rewriting (fault sites "eventlog.block" / "eventlog.header" /
+// "eventlog.flush"), and a failed rotation degrades to unrotated output
+// instead of aborting.
 //
 // Rotation (EventLogOptions::rotate_bytes): once the active file exceeds
 // the limit at a block boundary it is renamed to "<path>.<seq>" and a
@@ -87,6 +97,11 @@ struct EventLog {
   /// pair cid_replay reports (for a v1 file the two are equal).
   std::uint64_t file_bytes = 0;
   std::uint64_t v1_equivalent_bytes = 0;
+  /// CRC-bad v2 blocks skipped mid-file (their rounds are missing from
+  /// `rounds`; replay across the gap fails loudly).
+  std::size_t corrupt_blocks = 0;
+  /// Rotated segments skipped whole (unreadable header / wrong magic).
+  std::vector<std::string> corrupt_segments;
 };
 
 struct EventLogOptions {
@@ -179,7 +194,13 @@ class EventLogWriter {
   EventLogWriter(std::string path, std::FILE* file, EventLogOptions options);
 
   void check(bool ok, const char* what) const;
-  void write_raw(const std::string& bytes, const char* what);
+  /// Resilient write: on a transient failure (real, or injected at fault
+  /// site `site`), recover_file() and rewrite, up to 3 attempts.
+  void write_raw(const std::string& bytes, const char* site,
+                 const char* what);
+  /// Close + truncate back to bytes_written_ + reopen; throws when the
+  /// file holds fewer bytes than acknowledged (durability lost).
+  void recover_file();
   void flush_block();
   void maybe_rotate();
   /// Best-effort pending-block write + close for the dtor and

@@ -36,11 +36,23 @@
 // merged results. A damaged tail record (killed writer) is dropped on
 // load, exactly like the event log.
 //
+// Corruption tolerance (load paths): a CRC-bad record SLOT mid-file is
+// skipped (records are fixed-size, so the scan just advances one slot),
+// and an unreadable ROTATED segment is skipped whole — both counted,
+// reported loudly on stderr, and surfaced in ManifestContents so callers
+// can refuse to proceed. Only the active segment and the grid fingerprint
+// stay fatal: resuming without a readable active header, or against the
+// wrong grid, must never silently stitch results together. The writer
+// side recovers from transient append failures by truncating the torn
+// bytes and rewriting (see ManifestWriter::append), so manifests stay
+// byte-identical to a fault-free run's.
+//
 // Rotation (`rotate_bytes`): once the active file exceeds the limit it is
 // renamed to "<path>.<seq>" and a fresh segment (with its own header)
 // continues at "<path>". load_manifest merges the whole chain — segments
 // of one sweep are disjoint by construction, and the (cell, trial) keying
-// makes the merge order-insensitive.
+// makes the merge order-insensitive. A failed rotation degrades to
+// unrotated output (loudly) instead of aborting the sweep.
 #pragma once
 
 #include <cstdint>
@@ -48,13 +60,25 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "persist/binio.hpp"
 #include "sweep/runner.hpp"
 
 namespace cid::persist {
 
 inline constexpr char kManifestMagic[] = "CIDMANI";
 inline constexpr std::uint8_t kManifestVersion = 2;
+
+/// Thrown when a manifest belongs to a different grid (fingerprint or
+/// dimension mismatch). A subclass so corruption-tolerant chain readers
+/// can skip unreadable segments WITHOUT ever swallowing a wrong-grid
+/// error — mixing grids is never tolerable.
+class grid_mismatch_error : public persist_error {
+ public:
+  explicit grid_mismatch_error(const std::string& message)
+      : persist_error(message) {}
+};
 
 /// Hash of every SweepGrid field that influences trial outcomes (scenario
 /// name + params, protocol specs, ns, trials, master seed, dynamics). Two
@@ -73,13 +97,73 @@ struct ManifestContents {
   bool truncated_tail = false;
   /// Bytes across every segment of the chain (observability).
   std::uint64_t file_bytes = 0;
+  /// CRC-bad full-size record slots skipped during the scan.
+  std::size_t corrupt_records = 0;
+  /// Rotated segments skipped whole (unreadable header / wrong magic).
+  std::vector<std::string> corrupt_segments;
 };
 
 /// Loads a manifest chain ("<path>.1", ..., then "<path>"); throws
-/// persist_error on a missing active file, bad header, or a
-/// fingerprint/dimension mismatch against `grid` in any segment.
+/// persist_error on a missing active file or bad active header, and
+/// grid_mismatch_error on a fingerprint/dimension mismatch against `grid`
+/// in any segment. CRC-bad record slots and unreadable ROTATED segments
+/// are skipped with a loud stderr report (see corrupt_records /
+/// corrupt_segments) — a torn chain yields every intact trial instead of
+/// nothing.
 ManifestContents load_manifest(const std::string& path,
                                const sweep::SweepGrid& grid);
+
+/// Like load_manifest, but grid-less: the ACTIVE segment's header is the
+/// authority for fingerprint/cells/trials (rotated segments must still
+/// match it). For tooling — cid_merge merges shards without re-deriving
+/// the grid.
+ManifestContents load_manifest_raw(const std::string& path);
+
+// ---- Shard merging (tools/cid_merge.cpp) ------------------------------------
+
+struct MergeOptions {
+  /// How many unreadable INPUTS (bad/missing active header) to tolerate
+  /// before aborting the merge. Corruption inside a readable input is
+  /// handled by load_manifest_raw's record/segment skipping instead.
+  std::size_t max_corrupt_inputs = 1;
+  /// When two inputs disagree on one (cell, trial) outcome: false (the
+  /// default) aborts — identical duplicates are always fine — while true
+  /// keeps the record of the EARLIER input in argument order.
+  bool keep_first_on_conflict = false;
+};
+
+struct MergeReport {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t cells = 0;
+  std::uint32_t trials_per_cell = 0;
+  /// The union of every input's completed trials, keyed by (cell, trial)
+  /// — map order IS the canonical record order write_manifest_canonical
+  /// emits.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, sweep::TrialOutcome>
+      completed;
+  std::size_t duplicate_records = 0;  // identical duplicates collapsed
+  std::size_t conflicts = 0;          // differing duplicates (keep-first)
+  std::size_t corrupt_records = 0;    // summed over inputs
+  bool truncated_tail = false;
+  std::vector<std::string> corrupt_inputs;    // skipped whole
+  std::vector<std::string> corrupt_segments;  // summed over inputs
+};
+
+/// Merges manifest chains (shards of one sweep, or partial runs) into one
+/// record set. All readable inputs must agree on fingerprint/cells/trials
+/// (grid_mismatch_error otherwise — never tolerated); up to
+/// `max_corrupt_inputs` unreadable inputs are skipped loudly.
+MergeReport merge_manifests(const std::vector<std::string>& inputs,
+                            const MergeOptions& options = {});
+
+/// Writes `report` as a single canonical v2 manifest: one segment, records
+/// sorted by (cell, trial), staged through "<path>.tmp" + rename + parent
+/// fsync. Canonical means reproducible: merging the same trials in any
+/// input order/sharding yields byte-identical files — and equals a
+/// threads=1 unsharded sweep's manifest, whose completion order is already
+/// (cell, trial). Returns bytes written.
+std::uint64_t write_manifest_canonical(const std::string& path,
+                                       const MergeReport& report);
 
 /// Append-only manifest writer. NOT thread-safe: the sweep runner
 /// serializes appends behind its own mutex (workers complete trials
@@ -100,6 +184,13 @@ class ManifestWriter {
   ManifestWriter& operator=(ManifestWriter&& other) noexcept;
   ~ManifestWriter();
 
+  /// Appends one record. Transient write failures (real or injected at
+  /// fault sites "manifest.append"/"manifest.flush") are recovered by
+  /// truncating the file back to the last known-good byte and rewriting,
+  /// up to 3 attempts — the recovered file is byte-identical to a
+  /// fault-free writer's. Throws persist_error only when recovery is
+  /// impossible (attempts exhausted, or previously-written bytes turn out
+  /// not to be durable).
   void append(std::uint32_t cell, std::uint32_t trial,
               const sweep::TrialOutcome& outcome);
 
@@ -119,6 +210,16 @@ class ManifestWriter {
                  const sweep::SweepGrid* grid);
   void check(bool ok, const char* what) const;
   void maybe_rotate();
+  /// Retry loop around checked_fwrite: on persist_error, recover_file()
+  /// and rewrite, kMaxWriteAttempts total tries. util::fault_crash always
+  /// propagates (a crash is a kill, not an error).
+  void write_resilient(const std::string& bytes, const char* site,
+                       const char* what);
+  /// Post-failure recovery: close, truncate the file back to
+  /// bytes_written_ (dropping torn bytes), reopen for append. Throws
+  /// persist_error when the file holds FEWER bytes than were acknowledged
+  /// — durability already lost, rewriting cannot help.
+  void recover_file();
 
   std::string path_;
   std::FILE* file_ = nullptr;

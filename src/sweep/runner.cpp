@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -15,9 +17,12 @@
 
 #include "obs/sink.hpp"
 #include "obs/trace_span.hpp"
+#include "persist/binio.hpp"
 #include "persist/manifest.hpp"
 #include "sweep/pool.hpp"
+#include "sweep/shard.hpp"
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace cid::sweep {
@@ -136,6 +141,10 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   CID_ENSURE(!grid.ns.empty(), "sweep needs at least one n");
   CID_ENSURE(!grid.protocols.empty(), "sweep needs at least one protocol");
   CID_ENSURE(grid.trials >= 1, "sweep needs at least one trial");
+  CID_ENSURE(options.shard_count >= 1, "shard count must be >= 1");
+  CID_ENSURE(options.shard_index >= 0 &&
+                 options.shard_index < options.shard_count,
+             "shard index must be in [0, shard_count)");
 
   // Instances are built once per n (they can be expensive — path
   // enumeration, MaxCut generation) and shared read-only across all of
@@ -216,10 +225,24 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   }
 
   // Pending jobs in deterministic grid order, truncated to the budget.
+  // Sharded mode keeps only this shard's trials — the assignment is a
+  // pure function of (grid fingerprint, cell, trial), so every shard of a
+  // grid agrees on the partition without coordinating.
+  result.sharded = options.shard_count > 1;
+  const std::uint64_t shard_fingerprint =
+      result.sharded ? persist::grid_fingerprint(grid) : 0;
   std::vector<std::size_t> pending;
   pending.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (!done[i]) pending.push_back(i);
+    if (done[i]) continue;
+    if (result.sharded &&
+        trial_shard(shard_fingerprint,
+                    static_cast<std::uint32_t>(i / trials_per_cell),
+                    static_cast<std::uint32_t>(i % trials_per_cell),
+                    options.shard_count) != options.shard_index) {
+      continue;
+    }
+    pending.push_back(i);
   }
   if (options.max_new_trials >= 0 &&
       pending.size() > static_cast<std::size_t>(options.max_new_trials)) {
@@ -247,11 +270,34 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
 
   std::vector<double> wall(jobs.size(), 0.0);
   std::vector<TrialStats> stats(jobs.size());
+  std::vector<char> failed(jobs.size(), 0);
   const std::int64_t launch_ns = obs::now_ns();
   std::atomic<std::int64_t> queue_wait_ns{0};
   std::atomic<std::int64_t> trial_run_ns{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> watchdog_flags{0};
   std::mutex hook_mutex;
   std::size_t hooks_fired = 0;
+  std::mutex failures_mutex;
+  std::vector<TrialFailure> failures;
+  // Manifest degradation state, guarded by manifest_mutex while workers
+  // run: once an append permanently fails the manifest is abandoned (the
+  // in-memory results stay complete; only resumability is lost).
+  bool manifest_live = manifest.has_value();
+  std::string manifest_err;
+  // Watchdog bookkeeping: one start stamp per pending slot (-1 = not
+  // currently running), on the steady clock (obs::now_ns is compiled out
+  // under CID_METRICS=0; the watchdog must work regardless).
+  struct TrialClock {
+    std::atomic<std::int64_t> start_ns{-1};
+    std::atomic<bool> flagged{false};
+  };
+  std::deque<TrialClock> clocks(pending.size());
+  const auto steady_ns = [] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
   {
     // Heartbeat thread, RAII-stopped so a throwing trial cannot leak it.
     struct Monitor {
@@ -280,23 +326,126 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
         }
       });
     }
+    // Wall-clock watchdog: flags (never cancels — C++ threads cannot be
+    // safely killed) trials still running past the limit, once each, so a
+    // hung sweep names its stuck trial instead of sitting silent.
+    Monitor watchdog;
+    if (options.watchdog_seconds > 0.0) {
+      watchdog.thread = std::thread([&] {
+        const auto limit_ns =
+            static_cast<std::int64_t>(options.watchdog_seconds * 1e9);
+        const auto poll = std::chrono::duration<double>(
+            std::max(0.01, std::min(1.0, options.watchdog_seconds / 4.0)));
+        std::unique_lock<std::mutex> lock(watchdog.mutex);
+        while (!watchdog.cv.wait_for(lock, poll,
+                                     [&] { return watchdog.stop; })) {
+          const std::int64_t now = steady_ns();
+          for (std::size_t p = 0; p < pending.size(); ++p) {
+            const std::int64_t start =
+                clocks[p].start_ns.load(std::memory_order_relaxed);
+            if (start < 0 || now - start < limit_ns) continue;
+            if (clocks[p].flagged.exchange(true, std::memory_order_relaxed)) {
+              continue;
+            }
+            watchdog_flags.fetch_add(1, std::memory_order_relaxed);
+            const TrialRow& row = result.trials[pending[p]];
+            std::fprintf(stderr,
+                         "cid sweep: WATCHDOG trial (%s n=%lld trial=%d) "
+                         "still running after %.1f s\n",
+                         row.key.protocol.c_str(),
+                         static_cast<long long>(row.key.n), row.trial,
+                         options.watchdog_seconds);
+          }
+        }
+      });
+    }
     parallel_for(
         static_cast<std::int64_t>(pending.size()), options.threads,
         [&](std::int64_t p) {
           const std::size_t i = pending[static_cast<std::size_t>(p)];
-          Job& job = jobs[i];
+          const Job& job = jobs[i];
+          TrialRow& row = result.trials[i];
           const std::int64_t start_ns = obs::now_ns();
           queue_wait_ns.fetch_add(start_ns - launch_ns,
                                   std::memory_order_relaxed);
+          clocks[static_cast<std::size_t>(p)].start_ns.store(
+              steady_ns(), std::memory_order_relaxed);
           const WallTimer timer;
-          const TrialOutcome outcome = instances[job.n_index]->run_trial(
-              grid.protocols[job.protocol_index], grid.dynamics, job.rng,
-              &stats[i]);
+          const int max_attempts = std::max(1, options.trial_max_attempts);
+          TrialOutcome outcome;
+          bool ok = false;
+          for (int attempt = 1; attempt <= max_attempts && !ok; ++attempt) {
+            // Fresh stream copy + zeroed stats per attempt: outcomes are a
+            // pure function of the stream, so a successful retry yields
+            // exactly what a fault-free first attempt would have.
+            Rng trial_rng = job.rng;
+            stats[i] = TrialStats{};
+            try {
+              if (util::faults_armed()) {
+                const util::FaultAction fault =
+                    util::fault_point("sweep.trial");
+                if (fault.kind != util::FaultKind::kNone) {
+                  throw std::runtime_error("injected trial fault (" +
+                                           fault.detail + ")");
+                }
+              }
+              outcome = instances[job.n_index]->run_trial(
+                  grid.protocols[job.protocol_index], grid.dynamics,
+                  trial_rng, &stats[i]);
+              ok = true;
+            } catch (const util::fault_crash&) {
+              throw;  // a crash is a kill, never an error to isolate
+            } catch (const std::exception& e) {
+              if (attempt >= max_attempts) {
+                std::fprintf(stderr,
+                             "cid sweep: trial (%s n=%lld trial=%d) FAILED "
+                             "after %d attempt(s): %s\n",
+                             row.key.protocol.c_str(),
+                             static_cast<long long>(row.key.n), row.trial,
+                             attempt, e.what());
+                TrialFailure failure;
+                failure.trial_index = i;
+                failure.key = row.key;
+                failure.trial = row.trial;
+                failure.attempts = attempt;
+                failure.error = e.what();
+                const std::lock_guard<std::mutex> lock(failures_mutex);
+                failures.push_back(std::move(failure));
+                failed[i] = 1;
+                break;
+              }
+              retries.fetch_add(1, std::memory_order_relaxed);
+              std::fprintf(stderr,
+                           "cid sweep: trial (%s n=%lld trial=%d) attempt "
+                           "%d/%d failed (%s) — retrying\n",
+                           row.key.protocol.c_str(),
+                           static_cast<long long>(row.key.n), row.trial,
+                           attempt, max_attempts, e.what());
+              if (options.retry_backoff_ms > 0.0) {
+                double delay_ms = options.retry_backoff_ms;
+                for (int d = 1; d < attempt; ++d) delay_ms *= 2.0;
+                delay_ms = std::min(delay_ms, options.retry_backoff_max_ms);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(delay_ms));
+              }
+            }
+          }
           wall[i] = timer.seconds();
+          clocks[static_cast<std::size_t>(p)].start_ns.store(
+              -1, std::memory_order_relaxed);
           const std::int64_t end_ns = obs::now_ns();
           trial_run_ns.fetch_add(end_ns - start_ns,
                                  std::memory_order_relaxed);
-          TrialRow& row = result.trials[i];
+          if (!ok) {
+            // Permanently failed: default outcome, no manifest record
+            // (a resume re-runs it), no per-trial hook — but the meter
+            // still advances so progress reaches 100%.
+            stats[i] = TrialStats{};
+            if (meter != nullptr) {
+              meter->on_trial_done(i / trials_per_cell, 0);
+            }
+            return;
+          }
           // One complete span per trial on the worker's own timeline.
           // Workers run trials serially, so per-thread spans never
           // overlap; queue wait rides along as an arg rather than its
@@ -315,8 +464,26 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
           row.outcome = outcome;
           if (manifest.has_value()) {
             const std::lock_guard<std::mutex> lock(manifest_mutex);
-            manifest->append(static_cast<std::uint32_t>(row.key.cell),
-                             static_cast<std::uint32_t>(row.trial), outcome);
+            if (manifest_live) {
+              try {
+                manifest->append(static_cast<std::uint32_t>(row.key.cell),
+                                 static_cast<std::uint32_t>(row.trial),
+                                 outcome);
+              } catch (const util::fault_crash&) {
+                throw;
+              } catch (const persist::persist_error& e) {
+                // Degrade, don't die: the run's results stay complete in
+                // memory; only resumability of later trials is lost.
+                manifest_live = false;
+                manifest_err = e.what();
+                std::fprintf(
+                    stderr,
+                    "cid sweep: %s — manifest disabled for the rest of this "
+                    "run (trials completing from here are not recorded for "
+                    "resume)\n",
+                    e.what());
+              }
+            }
           }
           if (meter != nullptr) {
             meter->on_trial_done(
@@ -333,8 +500,33 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   // One final heartbeat after the pool drains (still under the same
   // "reporting only" contract).
   if (meter != nullptr) options.progress(meter->snapshot());
-  if (manifest.has_value()) manifest->close();
+  if (manifest.has_value()) {
+    try {
+      manifest->close();
+    } catch (const persist::persist_error& e) {
+      if (manifest_live) {
+        manifest_live = false;
+        manifest_err = e.what();
+        std::fprintf(stderr,
+                     "cid sweep: %s — manifest close failed (the file may "
+                     "be missing its final records)\n",
+                     e.what());
+      }
+    }
+  }
+  result.manifest_degraded = manifest.has_value() && !manifest_live;
+  result.manifest_error = manifest_err;
+  // Workers append failures in completion order (scheduling-dependent);
+  // report them deterministically.
+  std::sort(failures.begin(), failures.end(),
+            [](const TrialFailure& a, const TrialFailure& b) {
+              return a.trial_index < b.trial_index;
+            });
+  result.failures = std::move(failures);
+  result.trial_retries = retries.load(std::memory_order_relaxed);
+  result.watchdog_flags = watchdog_flags.load(std::memory_order_relaxed);
   for (const std::size_t i : pending) {
+    if (failed[i]) continue;
     result.ran_rounds +=
         static_cast<std::int64_t>(result.trials[i].outcome.rounds);
     result.latency_evals += stats[i].latency_evals;
@@ -343,19 +535,22 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   result.queue_wait_ns = queue_wait_ns.load(std::memory_order_relaxed);
   result.trial_run_ns = trial_run_ns.load(std::memory_order_relaxed);
   result.stats = std::move(stats);
-  if (!result.complete) return result;  // cells left un-aggregated
+  // Cells stay un-aggregated when the grid was not fully run here: budget
+  // cut (complete = false) or sharding (other shards hold the rest).
+  if (!result.complete || result.sharded) return result;
 
   result.cells.reserve(num_cells);
   for (std::size_t cell = 0; cell < num_cells; ++cell) {
     const std::size_t base = cell * trials_per_cell;
     CellRow row;
     row.key = result.trials[base].key;
-    row.trials = grid.trials;
     std::vector<double> rounds;
     rounds.reserve(trials_per_cell);
     RunningStat rs;
     int converged = 0;
+    int included = 0;
     for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      if (failed[base + t]) continue;  // failed trials must not skew cells
       const TrialRow& trial = result.trials[base + t];
       rounds.push_back(trial.outcome.rounds);
       rs.add(trial.outcome.rounds);
@@ -364,14 +559,18 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
       row.mean_social_cost += trial.outcome.social_cost;
       row.mean_movers += static_cast<double>(trial.outcome.movers);
       row.wall_seconds += wall[base + t];
+      ++included;
     }
-    const auto count = static_cast<double>(trials_per_cell);
-    row.rounds = summarize(rounds);
-    row.rounds_sem = rs.sem();
-    row.fraction_converged = static_cast<double>(converged) / count;
-    row.mean_potential /= count;
-    row.mean_social_cost /= count;
-    row.mean_movers /= count;
+    row.trials = included;
+    if (included > 0) {
+      const auto count = static_cast<double>(included);
+      row.rounds = summarize(rounds);
+      row.rounds_sem = rs.sem();
+      row.fraction_converged = static_cast<double>(converged) / count;
+      row.mean_potential /= count;
+      row.mean_social_cost /= count;
+      row.mean_movers /= count;
+    }
     result.cells.push_back(std::move(row));
   }
   return result;

@@ -44,6 +44,18 @@ struct TrialRow {
   TrialOutcome outcome;
 };
 
+/// One trial that exhausted its retry budget (SweepOptions::
+/// trial_max_attempts). Failed trials never kill the sweep: they are
+/// recorded here, excluded from cell aggregation, and left with default
+/// outcomes in SweepResult::trials.
+struct TrialFailure {
+  std::size_t trial_index = 0;  // index into SweepResult::trials
+  CellKey key;
+  int trial = 0;
+  int attempts = 0;
+  std::string error;  // the final attempt's message
+};
+
 struct CellRow {
   CellKey key;
   int trials = 0;
@@ -65,6 +77,21 @@ struct SweepResult {
   bool complete = true;
   std::size_t resumed_trials = 0;  // loaded from the manifest, not re-run
   std::size_t ran_trials = 0;      // executed this invocation
+
+  /// Trials that permanently failed (retries exhausted), sorted by
+  /// trial_index. Non-empty failures excludes those trials from cell
+  /// aggregation; cid_sweep exits nonzero when any remain.
+  std::vector<TrialFailure> failures;
+  std::int64_t trial_retries = 0;   // failed attempts that were retried
+  std::int64_t watchdog_flags = 0;  // trials flagged as stuck (observation)
+  /// True when manifest appends failed permanently mid-sweep: the run
+  /// finished (results in memory are complete) but the manifest on disk is
+  /// missing trials — a later resume would re-run them.
+  bool manifest_degraded = false;
+  std::string manifest_error;
+  /// True when shard_count > 1: only this shard's trials ran, so cells
+  /// are not aggregated and non-shard trials hold default outcomes.
+  bool sharded = false;
 
   // Throughput observability over the trials EXECUTED this invocation
   // (manifest-resumed trials are excluded: their counters were not
@@ -130,10 +157,36 @@ struct SweepOptions {
   /// executed trial finishes — in COMPLETION order, which is scheduling-
   /// dependent; consumers needing determinism should read
   /// SweepResult::stats (trial order) after the sweep instead. `done` /
-  /// `total` count this invocation's executed trials.
+  /// `total` count this invocation's executed trials; permanently failed
+  /// trials never fire the hook (so `done` may end below `total`).
   std::function<void(const TrialRow&, const TrialStats&, std::size_t done,
                      std::size_t total)>
       on_trial_done;
+
+  /// Trial-level failure isolation: a throwing trial is retried with a
+  /// fresh copy of its Rng stream (outcomes are a pure function of the
+  /// stream, so a successful retry reproduces the identical result), up
+  /// to this many total attempts with capped exponential backoff between
+  /// them. A trial that exhausts its budget lands in
+  /// SweepResult::failures; it never kills the sweep.
+  int trial_max_attempts = 3;
+  double retry_backoff_ms = 25.0;       // first retry; doubles per attempt
+  double retry_backoff_max_ms = 2000.0;
+
+  /// When > 0, a wall-clock watchdog thread flags (stderr +
+  /// SweepResult::watchdog_flags) any trial still running after this many
+  /// seconds, once per trial. Pure observation: nothing is cancelled —
+  /// C++ threads cannot be safely killed — but a hung sweep now says
+  /// which trial is stuck instead of sitting silent.
+  double watchdog_seconds = 0.0;
+
+  /// Distributed sharding (sweep/shard.hpp): with shard_count > 1, only
+  /// trials whose trial_shard(fingerprint, cell, trial, shard_count) ==
+  /// shard_index run; the rest are skipped entirely (not failed). Each
+  /// shard appends to its own manifest; tools/cid_merge.cpp merges them
+  /// into a file byte-identical to an unsharded run's canonical manifest.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// Runs the whole grid (or, with a manifest, the part of it not already

@@ -1,0 +1,57 @@
+#include "sweep/shard.hpp"
+
+#include <stdexcept>
+
+namespace cid::sweep {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int trial_shard(std::uint64_t fingerprint, std::uint32_t cell,
+                std::uint32_t trial, int shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  // Two mix rounds: the first folds the trial key into the fingerprint,
+  // the second decorrelates adjacent (cell, trial) pairs so the modulo
+  // below sees avalanche-quality bits.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(cell) << 32) | trial;
+  const std::uint64_t h = mix64(mix64(fingerprint) ^ key);
+  return static_cast<int>(h % static_cast<std::uint64_t>(shard_count));
+}
+
+ShardSpec parse_shard_spec(const std::string& spec) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= spec.size()) {
+    throw std::runtime_error("expected --shard I/K (e.g. 0/4), got '" +
+                             spec + "'");
+  }
+  ShardSpec shard;
+  std::size_t used_i = 0;
+  std::size_t used_k = 0;
+  try {
+    shard.index = std::stoi(spec.substr(0, slash), &used_i);
+    shard.count = std::stoi(spec.substr(slash + 1), &used_k);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad --shard numbers in '" + spec + "'");
+  }
+  if (used_i != slash || used_k != spec.size() - slash - 1) {
+    throw std::runtime_error("bad --shard numbers in '" + spec + "'");
+  }
+  if (shard.count < 1 || shard.index < 0 || shard.index >= shard.count) {
+    throw std::runtime_error("--shard requires 0 <= I < K, got '" + spec +
+                             "'");
+  }
+  return shard;
+}
+
+}  // namespace cid::sweep

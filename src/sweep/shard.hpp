@@ -1,0 +1,35 @@
+// Deterministic trial→shard assignment for distributed sweeps.
+//
+// One grid, N machines: every worker runs the same grid with a different
+// --shard I/K filter, each writes its own manifest, and cid_merge stitches
+// the shards back into the manifest an unsharded run would have produced.
+// The assignment must therefore be a pure function of (grid fingerprint,
+// cell, trial, shard count) — no scheduling, no configuration files, no
+// coordinator — so any worker can compute any trial's owner and the
+// partition is stable across reruns, hosts, and tool versions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cid::sweep {
+
+/// Shard owning trial (cell, trial) of the grid with `fingerprint`, in
+/// [0, shard_count). Hash-based (not round-robin) so every shard draws a
+/// statistically even mix of cells — trial cost varies per cell, and
+/// striping whole cells would load-imbalance the fleet.
+/// Precondition: shard_count >= 1.
+int trial_shard(std::uint64_t fingerprint, std::uint32_t cell,
+                std::uint32_t trial, int shard_count) noexcept;
+
+/// A worker's slice of the fleet: shard `index` of `count`.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+};
+
+/// Parses "I/K" (e.g. "0/4"); requires K >= 1 and 0 <= I < K. Throws
+/// std::runtime_error on anything else.
+ShardSpec parse_shard_spec(const std::string& spec);
+
+}  // namespace cid::sweep

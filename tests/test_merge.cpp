@@ -1,0 +1,284 @@
+// Shard-merge guarantees (src/sweep/shard.hpp, persist::merge_manifests,
+// tools/cid_merge.cpp drives the same library calls).
+//
+// The acceptance contract: splitting a grid over K shards — each shard a
+// separate run_sweep invocation writing its own manifest — and merging
+// the shard manifests must produce a file byte-identical to the manifest
+// an unsharded threads=1 sweep writes. trial_shard() is a pure function
+// of (grid fingerprint, cell, trial), so the K shards partition the grid
+// with no coordination, and write_manifest_canonical emits records in
+// (cell, trial) order — exactly the completion order of a threads=1
+// unsharded sweep.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "persist/binio.hpp"
+#include "persist/manifest.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/shard.hpp"
+
+namespace cid::sweep {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SweepGrid merge_grid() {
+  SweepGrid grid;
+  grid.scenario.name = "load-balancing";
+  grid.scenario.params = {{"m", 4.0}};
+  grid.protocols = parse_protocol_list("imitation,combined");
+  grid.ns = {200, 500};
+  grid.trials = 4;  // 4 cells x 4 = 16 trials
+  grid.master_seed = 31;
+  grid.dynamics.max_rounds = 2000;
+  return grid;
+}
+
+SweepOptions manifest_options(const std::string& manifest) {
+  SweepOptions options;
+  options.threads = 1;
+  options.manifest_path = manifest;
+  return options;
+}
+
+TEST(ShardSpec, ParseAndValidate) {
+  const ShardSpec spec = parse_shard_spec("2/8");
+  EXPECT_EQ(spec.index, 2);
+  EXPECT_EQ(spec.count, 8);
+  EXPECT_THROW(parse_shard_spec("8/8"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("-1/4"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("1"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("a/b"), std::runtime_error);
+  EXPECT_THROW(parse_shard_spec("1/0"), std::runtime_error);
+}
+
+TEST(ShardSpec, TrialShardPartitionsDeterministically) {
+  for (const int count : {2, 4, 8}) {
+    for (std::uint32_t cell = 0; cell < 4; ++cell) {
+      for (std::uint32_t trial = 0; trial < 4; ++trial) {
+        const int shard = trial_shard(0xDEADBEEFu, cell, trial, count);
+        EXPECT_GE(shard, 0);
+        EXPECT_LT(shard, count);
+        // Pure function: every re-evaluation agrees.
+        EXPECT_EQ(trial_shard(0xDEADBEEFu, cell, trial, count), shard);
+      }
+    }
+  }
+  // count=1 is the unsharded degenerate case.
+  EXPECT_EQ(trial_shard(7, 3, 2, 1), 0);
+}
+
+// The tentpole byte-identity claim, for 2-, 4-, and 8-way sharding.
+TEST(Merge, ShardedSweepsMergeByteIdenticalToUnsharded) {
+  const SweepGrid grid = merge_grid();
+  const std::string unsharded_path = temp_path("merge_unsharded.manifest");
+  const SweepResult unsharded =
+      run_sweep(grid, manifest_options(unsharded_path));
+  EXPECT_TRUE(unsharded.complete);
+  const std::string reference = persist::slurp_file(unsharded_path);
+
+  for (const int count : {2, 4, 8}) {
+    SCOPED_TRACE(count);
+    std::vector<std::string> shard_paths;
+    std::size_t shard_trials = 0;
+    for (int index = 0; index < count; ++index) {
+      const std::string path = temp_path(
+          "merge_s" + std::to_string(index) + "_of" + std::to_string(count) +
+          ".manifest");
+      SweepOptions options = manifest_options(path);
+      options.shard_index = index;
+      options.shard_count = count;
+      const SweepResult shard = run_sweep(grid, options);
+      EXPECT_TRUE(shard.complete);
+      EXPECT_TRUE(shard.sharded);
+      EXPECT_TRUE(shard.cells.empty());  // no aggregation of a shard
+      shard_trials += shard.ran_trials;
+      shard_paths.push_back(path);
+    }
+    // The shards partition the grid: every trial ran exactly once.
+    EXPECT_EQ(shard_trials, unsharded.trials.size());
+
+    const persist::MergeReport report =
+        persist::merge_manifests(shard_paths, {});
+    EXPECT_EQ(report.completed.size(), unsharded.trials.size());
+    EXPECT_EQ(report.duplicate_records, 0u);
+    const std::string merged_path =
+        temp_path("merged_" + std::to_string(count) + ".manifest");
+    persist::write_manifest_canonical(merged_path, report);
+    EXPECT_EQ(persist::slurp_file(merged_path), reference);
+
+    // Input order must not matter (canonical = reproducible).
+    std::vector<std::string> reversed(shard_paths.rbegin(),
+                                      shard_paths.rend());
+    const persist::MergeReport reordered =
+        persist::merge_manifests(reversed, {});
+    persist::write_manifest_canonical(merged_path, reordered);
+    EXPECT_EQ(persist::slurp_file(merged_path), reference);
+
+    for (const std::string& path : shard_paths) std::remove(path.c_str());
+    std::remove(merged_path.c_str());
+  }
+  std::remove(unsharded_path.c_str());
+}
+
+// Overlapping inputs (e.g. a shard merged twice, or a shard plus the full
+// run) collapse identical duplicates silently.
+TEST(Merge, IdenticalDuplicatesCollapse) {
+  const SweepGrid grid = merge_grid();
+  const std::string a = temp_path("dup_a.manifest");
+  run_sweep(grid, manifest_options(a));
+  const persist::MergeReport report = persist::merge_manifests({a, a}, {});
+  EXPECT_EQ(report.completed.size(),
+            static_cast<std::size_t>(grid.trials) * 4);
+  EXPECT_EQ(report.duplicate_records, report.completed.size());
+  EXPECT_EQ(report.conflicts, 0u);
+  std::remove(a.c_str());
+}
+
+// Conflicting duplicates abort by default; --keep-first resolves them in
+// argument order.
+TEST(Merge, ConflictingDuplicatesAbortUnlessKeepFirst) {
+  SweepGrid grid = merge_grid();
+  const std::string a = temp_path("conflict_a.manifest");
+  const std::string b = temp_path("conflict_b.manifest");
+  {
+    persist::ManifestWriter writer = persist::ManifestWriter::create(a, grid);
+    TrialOutcome outcome;
+    outcome.rounds = 10;
+    writer.append(0, 0, outcome);
+    writer.close();
+  }
+  {
+    persist::ManifestWriter writer = persist::ManifestWriter::create(b, grid);
+    TrialOutcome outcome;
+    outcome.rounds = 20;  // same (cell, trial), different payload
+    writer.append(0, 0, outcome);
+    writer.close();
+  }
+  EXPECT_THROW(persist::merge_manifests({a, b}, {}),
+               persist::persist_error);
+  persist::MergeOptions keep_first;
+  keep_first.keep_first_on_conflict = true;
+  const persist::MergeReport report =
+      persist::merge_manifests({a, b}, keep_first);
+  EXPECT_EQ(report.conflicts, 1u);
+  ASSERT_EQ(report.completed.size(), 1u);
+  EXPECT_EQ(report.completed.begin()->second.rounds, 10);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// An unreadable input is tolerated up to MergeOptions::max_corrupt_inputs
+// and always reported; past the budget the merge aborts.
+TEST(Merge, UnreadableInputToleratedUpToBudget) {
+  const SweepGrid grid = merge_grid();
+  const std::string good = temp_path("tol_good.manifest");
+  run_sweep(grid, manifest_options(good));
+  const std::string bad = temp_path("tol_bad.manifest");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << "this is not a manifest";
+  }
+  const std::string reference = persist::slurp_file(good);
+
+  persist::MergeOptions tolerant;
+  tolerant.max_corrupt_inputs = 1;
+  const persist::MergeReport report =
+      persist::merge_manifests({bad, good}, tolerant);
+  ASSERT_EQ(report.corrupt_inputs.size(), 1u);
+  EXPECT_EQ(report.corrupt_inputs[0], bad);
+  const std::string merged = temp_path("tol_merged.manifest");
+  persist::write_manifest_canonical(merged, report);
+  EXPECT_EQ(persist::slurp_file(merged), reference);
+
+  persist::MergeOptions strict;
+  strict.max_corrupt_inputs = 0;
+  EXPECT_THROW(persist::merge_manifests({bad, good}, strict),
+               persist::persist_error);
+  // All inputs unreadable is always fatal — there is nothing to merge.
+  EXPECT_THROW(persist::merge_manifests({bad}, tolerant),
+               persist::persist_error);
+
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+  std::remove(merged.c_str());
+}
+
+// Inputs from different grids never merge: the fingerprint check is the
+// guard against silently mixing incompatible sweeps.
+TEST(Merge, GridMismatchIsNeverTolerated) {
+  const SweepGrid grid = merge_grid();
+  SweepGrid other = merge_grid();
+  other.master_seed = 32;
+  const std::string a = temp_path("mix_a.manifest");
+  const std::string b = temp_path("mix_b.manifest");
+  run_sweep(grid, manifest_options(a));
+  run_sweep(other, manifest_options(b));
+  persist::MergeOptions tolerant;
+  tolerant.max_corrupt_inputs = 8;  // mismatch is not "corruption"
+  EXPECT_THROW(persist::merge_manifests({a, b}, tolerant),
+               persist::grid_mismatch_error);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// A CRC-bad record slot inside one input is skipped record-by-record (the
+// tolerant loader), not by dropping the whole input: merging a damaged
+// shard with an intact full run still reconstructs the canonical file.
+TEST(Merge, CorruptRecordSlotInsideAnInputIsSkipped) {
+  const SweepGrid grid = merge_grid();
+  const std::string full = temp_path("slot_full.manifest");
+  run_sweep(grid, manifest_options(full));
+  const std::string reference = persist::slurp_file(full);
+
+  const std::string damaged = temp_path("slot_damaged.manifest");
+  {
+    std::ofstream out(damaged, std::ios::binary | std::ios::trunc);
+    std::string bytes = reference;
+    bytes[bytes.size() - 200] ^= 0x5A;  // flip a byte mid-records
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const persist::ManifestContents damaged_contents =
+      persist::load_manifest_raw(damaged);
+  EXPECT_EQ(damaged_contents.corrupt_records, 1u);
+  EXPECT_EQ(damaged_contents.completed.size(),
+            static_cast<std::size_t>(grid.trials) * 4 - 1);
+
+  const persist::MergeReport report =
+      persist::merge_manifests({damaged, full}, {});
+  EXPECT_EQ(report.corrupt_records, 1u);
+  const std::string merged = temp_path("slot_merged.manifest");
+  persist::write_manifest_canonical(merged, report);
+  EXPECT_EQ(persist::slurp_file(merged), reference);
+
+  std::remove(full.c_str());
+  std::remove(damaged.c_str());
+  std::remove(merged.c_str());
+}
+
+// Missing trials surface in the report (the cid_merge --expect-complete
+// contract): merging a strict subset of shards is fine, but incomplete.
+TEST(Merge, IncompleteMergeIsVisibleInTheReport) {
+  const SweepGrid grid = merge_grid();
+  const std::string shard0 = temp_path("inc_s0.manifest");
+  SweepOptions options = manifest_options(shard0);
+  options.shard_index = 0;
+  options.shard_count = 2;
+  const SweepResult shard = run_sweep(grid, options);
+  const persist::MergeReport report =
+      persist::merge_manifests({shard0}, {});
+  EXPECT_EQ(report.completed.size(), shard.ran_trials);
+  EXPECT_LT(report.completed.size(),
+            static_cast<std::size_t>(report.cells) * report.trials_per_cell);
+  std::remove(shard0.c_str());
+}
+
+}  // namespace
+}  // namespace cid::sweep

@@ -9,6 +9,7 @@
 //           [--resume PATH] [--event-log PATH [--no-log-compress]
 //           [--rotate-bytes N]] [--save-state PATH]
 //           [--metrics PATH [--metrics-every K]]
+//           [--inject-faults SPEC]
 //
 // Loads a game in the cid-game v1 text format (see src/game/io.hpp;
 // cid_gen writes such files), runs the chosen protocol, prints a trace
@@ -32,6 +33,7 @@
 #include <string>
 
 #include "cid/cid.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -95,7 +97,13 @@ using namespace cid;
       "                       phases sampled, persist writes) to PATH —\n"
       "                       open in chrome://tracing or Perfetto\n"
       "  --trace-sample K     engine-phase span sampling interval in\n"
-      "                       rounds (default 64; requires --trace)\n");
+      "                       rounds (default 64; requires --trace)\n"
+      "  --inject-faults SPEC arm the deterministic fault-injection layer\n"
+      "                       (tests/CI): \"seed=S;SITE:KIND[:hit=N]\n"
+      "                       [:every=N][:p=P][:count=K]\", kinds\n"
+      "                       err|short|enospc|crash at persist sites like\n"
+      "                       eventlog.block, snapshot.write (accepted but\n"
+      "                       inert when built -DCID_FAULTS=OFF)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -128,6 +136,7 @@ struct Options {
   std::int64_t telemetry_every = 0;  // 0 = unset (1 when --telemetry given)
   std::string trace_path;
   std::int64_t trace_sample = 0;     // 0 = unset (library default)
+  std::string fault_spec;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -180,6 +189,8 @@ Options parse_args(int argc, char** argv) {
     } else if (flag == "--trace") opt.trace_path = need_value(i);
     else if (flag == "--trace-sample") {
       opt.trace_sample = std::atoll(need_value(i));
+    } else if (flag == "--inject-faults") {
+      opt.fault_spec = need_value(i);
     } else usage(("unknown flag: " + flag).c_str());
   }
   if (opt.game_path.empty() == opt.resume_path.empty()) {
@@ -211,6 +222,17 @@ Options parse_args(int argc, char** argv) {
   if (opt.trace_sample < 0) usage("--trace-sample must be >= 1");
   if (opt.trace_sample > 0 && opt.trace_path.empty()) {
     usage("--trace-sample requires --trace PATH");
+  }
+  // Parse (and, when compiled in, arm) the fault schedule so a bad spec
+  // exits 2 like any other flag-value error; a -DCID_FAULTS=OFF build
+  // still accepts and validates the flag, it just never fires.
+  if (!opt.fault_spec.empty()) {
+    util::configure_faults(opt.fault_spec);
+    if (!util::kFaultsCompiled) {
+      std::fprintf(stderr,
+                   "cid_sim: note: built with CID_FAULTS=OFF — "
+                   "--inject-faults accepted but inert\n");
+    }
   }
   return opt;
 }
@@ -266,7 +288,15 @@ persist::SimConfig sim_config(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse_args(argc, argv);
+  Options opt;
+  try {
+    opt = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    // Bad flag *values* (e.g. a malformed --inject-faults spec) land
+    // here; bad flag shapes exit through usage() directly.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   try {
     // Assemble the simulation tuple, fresh or from a snapshot.
     std::unique_ptr<CongestionGame> game;

@@ -14,6 +14,8 @@
 //             [--telemetry PATH [--telemetry-every N]]
 //             [--trace PATH [--trace-sample K]]
 //             [--progress [SEC]]
+//             [--trial-retries N] [--watchdog SEC]
+//             [--shard I/K] [--inject-faults SPEC]
 //
 // Expands the grid scenario × protocol × n, runs every cell for --trials
 // independent repetitions across --threads workers (per-trial results are
@@ -36,6 +38,16 @@
 // phases, --progress prints a live heartbeat to stderr. All are pure
 // observation — trial outcomes, manifests, and CSV/JSONL outputs stay
 // byte-identical with them on or off, and none consume RNG.
+//
+// Robustness (src/util/fault.hpp, src/sweep/shard.hpp): a throwing trial
+// is retried up to --trial-retries attempts with a fresh copy of its Rng
+// stream (a successful retry reproduces the identical result); trials
+// that exhaust the budget are reported and cid_sweep exits 3 — they never
+// kill the sweep. --watchdog flags stuck trials on stderr. --shard I/K
+// runs only shard I of K (each shard writes its own manifest;
+// tools/cid_merge.cpp merges them into the canonical unsharded file).
+// --inject-faults arms the deterministic fault-injection layer used by
+// the robustness tests and CI.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -45,6 +57,8 @@
 #include <string>
 
 #include "cid/cid.hpp"
+#include "sweep/shard.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -112,7 +126,25 @@ using namespace cid;
       "  --progress [SEC]  live heartbeat on stderr every SEC seconds\n"
       "                    (default 5): trials done/total, rounds/s, ETA,\n"
       "                    per-cell breakdown. Observation only — outputs\n"
-      "                    are byte-identical with or without it\n");
+      "                    are byte-identical with or without it\n"
+      "  --trial-retries N total attempts per trial before it is recorded\n"
+      "                    as permanently failed (default 3; failures are\n"
+      "                    isolated — the sweep finishes and exits 3)\n"
+      "  --watchdog SEC    flag any trial still running after SEC seconds\n"
+      "                    on stderr (observation only; default off)\n"
+      "  --shard I/K       run only shard I of K (0 <= I < K): a\n"
+      "                    deterministic hash of (cell, trial) picks each\n"
+      "                    trial's shard, so the K shards partition the\n"
+      "                    grid without coordination. Requires --manifest;\n"
+      "                    merge the shard manifests with cid_merge\n"
+      "  --inject-faults SPEC  arm the deterministic fault-injection layer\n"
+      "                    (tests/CI): \"seed=S;SITE:KIND[:hit=N][:every=N]"
+      "\n"
+      "                    [:p=P][:count=K]\", kinds err|short|enospc|crash"
+      "\n"
+      "                    at sites like manifest.append, eventlog.block\n"
+      "                    (accepted but inert when built -DCID_FAULTS=OFF)"
+      "\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -135,6 +167,7 @@ struct Options {
   std::int64_t telemetry_every = 0;  // 0 = unset (defaults to 1)
   std::string trace_path;
   std::int64_t trace_sample = 0;  // 0 = unset (library default, 64)
+  std::string fault_spec;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -224,6 +257,16 @@ Options parse_args(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         opt.run.progress_every_seconds = std::atof(argv[++i]);
       }
+    } else if (flag == "--trial-retries") {
+      opt.run.trial_max_attempts = std::atoi(need_value(i));
+    } else if (flag == "--watchdog") {
+      opt.run.watchdog_seconds = std::atof(need_value(i));
+    } else if (flag == "--shard") {
+      const sweep::ShardSpec shard = sweep::parse_shard_spec(need_value(i));
+      opt.run.shard_index = shard.index;
+      opt.run.shard_count = shard.count;
+    } else if (flag == "--inject-faults") {
+      opt.fault_spec = need_value(i);
     } else if (flag == "--param") {
       const std::string kv = need_value(i);
       const auto eq = kv.find('=');
@@ -271,6 +314,32 @@ Options parse_args(int argc, char** argv) {
   if (opt.run.progress_every_seconds < 0.0) {
     usage("--progress seconds must be >= 0");
   }
+  if (opt.run.trial_max_attempts < 1) {
+    usage("--trial-retries must be >= 1");
+  }
+  if (opt.run.watchdog_seconds < 0.0) usage("--watchdog must be >= 0");
+  if (opt.run.shard_count > 1) {
+    if (opt.run.manifest_path.empty()) {
+      usage("--shard requires --manifest (each shard persists its own\n"
+            "manifest; cid_merge combines them)");
+    }
+    if (!opt.out_prefix.empty()) {
+      usage("--out is not supported with --shard: merge the shard\n"
+            "manifests with cid_merge, then rerun unsharded with --resume");
+    }
+  }
+  // Parse (and, when compiled in, arm) the fault schedule here so a bad
+  // spec exits 2 like any other flag-value error. A -DCID_FAULTS=OFF
+  // build still accepts and validates the flag — the CLI surface is
+  // identical — it just never fires.
+  if (!opt.fault_spec.empty()) {
+    util::configure_faults(opt.fault_spec);
+    if (!util::kFaultsCompiled) {
+      std::fprintf(stderr,
+                   "cid_sweep: note: built with CID_FAULTS=OFF — "
+                   "--inject-faults accepted but inert\n");
+    }
+  }
   for (auto& protocol : opt.grid.protocols) protocol.lambda = lambda;
   // Per-trial engine metering is opt-in: only pay for the phase timers
   // when something will report them.
@@ -310,6 +379,10 @@ int main(int argc, char** argv) {
         opt.grid.ns.size() * opt.grid.protocols.size() *
             static_cast<std::size_t>(opt.grid.trials),
         sweep::resolve_threads(opt.run.threads));
+    if (opt.run.shard_count > 1) {
+      std::printf("shard %d/%d: running only this shard's trials\n",
+                  opt.run.shard_index, opt.run.shard_count);
+    }
 
     // Observability plumbing. The registry is filled twice: the optional
     // live hook accumulates in completion order for intermediate
@@ -388,6 +461,9 @@ int main(int argc, char** argv) {
       registry.add_named("sweep.latency_evals", result.latency_evals);
       registry.add_named("sweep.queue_wait_ns", result.queue_wait_ns);
       registry.add_named("sweep.trial_run_ns", result.trial_run_ns);
+      registry.add_named("sweep.trial_retries", result.trial_retries);
+      registry.add_named("sweep.trial_failures",
+                         static_cast<std::int64_t>(result.failures.size()));
       for (const sweep::TrialRow& row : result.trials) {
         registry.observe(trial_rounds_hist, row.outcome.rounds);
       }
@@ -398,6 +474,13 @@ int main(int argc, char** argv) {
       registry.add_named("persist.fsyncs", io.fsyncs - io_before.fsyncs);
       registry.add_named("persist.fflushes",
                          io.fflushes - io_before.fflushes);
+      registry.add_named("persist.write_failures",
+                         io.write_failures - io_before.write_failures);
+      registry.add_named("persist.write_retries",
+                         io.write_retries - io_before.write_retries);
+      if (util::faults_armed()) {
+        registry.add_named("fault.injected", util::faults_injected());
+      }
       if (sink != nullptr) {
         for (std::size_t i = 0; i < result.trials.size(); ++i) {
           const sweep::TrialRow& row = result.trials[i];
@@ -523,6 +606,50 @@ int main(int argc, char** argv) {
                     static_cast<double>(result.ran_rounds));
     };
 
+    // Robustness summary. Returns the process exit code: 0 when every
+    // trial landed (retried-but-recovered trials are fine), 3 when any
+    // trial permanently failed or the manifest was disabled mid-run —
+    // loud in the summary AND in the exit status, so wrapping scripts
+    // cannot mistake a degraded sweep for a clean one.
+    auto report_failures = [&]() -> int {
+      if (result.trial_retries > 0) {
+        std::printf("trial retries: %lld transient failure(s) recovered "
+                    "by retry\n",
+                    static_cast<long long>(result.trial_retries));
+      }
+      if (result.watchdog_flags > 0) {
+        std::printf("watchdog: %lld trial(s) flagged as slow/stuck\n",
+                    static_cast<long long>(result.watchdog_flags));
+      }
+      if (util::faults_armed()) {
+        std::printf("faults injected: %lld\n",
+                    static_cast<long long>(util::faults_injected()));
+      }
+      int code = 0;
+      if (!result.failures.empty()) {
+        std::printf("sweep FAILED: %zu trial(s) permanently failed "
+                    "(excluded from aggregation); exiting 3\n",
+                    result.failures.size());
+        for (const sweep::TrialFailure& failure : result.failures) {
+          std::printf("  cell %d (%s, %s, n=%lld) trial %d: %s "
+                      "(after %d attempts)\n",
+                      failure.key.cell, failure.key.scenario.c_str(),
+                      failure.key.protocol.c_str(),
+                      static_cast<long long>(failure.key.n), failure.trial,
+                      failure.error.c_str(), failure.attempts);
+        }
+        code = 3;
+      }
+      if (result.manifest_degraded) {
+        std::printf("manifest DEGRADED: %s — the on-disk manifest is "
+                    "missing trials (a resume would re-run them); "
+                    "exiting 3\n",
+                    result.manifest_error.c_str());
+        code = 3;
+      }
+      return code;
+    };
+
     if (result.resumed_trials > 0) {
       std::printf("resumed %zu completed trials from %s\n",
                   result.resumed_trials, opt.run.manifest_path.c_str());
@@ -539,7 +666,23 @@ int main(int argc, char** argv) {
       print_persist_io();
       write_metrics_outputs();
       write_trace_output();
-      return 0;
+      return report_failures();
+    }
+
+    if (result.sharded) {
+      // Cells are not aggregated in sharded mode (each shard sees only
+      // its own trials); the shard's manifest is the product.
+      std::printf(
+          "shard %d/%d: ran %zu trials (resumed %zu) in %.3f s; merge the "
+          "shard manifests with cid_merge to recover the full sweep\n",
+          opt.run.shard_index, opt.run.shard_count, result.ran_trials,
+          result.resumed_trials, elapsed);
+      print_throughput();
+      write_telemetry_outputs();
+      print_persist_io();
+      write_metrics_outputs();
+      write_trace_output();
+      return report_failures();
     }
 
     Table table({"cell", "protocol", "n", "rounds", "converged",
@@ -593,6 +736,7 @@ int main(int argc, char** argv) {
     print_persist_io();
     write_metrics_outputs();
     write_trace_output();
+    return report_failures();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cid_sweep: %s\n", e.what());
     return 1;
