@@ -1,0 +1,196 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/fault.hpp"
+
+namespace cid::serve {
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener TcpListener::listen_on(const std::string& host, std::uint16_t port,
+                                   int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw net_error(errno_message("socket"));
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw net_error("listen: bad host address \"" + host + "\"");
+  }
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw net_error(errno_message("bind"));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    throw net_error(errno_message("listen"));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw net_error(errno_message("getsockname"));
+  }
+  return TcpListener(std::move(sock), ntohs(bound.sin_port));
+}
+
+Socket TcpListener::accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == EINTR) {
+      return Socket();
+    }
+    throw net_error(errno_message("accept"));
+  }
+  Socket conn(fd);
+  const util::FaultAction fault = util::fault_point("net.accept");
+  if (fault.kind != util::FaultKind::kNone) {
+    // err/short/enospc all degrade the same way here: the connection is
+    // dropped before the worker gets a byte, which is what a dying accept
+    // path looks like from outside.
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw net_error(errno_message("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw net_error("connect: bad host address \"" + host + "\"");
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw net_error(errno_message("connect " + host + ":" +
+                                  std::to_string(port)));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+void set_recv_timeout(const Socket& socket, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    throw net_error("endpoint \"" + endpoint + "\": expected HOST:PORT");
+  }
+  std::string host = endpoint.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  const std::string port_text = endpoint.substr(colon + 1);
+  long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stol(port_text, &used);
+    if (used != port_text.size()) throw std::invalid_argument(port_text);
+  } catch (const std::exception&) {
+    throw net_error("endpoint \"" + endpoint + "\": bad port");
+  }
+  if (port < 1 || port > 65535) {
+    throw net_error("endpoint \"" + endpoint + "\": port out of range");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+std::size_t read_some(const Socket& socket, char* buffer, std::size_t cap) {
+  const util::FaultAction fault = util::fault_point("net.read");
+  if (fault.kind != util::FaultKind::kNone) {
+    throw net_error("injected fault " + fault.detail);
+  }
+  while (true) {
+    const ssize_t got = ::recv(socket.fd(), buffer, cap, 0);
+    if (got > 0) return static_cast<std::size_t>(got);
+    if (got == 0) return 0;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw net_error("recv: timed out");
+    }
+    throw net_error(errno_message("recv"));
+  }
+}
+
+namespace {
+
+void write_all(const Socket& socket, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t put =
+        ::send(socket.fd(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw net_error(errno_message("send"));
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace
+
+void send_frame(const Socket& socket, std::string_view frame) {
+  const util::FaultAction fault = util::fault_point("net.write");
+  if (fault.kind == util::FaultKind::kShortWrite) {
+    // Land half the frame for real, then fail: the peer now holds a torn
+    // length-prefixed frame, exactly what a kill mid-send leaves behind.
+    write_all(socket, frame.data(), frame.size() / 2);
+    throw net_error("injected fault " + fault.detail + " (torn frame)");
+  }
+  if (fault.kind != util::FaultKind::kNone) {
+    throw net_error("injected fault " + fault.detail);
+  }
+  write_all(socket, frame.data(), frame.size());
+}
+
+}  // namespace cid::serve

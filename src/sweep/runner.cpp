@@ -137,6 +137,19 @@ std::vector<ProtocolSpec> parse_protocol_list(const std::string& csv) {
   return out;
 }
 
+Rng derive_trial_rng(std::uint64_t master_seed, std::uint32_t cell,
+                     std::uint32_t trial) {
+  Rng grid_master(master_seed);
+  Rng cell_master = grid_master.split(static_cast<std::uint64_t>(cell));
+  // split() advances the parent, so trial t's stream only exists after
+  // the t earlier splits have been replayed in order.
+  Rng stream = cell_master.split(0);
+  for (std::uint32_t t = 1; t <= trial; ++t) {
+    stream = cell_master.split(static_cast<std::uint64_t>(t));
+  }
+  return stream;
+}
+
 SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   CID_ENSURE(!grid.ns.empty(), "sweep needs at least one n");
   CID_ENSURE(!grid.protocols.empty(), "sweep needs at least one protocol");
@@ -168,15 +181,18 @@ SweepResult run_sweep(const SweepGrid& grid, const SweepOptions& options) {
   jobs.reserve(num_cells * trials_per_cell);
   // Serial stream derivation: one fresh cell master per cell (keyed split
   // of the grid master), then one split per trial — a pure function of
-  // master_seed, so scheduling cannot perturb it.
+  // master_seed, so scheduling cannot perturb it. derive_trial_rng is the
+  // shared authority (the cid_serve worker derives leased trials through
+  // the same function); re-deriving per trial costs O(trials²) splits per
+  // cell, a few ns each — noise against any real trial.
   for (std::size_t cell = 0; cell < num_cells; ++cell) {
-    Rng grid_master(grid.master_seed);
-    Rng cell_master = grid_master.split(static_cast<std::uint64_t>(cell));
     for (std::size_t t = 0; t < trials_per_cell; ++t) {
       Job job;
       job.n_index = cell / num_protocols;
       job.protocol_index = cell % num_protocols;
-      job.rng = cell_master.split(static_cast<std::uint64_t>(t));
+      job.rng = derive_trial_rng(grid.master_seed,
+                                 static_cast<std::uint32_t>(cell),
+                                 static_cast<std::uint32_t>(t));
       jobs.push_back(job);
     }
   }

@@ -30,6 +30,14 @@
 //   manifest.append  manifest.header  manifest.flush  manifest.rotate
 //   eventlog.block   eventlog.header  eventlog.flush  eventlog.rotate
 //   snapshot.write   snapshot.rename  sweep.trial
+//   net.accept       net.read        net.write       serve.lease_expire
+//
+// The net.* sites live in src/serve/net.cpp (per accepted connection /
+// per read call / per frame write; net.write:short lands half the frame
+// before failing — a torn wire frame). serve.lease_expire is consulted
+// once per lease GRANT in the cid_serve coordinator: a firing poisons
+// that lease so it deterministically never completes, making lease-loss
+// tests a function of the schedule instead of timing.
 //
 // Decisions are keyed on per-rule consultation counters, so a schedule is
 // fully deterministic for a deterministic consultation order (tests and

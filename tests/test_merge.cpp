@@ -263,6 +263,133 @@ TEST(Merge, CorruptRecordSlotInsideAnInputIsSkipped) {
   std::remove(merged.c_str());
 }
 
+// More shards than trials: the partition still covers the grid, the
+// surplus shards run zero trials and write header-only manifests, and
+// merging all K — empties included — reconstructs the canonical bytes.
+TEST(Merge, MoreShardsThanTrialsYieldsEmptyShardsThatStillMerge) {
+  const SweepGrid grid = merge_grid();  // 16 trials
+  const std::string unsharded_path = temp_path("over_unsharded.manifest");
+  const SweepResult unsharded =
+      run_sweep(grid, manifest_options(unsharded_path));
+  const std::string reference = persist::slurp_file(unsharded_path);
+
+  const int count = 32;
+  std::vector<std::string> shard_paths;
+  std::size_t empty_shards = 0;
+  for (int index = 0; index < count; ++index) {
+    const std::string path =
+        temp_path("over_s" + std::to_string(index) + ".manifest");
+    SweepOptions options = manifest_options(path);
+    options.shard_index = index;
+    options.shard_count = count;
+    const SweepResult shard = run_sweep(grid, options);
+    EXPECT_TRUE(shard.complete);
+    if (shard.ran_trials == 0) ++empty_shards;
+    shard_paths.push_back(path);
+  }
+  // 32 shards cannot all land one of 16 trials.
+  EXPECT_GE(empty_shards, static_cast<std::size_t>(count) -
+                              unsharded.trials.size());
+
+  const persist::MergeReport report =
+      persist::merge_manifests(shard_paths, {});
+  EXPECT_EQ(report.completed.size(), unsharded.trials.size());
+  const std::string merged = temp_path("over_merged.manifest");
+  persist::write_manifest_canonical(merged, report);
+  EXPECT_EQ(persist::slurp_file(merged), reference);
+
+  for (const std::string& path : shard_paths) std::remove(path.c_str());
+  std::remove(merged.c_str());
+  std::remove(unsharded_path.c_str());
+}
+
+// The degenerate grid: one cell, one trial. Exactly one of K shards owns
+// the single trial; the merge of one populated and K-1 empty manifests
+// is byte-identical to the unsharded file.
+TEST(Merge, SingleTrialGridShardsAndMergesExactly) {
+  SweepGrid grid;
+  grid.scenario.name = "load-balancing";
+  grid.scenario.params = {{"m", 3.0}};
+  grid.protocols = parse_protocol_list("imitation");
+  grid.ns = {150};
+  grid.trials = 1;  // 1 cell x 1 = the whole grid
+  grid.master_seed = 5;
+  grid.dynamics.max_rounds = 2000;
+
+  const std::string unsharded_path = temp_path("single_unsharded.manifest");
+  const SweepResult unsharded =
+      run_sweep(grid, manifest_options(unsharded_path));
+  EXPECT_EQ(unsharded.trials.size(), 1u);
+  const std::string reference = persist::slurp_file(unsharded_path);
+
+  const int count = 4;
+  std::vector<std::string> shard_paths;
+  std::size_t owners = 0;
+  for (int index = 0; index < count; ++index) {
+    const std::string path =
+        temp_path("single_s" + std::to_string(index) + ".manifest");
+    SweepOptions options = manifest_options(path);
+    options.shard_index = index;
+    options.shard_count = count;
+    owners += run_sweep(grid, options).ran_trials;
+    shard_paths.push_back(path);
+  }
+  EXPECT_EQ(owners, 1u);  // exactly one shard owns the single trial
+
+  const persist::MergeReport report =
+      persist::merge_manifests(shard_paths, {});
+  EXPECT_EQ(report.completed.size(), 1u);
+  const std::string merged = temp_path("single_merged.manifest");
+  persist::write_manifest_canonical(merged, report);
+  EXPECT_EQ(persist::slurp_file(merged), reference);
+
+  for (const std::string& path : shard_paths) std::remove(path.c_str());
+  std::remove(merged.c_str());
+  std::remove(unsharded_path.c_str());
+}
+
+// The cid_merge --expect-complete contract over a mix of empty and
+// populated inputs: completeness is a property of the union — empty
+// manifests neither complete a merge on their own nor spoil one that the
+// populated inputs already complete.
+TEST(Merge, ExpectCompleteAcrossEmptyAndPopulatedShards) {
+  const SweepGrid grid = merge_grid();
+  const std::string full = temp_path("mixfull.manifest");
+  run_sweep(grid, manifest_options(full));
+  const std::string reference = persist::slurp_file(full);
+
+  const std::string empty_a = temp_path("mixempty_a.manifest");
+  const std::string empty_b = temp_path("mixempty_b.manifest");
+  for (const std::string& path : {empty_a, empty_b}) {
+    persist::ManifestWriter writer =
+        persist::ManifestWriter::create(path, grid);
+    writer.close();  // header, zero records: a shard that ran no trials
+  }
+
+  // Empties mixed with the full run: complete, and byte-stable.
+  const persist::MergeReport mixed =
+      persist::merge_manifests({empty_a, full, empty_b}, {});
+  const std::size_t expected =
+      static_cast<std::size_t>(mixed.cells) * mixed.trials_per_cell;
+  EXPECT_EQ(mixed.completed.size(), expected);  // --expect-complete passes
+  const std::string merged = temp_path("mix_merged.manifest");
+  persist::write_manifest_canonical(merged, mixed);
+  EXPECT_EQ(persist::slurp_file(merged), reference);
+
+  // Empties alone: a valid merge, visibly incomplete.
+  const persist::MergeReport empties =
+      persist::merge_manifests({empty_a, empty_b}, {});
+  EXPECT_EQ(empties.completed.size(), 0u);
+  EXPECT_LT(empties.completed.size(),
+            static_cast<std::size_t>(empties.cells) *
+                empties.trials_per_cell);  // --expect-complete fails
+
+  for (const std::string& path :
+       {full, empty_a, empty_b, merged}) {
+    std::remove(path.c_str());
+  }
+}
+
 // Missing trials surface in the report (the cid_merge --expect-complete
 // contract): merging a strict subset of shards is fine, but incomplete.
 TEST(Merge, IncompleteMergeIsVisibleInTheReport) {

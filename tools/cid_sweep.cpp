@@ -16,6 +16,7 @@
 //             [--progress [SEC]]
 //             [--trial-retries N] [--watchdog SEC]
 //             [--shard I/K] [--inject-faults SPEC]
+//             [--connect HOST:PORT [--worker-name S]]
 //
 // Expands the grid scenario × protocol × n, runs every cell for --trials
 // independent repetitions across --threads workers (per-trial results are
@@ -48,6 +49,15 @@
 // tools/cid_merge.cpp merges them into the canonical unsharded file).
 // --inject-faults arms the deterministic fault-injection layer used by
 // the robustness tests and CI.
+//
+// Worker mode (src/serve/worker.hpp): --connect HOST:PORT turns this
+// process into a lease-protocol worker for a cid_serve coordinator
+// running the SAME grid flags (the handshake compares grid fingerprints).
+// Trials are leased one at a time, run through the identical
+// retry/backoff machinery with the identical derive_trial_rng streams,
+// and streamed back with the worker's metrics_version-stamped registry
+// snapshot; the coordinator owns the manifest, so --manifest/--out/--shard
+// do not combine with --connect.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -57,6 +67,8 @@
 #include <string>
 
 #include "cid/cid.hpp"
+#include "serve/net.hpp"
+#include "serve/worker.hpp"
 #include "sweep/shard.hpp"
 #include "util/fault.hpp"
 
@@ -144,7 +156,17 @@ using namespace cid;
       "\n"
       "                    at sites like manifest.append, eventlog.block\n"
       "                    (accepted but inert when built -DCID_FAULTS=OFF)"
-      "\n");
+      "\n"
+      "  --connect HOST:PORT  worker mode: lease trials from a cid_serve\n"
+      "                    coordinator serving the SAME grid flags (the\n"
+      "                    handshake checks the grid fingerprint) and\n"
+      "                    stream outcomes + metrics back. The coordinator\n"
+      "                    owns the manifest: --manifest/--resume/--shard/\n"
+      "                    --out do not combine with --connect, and\n"
+      "                    --max-new-trials bounds how many leases this\n"
+      "                    worker takes\n"
+      "  --worker-name S   name reported to the coordinator (diagnostics;\n"
+      "                    default cid_sweep)\n");
   std::exit(error == nullptr ? 0 : 2);
 }
 
@@ -168,6 +190,8 @@ struct Options {
   std::string trace_path;
   std::int64_t trace_sample = 0;  // 0 = unset (library default, 64)
   std::string fault_spec;
+  std::string connect;  // HOST:PORT — worker mode when non-empty
+  std::string worker_name;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -267,6 +291,10 @@ Options parse_args(int argc, char** argv) {
       opt.run.shard_count = shard.count;
     } else if (flag == "--inject-faults") {
       opt.fault_spec = need_value(i);
+    } else if (flag == "--connect") {
+      opt.connect = need_value(i);
+    } else if (flag == "--worker-name") {
+      opt.worker_name = need_value(i);
     } else if (flag == "--param") {
       const std::string kv = need_value(i);
       const auto eq = kv.find('=');
@@ -328,6 +356,25 @@ Options parse_args(int argc, char** argv) {
             "manifests with cid_merge, then rerun unsharded with --resume");
     }
   }
+  if (!opt.connect.empty()) {
+    // Worker mode streams outcomes to the coordinator, which owns every
+    // output artifact; local persistence/output flags would silently
+    // produce partial files, so they are rejected outright.
+    if (!opt.run.manifest_path.empty()) {
+      usage("--connect: the coordinator owns the manifest (drop "
+            "--manifest/--resume)");
+    }
+    if (opt.run.shard_count > 1) usage("--connect does not combine with --shard");
+    if (!opt.out_prefix.empty()) usage("--connect does not combine with --out");
+    if (!opt.metrics_path.empty() || !opt.prom_path.empty() ||
+        !opt.telemetry_path.empty() || !opt.trace_path.empty()) {
+      usage("--connect: metrics stream to the coordinator's fleet "
+            "endpoint (drop --metrics/--metrics-prom/--telemetry/--trace)");
+    }
+  }
+  if (!opt.worker_name.empty() && opt.connect.empty()) {
+    usage("--worker-name requires --connect");
+  }
   // Parse (and, when compiled in, arm) the fault schedule here so a bad
   // spec exits 2 like any other flag-value error. A -DCID_FAULTS=OFF
   // build still accepts and validates the flag — the CLI surface is
@@ -369,6 +416,36 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (!opt.connect.empty()) {
+      const auto [host, port] = serve::parse_host_port(opt.connect);
+      serve::WorkerOptions worker;
+      worker.host = host;
+      worker.port = port;
+      worker.name = opt.worker_name.empty() ? "cid_sweep" : opt.worker_name;
+      worker.trial_max_attempts = opt.run.trial_max_attempts;
+      worker.retry_backoff_ms = opt.run.retry_backoff_ms;
+      worker.retry_backoff_max_ms = opt.run.retry_backoff_max_ms;
+      worker.max_trials = opt.run.max_new_trials;
+      std::printf("worker %s: leasing trials from %s:%u\n",
+                  worker.name.c_str(), host.c_str(), port);
+      const serve::WorkerReport report = serve::run_worker(opt.grid, worker);
+      std::printf(
+          "worker %s: completed %zu trial(s) (%lld retried), requeued %zu, "
+          "%zu lease(s) lost, %zu reconnect(s)%s\n",
+          worker.name.c_str(), report.trials_completed,
+          static_cast<long long>(report.trial_retries),
+          report.trials_requeued, report.leases_lost, report.reconnects,
+          report.drained ? "; grid drained" : "");
+      if (util::faults_armed()) {
+        std::printf("faults injected: %lld\n",
+                    static_cast<long long>(util::faults_injected()));
+      }
+      // Requeued trials exhausted THIS worker's retry budget — another
+      // worker may still land them, but this process degraded: exit 3
+      // like a local sweep with permanent failures.
+      return report.trials_requeued > 0 ? 3 : 0;
+    }
+
     const auto instance =
         sweep::make_scenario(opt.grid.scenario, opt.grid.ns.front());
     std::printf("sweep: %s\n", instance->describe().c_str());
